@@ -1,0 +1,74 @@
+// Ablation — controller write-back DRAM cache. The evaluation's OoC
+// workload is read-dominated, but its journal commits and Psi
+// checkpoints hit TLC's brutal 440-6000 us programs head-on. This bench
+// sweeps the device write buffer on a checkpoint-heavy variant of the
+// workload to show what a write-back cache buys each medium.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "fs/presets.hpp"
+#include "ooc/workload.hpp"
+
+namespace {
+
+using namespace nvmooc;
+using namespace nvmooc::bench;
+
+const Bytes kBuffers[] = {0, 4 * MiB, 16 * MiB, 64 * MiB};
+
+Trace checkpoint_heavy_trace() {
+  SyntheticWorkloadParams params;
+  params.dataset_bytes = 128 * MiB;
+  params.tile_bytes = 8 * MiB;
+  params.sweeps = 4;
+  params.checkpoint_bytes = 16 * MiB;  // Aggressive checkpointing.
+  return synthesize_ooc_trace(params);
+}
+
+ExperimentConfig with_buffer(NvmType media, Bytes buffer) {
+  ExperimentConfig config = cnl_fs_config(ext4_behavior(), media);
+  config.controller.write_buffer = buffer;
+  config.name = "CNL-EXT4-WB-" + std::string(buffer ? human_bytes(buffer) : "off");
+  return config;
+}
+
+void BM_WriteCache(benchmark::State& state) {
+  const Bytes buffer = static_cast<Bytes>(state.range(0)) * MiB;
+  static const Trace trace = checkpoint_heavy_trace();
+  for (auto _ : state) {
+    const ExperimentResult result =
+        run_experiment(with_buffer(NvmType::kTlc, buffer), trace);
+    benchmark::DoNotOptimize(result.makespan);
+    state.counters["achieved_MBps"] = result.achieved_mbps;
+  }
+}
+BENCHMARK(BM_WriteCache)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  static const Trace trace = checkpoint_heavy_trace();
+  std::printf("\n== Ablation: controller write-back cache, checkpoint-heavy OoC (MB/s) ==\n");
+  std::vector<std::string> header = {"Media"};
+  for (Bytes buffer : kBuffers) {
+    header.emplace_back(buffer ? human_bytes(buffer) : "write-through");
+  }
+  Table table(header);
+  for (NvmType media : all_media()) {
+    std::vector<double> row;
+    for (Bytes buffer : kBuffers) {
+      row.push_back(run_experiment(with_buffer(media, buffer), trace).achieved_mbps);
+    }
+    table.add_row_numeric(std::string(to_string(media)), row, 0);
+  }
+  table.print();
+  std::printf(
+      "\nThe cache hides program latency behind checkpoints — largest for TLC and\n"
+      "PCM (slow writes), negligible once the buffer covers a whole checkpoint.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared plumbing for the per-figure benchmark binaries: the standard OoC
+// replay trace, a parallel sweep runner, and result formatting.
+//
+// Every binary follows the same pattern: register one google-benchmark
+// entry per configuration (so `--benchmark_filter` works and counters are
+// machine-readable), collect the ExperimentResults, and print the
+// paper-shaped table after the run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/configs.hpp"
+#include "cluster/engine.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "ooc/workload.hpp"
+
+namespace nvmooc::bench {
+
+/// The standard evaluation workload: an OoC eigensolver I/O pattern —
+/// sequential tile sweeps over the dataset with a small Psi checkpoint
+/// per sweep (see DESIGN.md, substitution table).
+inline const Trace& standard_trace() {
+  static const Trace trace = [] {
+    SyntheticWorkloadParams params;
+    params.dataset_bytes = 256 * MiB;
+    params.tile_bytes = 8 * MiB;
+    params.sweeps = 2;
+    params.checkpoint_bytes = 2 * MiB;
+    return synthesize_ooc_trace(params);
+  }();
+  return trace;
+}
+
+/// Collects results across benchmark invocations, keyed by
+/// "<config>/<media>", for the end-of-run table.
+class ResultBoard {
+ public:
+  void record(const ExperimentResult& result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_[key(result.name, result.media)] = result;
+  }
+
+  const ExperimentResult* find(const std::string& config, NvmType media) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = results_.find(key(config, media));
+    return it == results_.end() ? nullptr : &it->second;
+  }
+
+  static std::string key(const std::string& config, NvmType media) {
+    return config + "/" + std::string(to_string(media));
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ExperimentResult> results_;
+};
+
+inline ResultBoard& board() {
+  static ResultBoard instance;
+  return instance;
+}
+
+/// Runs one experiment inside a benchmark loop and records it.
+inline void run_config_benchmark(benchmark::State& state, const ExperimentConfig& config,
+                                 const Trace& trace) {
+  for (auto _ : state) {
+    const ExperimentResult result = run_experiment(config, trace);
+    board().record(result);
+    state.counters["achieved_MBps"] = result.achieved_mbps;
+    state.counters["remaining_MBps"] = result.remaining_mbps;
+    state.counters["channel_util"] = result.channel_utilization;
+    state.counters["package_util"] = result.package_utilization;
+    state.counters["pal4_frac"] = result.pal_fraction[3];
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+
+/// Registers config x media benchmarks (single iteration each — one run
+/// of the simulator is already statistically stable, it is deterministic).
+inline void register_sweep(std::vector<ExperimentConfig> (*configs_for)(NvmType),
+                           const std::vector<NvmType>& media_list, const Trace& trace) {
+  for (NvmType media : media_list) {
+    for (const ExperimentConfig& config : configs_for(media)) {
+      const std::string name = config.name + "/" + std::string(to_string(media));
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [config, &trace](benchmark::State& state) {
+                                     run_config_benchmark(state, config, trace);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+/// Prints one figure table: rows = configs, columns = media types, cell =
+/// extractor(result).
+inline void print_metric_table(const std::string& title,
+                               const std::vector<std::string>& config_names,
+                               const std::vector<NvmType>& media_list,
+                               double (*extract)(const ExperimentResult&),
+                               int precision = 1) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> header = {"Configuration"};
+  for (NvmType media : media_list) header.emplace_back(to_string(media));
+  Table table(header);
+  for (const std::string& name : config_names) {
+    std::vector<double> row;
+    for (NvmType media : media_list) {
+      const ExperimentResult* result = board().find(name, media);
+      row.push_back(result ? extract(*result) : 0.0);
+    }
+    table.add_row_numeric(name, row, precision);
+  }
+  table.print();
+}
+
+inline std::vector<std::string> names_of(const std::vector<ExperimentConfig>& configs) {
+  std::vector<std::string> names;
+  names.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) names.push_back(config.name);
+  return names;
+}
+
+inline std::vector<NvmType> all_media() {
+  return {NvmType::kTlc, NvmType::kMlc, NvmType::kSlc, NvmType::kPcm};
+}
+
+}  // namespace nvmooc::bench

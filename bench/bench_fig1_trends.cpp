@@ -1,0 +1,73 @@
+// Figure 1 — "Trend of bandwidth over time for real-world high-performance
+// networks versus various NVM storage solutions."
+//
+// Prints the historical points, the model-derived future expectations, and
+// the fitted doubling periods that quantify "NVM is outpacing networks".
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "interconnect/trends.hpp"
+
+namespace {
+
+using nvmooc::TrendCategory;
+using nvmooc::TrendPoint;
+
+const char* category_name(TrendCategory category) {
+  switch (category) {
+    case TrendCategory::kNetwork: return "network";
+    case TrendCategory::kFlashSsd: return "flash-SSD";
+    case TrendCategory::kNonFlashSsd: return "nonflash-NVM";
+    case TrendCategory::kFutureExpectation: return "expectation";
+  }
+  return "?";
+}
+
+void BM_DoublingPeriodFit(benchmark::State& state) {
+  const auto points = nvmooc::historical_trend_points();
+  for (auto _ : state) {
+    const double network =
+        nvmooc::doubling_period_years(points, TrendCategory::kNetwork);
+    const double flash = nvmooc::doubling_period_years(points, TrendCategory::kFlashSsd);
+    benchmark::DoNotOptimize(network);
+    benchmark::DoNotOptimize(flash);
+    state.counters["network_doubling_years"] = network;
+    state.counters["flash_doubling_years"] = flash;
+  }
+}
+BENCHMARK(BM_DoublingPeriodFit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  auto points = nvmooc::historical_trend_points();
+  const auto projected = nvmooc::projected_trend_points();
+  points.insert(points.end(), projected.begin(), projected.end());
+  std::sort(points.begin(), points.end(),
+            [](const TrendPoint& a, const TrendPoint& b) { return a.year < b.year; });
+
+  std::printf("\n== Figure 1: Bandwidth per channel over time (GB/s) ==\n");
+  nvmooc::Table table({"Year", "Device", "Category", "GB/s per channel"});
+  for (const TrendPoint& point : points) {
+    table.add_row({std::to_string(point.year), point.device, category_name(point.category),
+                   nvmooc::format("%.4g", point.gbytes_per_sec_per_channel)});
+  }
+  table.print();
+
+  const double network_years =
+      nvmooc::doubling_period_years(points, TrendCategory::kNetwork);
+  const double flash_years = nvmooc::doubling_period_years(points, TrendCategory::kFlashSsd);
+  std::printf(
+      "\nFitted doubling periods: networks every %.1f years, flash SSDs every %.1f\n"
+      "years — NVM bandwidth outpaces point-to-point network capacity (the paper's\n"
+      "motivating claim).\n",
+      network_years, flash_years);
+  return 0;
+}

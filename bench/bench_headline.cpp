@@ -1,0 +1,123 @@
+// The paper's headline numbers (Abstract + Section 7):
+//   * compute-local SSD vs client-remote SSD: +108% on average,
+//   * software-optimised (UFS) adds +52% on the CNL baseline,
+//   * hardware-optimised adds +250% on the CNL baseline,
+//   * overall relative improvement 10.3x (16x for PCM, 8x for TLC).
+// This bench recomputes each claim from the simulator and prints
+// paper-vs-measured.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "fs/presets.hpp"
+
+namespace {
+
+using namespace nvmooc;
+using namespace nvmooc::bench;
+
+double get(const char* name, NvmType media) {
+  const ExperimentResult* result = board().find(name, media);
+  return result ? result->achieved_mbps : 0.0;
+}
+
+/// Geometric mean of per-media improvement ratios.
+double mean_ratio(const std::vector<NvmType>& media_list, const char* numerator,
+                  const char* denominator) {
+  double log_sum = 0.0;
+  for (NvmType media : media_list) {
+    log_sum += std::log(get(numerator, media) / get(denominator, media));
+  }
+  return std::exp(log_sum / static_cast<double>(media_list.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_sweep(&all_configs, all_media(), standard_trace());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::vector<NvmType> nand = {NvmType::kTlc, NvmType::kMlc, NvmType::kSlc};
+  const std::vector<NvmType> media = all_media();
+
+  // Worst traditional CNL FS per medium == "base-line compute-local SSD".
+  auto worst_cnl = [&](NvmType m) {
+    double worst = 1e18;
+    std::string name;
+    for (const FsBehavior& fs : all_local_filesystems()) {
+      const double bw = get(("CNL-" + fs.name).c_str(), m);
+      if (bw < worst) {
+        worst = bw;
+        name = fs.name;
+      }
+    }
+    return std::make_pair(worst, name);
+  };
+
+  std::printf("\n== Headline claims: paper vs this reproduction ==\n");
+  Table table({"Claim", "Paper", "Measured"});
+
+  {
+    // Worst-CNL over ION-GPFS, per NAND type.
+    const char* paper[] = {"+7%", "+78%", "+108%"};
+    int i = 0;
+    for (NvmType m : nand) {
+      const auto [worst, name] = worst_cnl(m);
+      const double gain = 100.0 * (worst / get("ION-GPFS", m) - 1.0);
+      table.add_row({format("worst CNL FS (%s) vs ION-GPFS on %s", name.c_str(),
+                            std::string(to_string(m)).c_str()),
+                     paper[i++], format("%+.0f%%", gain)});
+    }
+  }
+  {
+    // CNL baseline vs ION: average over media of the *average* CNL FS.
+    double log_sum = 0;
+    for (NvmType m : media) {
+      double sum = 0;
+      int n = 0;
+      for (const FsBehavior& fs : all_local_filesystems()) {
+        sum += get(("CNL-" + fs.name).c_str(), m);
+        ++n;
+      }
+      log_sum += std::log((sum / n) / get("ION-GPFS", m));
+    }
+    const double avg = std::exp(log_sum / media.size());
+    table.add_row({"CNL SSD vs client-remote SSD (average)", "+108%",
+                   format("%+.0f%%", 100.0 * (avg - 1.0))});
+  }
+  {
+    // Software optimisation: UFS over the mean traditional CNL FS.
+    double log_sum = 0;
+    for (NvmType m : media) {
+      double sum = 0;
+      int n = 0;
+      for (const FsBehavior& fs : all_local_filesystems()) {
+        sum += get(("CNL-" + fs.name).c_str(), m);
+        ++n;
+      }
+      log_sum += std::log(get("CNL-UFS", m) / (sum / n));
+    }
+    const double gain = std::exp(log_sum / media.size());
+    table.add_row({"UFS over CNL baseline (software)", "+52%",
+                   format("%+.0f%%", 100.0 * (gain - 1.0))});
+  }
+  {
+    const double hw = mean_ratio(media, "CNL-NATIVE-16", "CNL-UFS");
+    table.add_row({"NATIVE-16 over CNL-UFS (hardware)", "+250%",
+                   format("%+.0f%%", 100.0 * (hw - 1.0))});
+  }
+  {
+    const double overall = mean_ratio(media, "CNL-NATIVE-16", "ION-GPFS");
+    table.add_row({"overall NATIVE-16 vs ION-GPFS", "10.3x", format("%.1fx", overall)});
+    table.add_row({"PCM NATIVE-16 vs ION-GPFS", "16x",
+                   format("%.1fx", get("CNL-NATIVE-16", NvmType::kPcm) /
+                                       get("ION-GPFS", NvmType::kPcm))});
+    table.add_row({"TLC NATIVE-16 vs ION-GPFS", "8x",
+                   format("%.1fx", get("CNL-NATIVE-16", NvmType::kTlc) /
+                                       get("ION-GPFS", NvmType::kTlc))});
+  }
+  table.print();
+  return 0;
+}

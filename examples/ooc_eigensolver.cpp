@@ -1,0 +1,98 @@
+// The paper's application, end to end: build a synthetic nuclear-CI
+// Hamiltonian, keep it out-of-core, and solve for its lowest eigenpairs
+// with LOBPCG while DOoC-style prefetching overlaps tile I/O with the
+// SpMM — then replay the captured I/O through the simulated storage
+// stacks to see what each architecture would have delivered.
+//
+// Run: ./build/examples/ooc_eigensolver [dimension] [block_size]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/configs.hpp"
+#include "cluster/engine.hpp"
+#include "dooc/prefetcher.hpp"
+#include "fs/presets.hpp"
+#include "ooc/lobpcg.hpp"
+#include "ooc/ooc_operator.hpp"
+#include "ooc/tile_store.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nvmooc;
+  const std::size_t dimension = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+  const std::size_t block = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+
+  // -- Build H (the pre-processing step the paper stores on disk). ------
+  HamiltonianParams h_params;
+  h_params.dimension = dimension;
+  h_params.band_width = 64;
+  h_params.band_fill = 0.35;
+  h_params.long_range_per_row = 4;
+  std::printf("Generating synthetic CI Hamiltonian: n=%zu ...\n", dimension);
+  const CsrMatrix h = synthetic_hamiltonian(h_params);
+  std::printf("  nnz=%zu (%.1f per row), symmetric=%s\n", h.nnz(),
+              static_cast<double>(h.nnz()) / dimension,
+              h.is_symmetric(0.0) ? "yes" : "NO");
+
+  // -- Pre-load to (in-memory stand-in for) the compute-local SSD. ------
+  MemoryStorage storage(h.storage_bytes(0, h.rows()) + 4 * MiB);
+  TracedStorage traced(storage);
+  OocHamiltonian ooc(h, traced, /*rows_per_tile=*/2048);
+  (void)traced.take_trace();  // Pre-load happens before the timed window.
+  std::printf("  dataset on storage: %.1f MiB in %zu tiles\n",
+              static_cast<double>(ooc.dataset_bytes()) / MiB, ooc.tile_count());
+
+  // -- Solve with DOoC prefetching overlapping I/O and compute. ---------
+  std::vector<TilePrefetcher::TileRef> tiles;
+  for (std::size_t t = 0; t < ooc.tile_count(); ++t) {
+    tiles.push_back({ooc.tile(t).offset, ooc.tile(t).bytes});
+  }
+  TilePrefetcher prefetcher(traced, tiles, /*depth=*/4);
+
+  LobpcgOptions options;
+  options.block_size = block;
+  options.tolerance = 1e-5;
+  options.max_iterations = 300;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const LobpcgResult solution = lobpcg(
+      [&](const DenseMatrix& x) {
+        DenseMatrix y(x.rows(), x.cols());
+        for (std::size_t t = 0; t < ooc.tile_count(); ++t) {
+          const auto buffer = prefetcher.get(t);
+          ooc.apply_tile(ooc.tile(t), *buffer, x, y);
+        }
+        prefetcher.restart();
+        return y;
+      },
+      h.rows(), options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::printf("\nLOBPCG: %s in %zu iterations (%zu H applications, %.2f s wall)\n",
+              solution.converged ? "converged" : "NOT converged", solution.iterations,
+              solution.operator_applications, seconds);
+  std::printf("  prefetch hits/stalls: %llu/%llu\n",
+              static_cast<unsigned long long>(prefetcher.stats().hits),
+              static_cast<unsigned long long>(prefetcher.stats().stalls));
+  std::printf("  lowest eigenvalues:");
+  for (std::size_t j = 0; j < std::min<std::size_t>(block, 8); ++j) {
+    std::printf(" %.6f", solution.eigenvalues[j]);
+  }
+  std::printf("\n");
+
+  // -- What would each storage architecture have delivered? -------------
+  const Trace trace = traced.take_trace();
+  std::printf("\nCaptured %zu POSIX requests (%.1f MiB of I/O); replaying through the\n"
+              "simulated stacks:\n",
+              trace.size(), static_cast<double>(trace.stats().total_bytes) / MiB);
+  for (const auto& config :
+       {ion_gpfs_config(NvmType::kMlc), cnl_fs_config(ext4_behavior(), NvmType::kMlc),
+        cnl_ufs_config(NvmType::kMlc), cnl_native16_config(NvmType::kPcm)}) {
+    const ExperimentResult result = run_experiment(config, trace);
+    std::printf("  %-16s %-4s : %8.0f MB/s (I/O wall %.1f ms)\n", result.name.c_str(),
+                std::string(to_string(result.media)).c_str(), result.achieved_mbps,
+                static_cast<double>(result.makespan) / kMillisecond);
+  }
+  return solution.converged ? 0 : 1;
+}

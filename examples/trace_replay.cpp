@@ -1,0 +1,115 @@
+// Replay a trace file (or a built-in pattern) through a chosen
+// configuration — the general-purpose driver for exploring the simulator.
+//
+// Run: ./build/examples/trace_replay --config=cnl-ufs --media=tlc
+//        [--trace=FILE | --pattern=seq|rand|strided] [--size-mib=256]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/configs.hpp"
+#include "cluster/engine.hpp"
+#include "common/random.hpp"
+#include "fs/presets.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace nvmooc;
+
+const char* kUsage =
+    "usage: trace_replay [--config=NAME] [--media=slc|mlc|tlc|pcm]\n"
+    "                    [--trace=FILE | --pattern=seq|rand|strided]\n"
+    "                    [--size-mib=N] [--request-kib=N]\n"
+    "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
+    "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
+    "         cnl-native-8, cnl-native-16\n";
+
+std::string option(int argc, char** argv, const char* key, const char* fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strncmp(argv[i], prefix.c_str(), prefix.size())) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool find_config(const std::string& name, NvmType media, ExperimentConfig& out) {
+  for (const ExperimentConfig& config : all_configs(media)) {
+    std::string lowered = config.name;
+    for (char& c : lowered) c = static_cast<char>(std::tolower(c));
+    if (lowered == name) {
+      out = config;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string config_name = option(argc, argv, "config", "cnl-ufs");
+  const std::string media_name = option(argc, argv, "media", "tlc");
+  const std::string trace_path = option(argc, argv, "trace", "");
+  const std::string pattern = option(argc, argv, "pattern", "seq");
+  const Bytes size = std::strtoull(option(argc, argv, "size-mib", "256").c_str(), nullptr, 10) * MiB;
+  const Bytes request =
+      std::strtoull(option(argc, argv, "request-kib", "8192").c_str(), nullptr, 10) * KiB;
+
+  NvmType media;
+  if (media_name == "slc") media = NvmType::kSlc;
+  else if (media_name == "mlc") media = NvmType::kMlc;
+  else if (media_name == "tlc") media = NvmType::kTlc;
+  else if (media_name == "pcm") media = NvmType::kPcm;
+  else {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+
+  ExperimentConfig config;
+  if (!find_config(config_name, media, config)) {
+    std::fprintf(stderr, "unknown config '%s'\n%s", config_name.c_str(), kUsage);
+    return 1;
+  }
+
+  Trace trace;
+  if (!trace_path.empty()) {
+    trace = Trace::load(trace_path);
+  } else if (pattern == "seq") {
+    trace = sequential_read_trace(size, request);
+  } else if (pattern == "rand") {
+    Rng rng(1);
+    trace = random_read_trace(size, request, size / request, rng);
+  } else if (pattern == "strided") {
+    trace = strided_read_trace(size, request, request * 4, size / request);
+  } else {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+
+  const TraceStats stats = trace.stats();
+  std::printf("trace: %zu requests, %.1f MiB, sequentiality %.2f, %.0f%% reads\n",
+              trace.size(), static_cast<double>(stats.total_bytes) / MiB,
+              stats.sequentiality, 100.0 * stats.read_fraction);
+
+  const ExperimentResult result = run_experiment(config, trace);
+  std::printf("%s on %s:\n", result.name.c_str(), std::string(to_string(media)).c_str());
+  std::printf("  throughput     %.0f MB/s over %.2f ms\n", result.achieved_mbps,
+              static_cast<double>(result.makespan) / kMillisecond);
+  std::printf("  utilisation    channel %.0f%%, package %.0f%%\n",
+              100.0 * result.channel_utilization, 100.0 * result.package_utilization);
+  std::printf("  parallelism    PAL1 %.0f%%  PAL2 %.0f%%  PAL3 %.0f%%  PAL4 %.0f%%\n",
+              100.0 * result.pal_fraction[0], 100.0 * result.pal_fraction[1],
+              100.0 * result.pal_fraction[2], 100.0 * result.pal_fraction[3]);
+  std::printf("  phases         ");
+  for (int p = 0; p < kPhaseCount; ++p) {
+    std::printf("%s %.0f%%  ", to_string(static_cast<Phase>(p)),
+                100.0 * result.phase_fraction[p]);
+  }
+  std::printf("\n  device traffic %llu requests, %llu transactions\n",
+              static_cast<unsigned long long>(result.device_requests),
+              static_cast<unsigned long long>(result.transactions));
+  return 0;
+}

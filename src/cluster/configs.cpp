@@ -1,0 +1,90 @@
+#include "cluster/configs.hpp"
+
+#include "fs/presets.hpp"
+#include "nvm/bus.hpp"
+
+namespace nvmooc {
+
+ExperimentConfig ion_gpfs_config(NvmType media) {
+  ExperimentConfig config;
+  config.name = "ION-GPFS";
+  config.location = StorageLocation::kIonLocal;
+  config.media = media;
+  config.use_ufs = false;
+  config.fs = gpfs_behavior();
+  config.host_link = bridged_pcie2(8);  // The ION's own PCIe SSD link.
+  config.nvm_bus = onfi3_sdr_bus();
+  config.network = ion_gpfs_path();
+  return config;
+}
+
+ExperimentConfig cnl_fs_config(const FsBehavior& fs, NvmType media) {
+  ExperimentConfig config;
+  config.name = "CNL-" + fs.name;
+  config.location = StorageLocation::kComputeLocal;
+  config.media = media;
+  config.use_ufs = false;
+  config.fs = fs;
+  config.host_link = bridged_pcie2(8);
+  config.nvm_bus = onfi3_sdr_bus();
+  return config;
+}
+
+ExperimentConfig cnl_ufs_config(NvmType media) {
+  ExperimentConfig config;
+  config.name = "CNL-UFS";
+  config.location = StorageLocation::kComputeLocal;
+  config.media = media;
+  config.use_ufs = true;
+  config.host_link = bridged_pcie2(8);
+  config.nvm_bus = onfi3_sdr_bus();
+  return config;
+}
+
+ExperimentConfig cnl_bridge16_config(NvmType media) {
+  ExperimentConfig config = cnl_ufs_config(media);
+  config.name = "CNL-BRIDGE-16";
+  config.host_link = bridged_pcie2(16);
+  return config;
+}
+
+ExperimentConfig cnl_native8_config(NvmType media) {
+  ExperimentConfig config = cnl_ufs_config(media);
+  config.name = "CNL-NATIVE-8";
+  config.host_link = native_pcie3(8);
+  config.nvm_bus = future_ddr_bus();
+  return config;
+}
+
+ExperimentConfig cnl_native16_config(NvmType media) {
+  ExperimentConfig config = cnl_ufs_config(media);
+  config.name = "CNL-NATIVE-16";
+  config.host_link = native_pcie3(16);
+  config.nvm_bus = future_ddr_bus();
+  return config;
+}
+
+std::vector<ExperimentConfig> figure7_configs(NvmType media) {
+  std::vector<ExperimentConfig> configs;
+  configs.push_back(ion_gpfs_config(media));
+  for (const FsBehavior& fs : all_local_filesystems()) {
+    configs.push_back(cnl_fs_config(fs, media));
+  }
+  configs.push_back(cnl_ufs_config(media));
+  return configs;
+}
+
+std::vector<ExperimentConfig> figure8_configs(NvmType media) {
+  return {cnl_ufs_config(media), cnl_bridge16_config(media), cnl_native8_config(media),
+          cnl_native16_config(media)};
+}
+
+std::vector<ExperimentConfig> all_configs(NvmType media) {
+  std::vector<ExperimentConfig> configs = figure7_configs(media);
+  configs.push_back(cnl_bridge16_config(media));
+  configs.push_back(cnl_native8_config(media));
+  configs.push_back(cnl_native16_config(media));
+  return configs;
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,39 @@
+// Factories for the named configurations of Table 2 and the Figure 8
+// hardware-exploration variants.
+#pragma once
+
+#include <vector>
+
+#include "cluster/experiment.hpp"
+
+namespace nvmooc {
+
+/// ION-GPFS: NVM on the I/O node behind QDR 4X InfiniBand + GPFS.
+ExperimentConfig ion_gpfs_config(NvmType media);
+
+/// CNL-<fs>: compute-node-local bridged PCIe 2.0 x8 SSD under a
+/// traditional file system.
+ExperimentConfig cnl_fs_config(const FsBehavior& fs, NvmType media);
+
+/// CNL-UFS: compute-node-local bridged PCIe 2.0 x8 under UFS.
+ExperimentConfig cnl_ufs_config(NvmType media);
+
+/// CNL-BRIDGE-16: UFS, bridged PCIe 2.0 but all 16 lanes.
+ExperimentConfig cnl_bridge16_config(NvmType media);
+
+/// CNL-NATIVE-8: UFS, native PCIe 3.0 x8, future DDR NVM bus.
+ExperimentConfig cnl_native8_config(NvmType media);
+
+/// CNL-NATIVE-16: UFS, native PCIe 3.0 x16, future DDR NVM bus.
+ExperimentConfig cnl_native16_config(NvmType media);
+
+/// The ten Figure 7 configurations, in the paper's order.
+std::vector<ExperimentConfig> figure7_configs(NvmType media);
+
+/// The four Figure 8 configurations, in the paper's order.
+std::vector<ExperimentConfig> figure8_configs(NvmType media);
+
+/// All thirteen configurations of Figures 9/10, in the paper's order.
+std::vector<ExperimentConfig> all_configs(NvmType media);
+
+}  // namespace nvmooc

@@ -1,0 +1,4 @@
+#include "cluster/experiment.hpp"
+
+// Configuration and result types are header-only aggregates; this
+// translation unit anchors the library and hosts nothing further.

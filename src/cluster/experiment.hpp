@@ -1,0 +1,72 @@
+// Experiment configurations (the rows of Table 2) and the result record
+// every figure of the evaluation is derived from.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+#include "interconnect/network.hpp"
+#include "interconnect/pcie.hpp"
+#include "nvm/bus.hpp"
+#include "ssd/ssd.hpp"
+
+namespace nvmooc {
+
+enum class StorageLocation { kIonLocal, kComputeLocal };
+
+struct ExperimentConfig {
+  std::string name;  ///< e.g. "ION-GPFS", "CNL-UFS", "CNL-NATIVE-16".
+  StorageLocation location = StorageLocation::kComputeLocal;
+  NvmType media = NvmType::kSlc;
+
+  /// I/O path: UFS bypasses the traditional stack.
+  bool use_ufs = false;
+  FsBehavior fs;  ///< Used when !use_ufs.
+
+  /// Device host interface (PCIe, possibly bridged).
+  LinkConfig host_link = bridged_pcie2(8);
+  /// NVM-side channel bus (ONFi SDR vs future DDR).
+  BusConfig nvm_bus = onfi3_sdr_bus();
+  /// CN -> ION network path; only used for kIonLocal.
+  NetworkPathConfig network = ion_gpfs_path();
+
+  SsdGeometry geometry = paper_geometry();
+  ControllerConfig controller;
+};
+
+struct ExperimentResult {
+  std::string name;
+  NvmType media = NvmType::kSlc;
+
+  Time makespan = 0;
+  Bytes payload_bytes = 0;
+  Bytes internal_bytes = 0;
+  std::uint64_t device_requests = 0;
+  std::uint64_t transactions = 0;
+
+  double achieved_mbps = 0.0;   ///< Figure 7a / 8a.
+  double remaining_mbps = 0.0;  ///< Figure 7b / 8b.
+
+  double channel_utilization = 0.0;  ///< Figure 9a (fraction 0-1).
+  double package_utilization = 0.0;  ///< Figure 9b.
+
+  /// Application-observed read latency (ready-to-completion), µs.
+  double read_latency_p50_us = 0.0;
+  double read_latency_p99_us = 0.0;
+  double read_latency_mean_us = 0.0;
+
+  /// Figure 10a/10c: fractions over the six phases, summing to 1.
+  std::array<double, kPhaseCount> phase_fraction{};
+  /// Figure 10b/10d: fraction of request bytes served at each PAL.
+  std::array<double, 4> pal_fraction{};
+
+  WearSummary wear;
+  FtlStats ftl;
+  /// Raw device accounting (resource-seconds per op etc.) for energy and
+  /// deeper post-processing.
+  ControllerStats controller;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,161 @@
+#include "cluster/multi_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cluster/engine.hpp"
+#include "cluster/window.hpp"
+#include "interconnect/link.hpp"
+#include "ssd/ssd.hpp"
+#include "ufs/ufs.hpp"
+
+namespace nvmooc {
+namespace {
+
+/// One compute node's view of the shared ION: its own I/O path state and
+/// flow control, a cursor into its (pre-expanded) device-request stream.
+struct Client {
+  std::unique_ptr<FileSystemModel> fs;
+  std::unique_ptr<UnifiedFileSystem> ufs;
+  IoPath* path = nullptr;
+
+  std::vector<BlockRequest> stream;
+  std::size_t next = 0;
+
+  std::unique_ptr<Window> device_window;
+  std::unique_ptr<Window> rpc_window;
+  Time cpu_free = 0;
+  Time barrier_gate = 0;
+  Time all_done = 0;
+  Bytes bytes_done = 0;
+
+  bool finished() const { return next >= stream.size(); }
+  /// Estimate of when this client could issue its next request (the
+  /// window admit may push it later — that is resolved when picked).
+  Time ready_estimate() const { return std::max(cpu_free, barrier_gate); }
+};
+
+}  // namespace
+
+MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& trace,
+                                   unsigned clients) {
+  if (clients == 0) clients = 1;
+
+  MultiClientResult out;
+  out.name = config.name;
+  out.media = config.media;
+  out.clients = clients;
+
+  // Compute-local: every CN owns a full private stack — simulate one
+  // client and replicate (they are independent by construction).
+  if (config.location == StorageLocation::kComputeLocal) {
+    const ExperimentResult single = run_experiment(config, trace);
+    out.makespan = single.makespan;
+    out.total_bytes = static_cast<Bytes>(clients) * single.payload_bytes;
+    out.per_client_mbps = single.achieved_mbps;
+    out.worst_client_mbps = single.achieved_mbps;
+    out.aggregate_mbps = single.achieved_mbps * clients;
+    return out;
+  }
+
+  // ION-local: shared SSD, shared ION PCIe link, shared network port.
+  SsdConfig ssd_config;
+  ssd_config.geometry = config.geometry;
+  ssd_config.media = config.media;
+  ssd_config.bus = config.nvm_bus;
+  ssd_config.controller = config.controller;
+  Ssd ssd(ssd_config);
+
+  DmaEngine ion_pcie(config.host_link);
+  LinkConfig wire = config.network.wire;
+  wire.request_latency += config.network.rpc_overhead;
+  DmaEngine network(wire);
+
+  const Bytes extent = trace.extent();
+  // Each client addresses its own dataset region on the shared device.
+  const Bytes region = (extent + GiB - 1) / GiB * GiB;
+  ssd.preload(region * clients);
+
+  std::vector<Client> nodes(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    Client& node = nodes[c];
+    node.fs = std::make_unique<FileSystemModel>(config.fs);
+    node.fs->mount(extent);
+    node.path = node.fs.get();
+    const FsBehavior& behavior = node.path->behavior();
+    node.device_window = std::make_unique<Window>(behavior.readahead, behavior.queue_depth);
+    node.rpc_window = std::make_unique<Window>(0, config.network.max_concurrent_rpcs);
+    // Pre-expand the stream, offset into the client's region.
+    for (const PosixRequest& posix : trace.requests()) {
+      for (BlockRequest request : node.path->submit(posix)) {
+        request.offset += static_cast<Bytes>(c) * region;
+        node.stream.push_back(request);
+      }
+    }
+  }
+
+  const Time cpu_serial =
+      std::min<Time>(config.fs.per_request_overhead / 8, 1500 * kNanosecond);
+  const Time added_latency = config.fs.per_request_overhead;
+
+  // Event loop: always advance the client that can issue earliest —
+  // fair-share interleaving at the shared resources.
+  for (;;) {
+    Client* pick = nullptr;
+    for (Client& node : nodes) {
+      if (node.finished()) continue;
+      if (pick == nullptr || node.ready_estimate() < pick->ready_estimate()) pick = &node;
+    }
+    if (pick == nullptr) break;
+
+    const BlockRequest& request = pick->stream[pick->next++];
+    if (request.size == 0) continue;
+
+    Time ready = pick->ready_estimate();
+    if (request.barrier) ready = std::max(ready, pick->all_done);
+    const Time admit = pick->device_window->admit(ready, request.size);
+    pick->cpu_free = admit + cpu_serial;
+    const Time issue = pick->cpu_free + added_latency;
+
+    Time completion = 0;
+    if (request.op == NvmOp::kRead) {
+      const Time media_arrival = pick->rpc_window->admit(issue, request.size);
+      const RequestResult media = ssd.submit(request, media_arrival);
+      const Reservation dma = ion_pcie.transfer(media.media_begin, request.size);
+      completion = std::max(media.media_end, dma.end);
+      const Reservation net =
+          network.transfer(std::max(media.media_begin, dma.start), request.size);
+      completion = std::max(completion, net.end);
+      pick->rpc_window->launch(completion, request.size);
+    } else {
+      const Time slot = pick->rpc_window->admit(issue, request.size);
+      const Reservation net = network.transfer(slot, request.size);
+      const Reservation dma = ion_pcie.transfer(net.end, request.size);
+      const RequestResult media = ssd.submit(request, dma.end);
+      completion = media.media_end;
+      pick->rpc_window->launch(completion, request.size);
+    }
+
+    pick->device_window->launch(completion, request.size);
+    pick->all_done = std::max(pick->all_done, completion);
+    if (request.barrier) pick->barrier_gate = completion;
+    if (!request.internal) pick->bytes_done += request.size;
+  }
+
+  const Bytes per_client_bytes = trace.stats().total_bytes;
+  out.total_bytes = static_cast<Bytes>(clients) * per_client_bytes;
+  double per_client_sum = 0.0;
+  double worst = 1e30;
+  for (const Client& node : nodes) {
+    out.makespan = std::max(out.makespan, node.all_done);
+    const double mbps = bandwidth_mbps(per_client_bytes, node.all_done);
+    per_client_sum += mbps;
+    worst = std::min(worst, mbps);
+  }
+  out.per_client_mbps = per_client_sum / clients;
+  out.worst_client_mbps = worst;
+  out.aggregate_mbps = bandwidth_mbps(out.total_bytes, out.makespan);
+  return out;
+}
+
+}  // namespace nvmooc

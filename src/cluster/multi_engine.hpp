@@ -1,0 +1,40 @@
+// Multi-client replay: several compute nodes sharing one I/O node's SSD,
+// PCIe link and network port — the Carver ratio of Figure 3 (40 CNs to 10
+// IONs puts ~4 OoC clients behind each ION SSD).
+//
+// Each client runs its own file-system instance and flow-control window;
+// the SSD, the ION's PCIe link and the ION's network port are shared. For
+// compute-local configurations the same entry point replicates the whole
+// stack per client instead, so "scale the cluster" comparisons use one
+// API.
+#pragma once
+
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "trace/trace.hpp"
+
+namespace nvmooc {
+
+struct MultiClientResult {
+  std::string name;
+  NvmType media = NvmType::kSlc;
+  unsigned clients = 1;
+
+  Time makespan = 0;  ///< Until the last client finishes.
+  Bytes total_bytes = 0;
+  /// Aggregate delivered bandwidth across clients.
+  double aggregate_mbps = 0.0;
+  /// Mean per-client bandwidth (each client's bytes over the makespan of
+  /// that client's own stream).
+  double per_client_mbps = 0.0;
+  double worst_client_mbps = 0.0;
+};
+
+/// Replays `clients` copies of `trace` (one stream per compute node).
+/// ION-local configs share device+links; compute-local configs get a
+/// private stack per client (each CN has its own SSD).
+MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& trace,
+                                   unsigned clients);
+
+}  // namespace nvmooc

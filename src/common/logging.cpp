@@ -1,0 +1,59 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+namespace nvmooc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  std::vector<char> buffer(static_cast<size_t>(needed) + 1);
+  std::vsnprintf(buffer.data(), buffer.size(), fmt, args_copy);
+  va_end(args_copy);
+  log_message(level, std::string(buffer.data(), static_cast<size_t>(needed)));
+}
+
+}  // namespace nvmooc

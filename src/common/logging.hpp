@@ -1,0 +1,29 @@
+// Minimal leveled logger. Header-light: callers pass pre-formatted strings
+// or use the printf-style helpers; no iostream state leaks between threads.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace nvmooc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level. Thread-safe (atomic store).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[LEVEL] message". Thread-safe: the line is
+/// assembled first and written with a single write so concurrent sims do
+/// not interleave characters.
+void log_message(LogLevel level, const std::string& message);
+
+/// printf-style convenience wrappers.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define NVMOOC_LOG_DEBUG(...) ::nvmooc::logf(::nvmooc::LogLevel::kDebug, __VA_ARGS__)
+#define NVMOOC_LOG_INFO(...) ::nvmooc::logf(::nvmooc::LogLevel::kInfo, __VA_ARGS__)
+#define NVMOOC_LOG_WARN(...) ::nvmooc::logf(::nvmooc::LogLevel::kWarn, __VA_ARGS__)
+#define NVMOOC_LOG_ERROR(...) ::nvmooc::logf(::nvmooc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace nvmooc

@@ -1,0 +1,173 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nvmooc {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  std::size_t index;
+  if (x < lo_) {
+    index = 0;
+  } else if (x >= hi_) {
+    index = counts_.size() - 1;
+  } else {
+    index = static_cast<std::size_t>((x - lo_) / width_);
+    index = std::min(index, counts_.size() - 1);
+  }
+  counts_[index] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bucket_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac = counts_[i] ? (target - cumulative) / static_cast<double>(counts_[i]) : 0.0;
+      return bucket_lo(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "[%.3g,%.3g)=%llu ", bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+void BusyTracker::add_interval(std::int64_t start, std::int64_t end) {
+  if (end <= start) return;
+  // Fast path: back-to-back or overlapping appends extend the last
+  // interval in place — the common case for a busy resource — keeping
+  // memory proportional to the number of idle gaps, not reservations.
+  if (!dirty_ && !intervals_.empty() && start >= intervals_.back().first &&
+      start <= intervals_.back().second) {
+    raw_time_ += end - start;
+    intervals_.back().second = std::max(intervals_.back().second, end);
+    return;
+  }
+  intervals_.emplace_back(start, end);
+  raw_time_ += end - start;
+  dirty_ = true;
+  // Periodic compaction bounds memory on long replays.
+  if (intervals_.size() >= compact_at_) {
+    flatten();
+    compact_at_ = std::max(kCompactThreshold, intervals_.size() * 2);
+  }
+}
+
+void BusyTracker::flatten() const {
+  if (!dirty_) return;
+  std::sort(intervals_.begin(), intervals_.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (out > 0 && intervals_[i].first <= intervals_[out - 1].second) {
+      intervals_[out - 1].second = std::max(intervals_[out - 1].second, intervals_[i].second);
+    } else {
+      intervals_[out++] = intervals_[i];
+    }
+  }
+  intervals_.resize(out);
+  dirty_ = false;
+}
+
+std::int64_t BusyTracker::busy_time() const {
+  flatten();
+  std::int64_t total = 0;
+  for (const auto& [start, end] : intervals_) total += end - start;
+  return total;
+}
+
+void BusyTracker::merge(const BusyTracker& other) {
+  other.flatten();
+  for (const auto& [start, end] : other.intervals_) {
+    intervals_.emplace_back(start, end);
+    raw_time_ += end - start;
+  }
+  dirty_ = true;
+}
+
+std::int64_t BusyTracker::intersect_time(const BusyTracker& other) const {
+  flatten();
+  other.flatten();
+  std::int64_t overlap = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const auto& a = intervals_[i];
+    const auto& b = other.intervals_[j];
+    const std::int64_t lo = std::max(a.first, b.first);
+    const std::int64_t hi = std::min(a.second, b.second);
+    if (hi > lo) overlap += hi - lo;
+    if (a.second < b.second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+double BusyTracker::utilization(std::int64_t window) const {
+  if (window <= 0) return 0.0;
+  const double u = static_cast<double>(busy_time()) / static_cast<double>(window);
+  return std::clamp(u, 0.0, 1.0);
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,111 @@
+// Streaming statistics used by the simulator's per-resource accounting and
+// by the benchmark harness when summarising sweeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nvmooc {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance
+/// without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1); 0 for n < 2.
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); samples outside are clamped into
+/// the boundary buckets so totals always reconcile.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Linear-interpolated quantile in [0, 1]. Returns lo for an empty
+  /// histogram.
+  double quantile(double q) const;
+
+  /// One-line text rendering, e.g. for debug dumps.
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Accumulates busy time on a resource from possibly-overlapping intervals
+/// and reports utilisation over a window. Intervals may arrive out of
+/// order; overlapping busy spans are unioned, which is exactly what
+/// "channel was busy" means when multiple transactions pipeline on it.
+class BusyTracker {
+ public:
+  void add_interval(std::int64_t start, std::int64_t end);
+
+  /// Total unioned busy time. Flattens lazily; amortised O(n log n).
+  std::int64_t busy_time() const;
+
+  /// busy_time() / window, clamped to [0, 1]. window <= 0 yields 0.
+  double utilization(std::int64_t window) const;
+
+  /// Sum of raw interval lengths (with overlap double-counted); useful for
+  /// measuring demanded service time vs wall occupancy.
+  std::int64_t raw_time() const { return raw_time_; }
+
+  std::size_t interval_count() const { return intervals_.size(); }
+
+  /// Absorbs another tracker's intervals (exact union on read).
+  void merge(const BusyTracker& other);
+
+  /// Unioned busy time common to this tracker and `other` — the overlap.
+  std::int64_t intersect_time(const BusyTracker& other) const;
+
+  /// Flattened (sorted, disjoint) interval list.
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& intervals() const {
+    flatten();
+    return intervals_;
+  }
+
+ private:
+  static constexpr std::size_t kCompactThreshold = 1 << 16;
+
+  void flatten() const;
+
+  mutable std::vector<std::pair<std::int64_t, std::int64_t>> intervals_;
+  mutable bool dirty_ = false;
+  /// Next size at which add_interval compacts; doubles when a compaction
+  /// fails to shrink the set, keeping insertion amortised O(log n).
+  mutable std::size_t compact_at_ = kCompactThreshold;
+  std::int64_t raw_time_ = 0;
+};
+
+}  // namespace nvmooc

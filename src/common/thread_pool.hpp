@@ -1,0 +1,62 @@
+// Work-queue thread pool used for (a) running independent simulator
+// configurations of a sweep in parallel and (b) the OoC numerical kernels
+// (blocked SpMM / dense updates).
+//
+// Design notes (HPC-parallel idioms): tasks are type-erased closures; a
+// parallel_for helper chunks an index range so that the per-task overhead
+// amortises; exceptions thrown by tasks are captured and rethrown on
+// wait() so failures in worker threads are never silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvmooc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks may themselves enqueue more tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including transitively submitted
+  /// ones) has finished. Rethrows the first captured task exception.
+  void wait();
+
+  /// Splits [begin, end) into ~3x thread_count chunks and runs
+  /// body(chunk_begin, chunk_end) across the pool, then waits.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide pool for callers that do not manage their own; built
+/// lazily with hardware_concurrency threads.
+ThreadPool& global_thread_pool();
+
+}  // namespace nvmooc

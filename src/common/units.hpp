@@ -1,0 +1,58 @@
+// Core unit types and constants shared across the simulator.
+//
+// All simulation time is kept in integer picoseconds so that bus cycles at
+// sub-nanosecond granularity (e.g. one PCIe 3.0 symbol) never lose
+// precision and time arithmetic stays exact and associative regardless of
+// the order in which parallel sweeps accumulate intervals.
+#pragma once
+
+#include <cstdint>
+
+namespace nvmooc {
+
+/// Simulation time in picoseconds.
+using Time = std::int64_t;
+
+/// Byte counts and device addresses.
+using Bytes = std::uint64_t;
+
+// -- time constants -----------------------------------------------------
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+inline constexpr Time kSecond = 1'000'000'000'000;
+
+// -- size constants ------------------------------------------------------
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Decimal units, used when quoting link rates (vendors quote GB/s = 1e9).
+inline constexpr Bytes KB = 1000;
+inline constexpr Bytes MB = 1000 * KB;
+inline constexpr Bytes GB = 1000 * MB;
+
+/// Converts a duration in picoseconds to (floating) seconds.
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
+
+/// Converts seconds to simulation Time, rounding to the nearest picosecond.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Bandwidth in MB/s (decimal, as the paper's figures use) given bytes
+/// moved over a duration. Returns 0 for a zero-length interval.
+constexpr double bandwidth_mbps(Bytes bytes, Time duration) {
+  if (duration <= 0) return 0.0;
+  return (static_cast<double>(bytes) / static_cast<double>(MB)) / to_seconds(duration);
+}
+
+/// Time to move `bytes` at `bytes_per_second`, rounded up to a picosecond.
+constexpr Time transfer_time(Bytes bytes, double bytes_per_second) {
+  if (bytes_per_second <= 0.0) return 0;
+  const double secs = static_cast<double>(bytes) / bytes_per_second;
+  return static_cast<Time>(secs * static_cast<double>(kSecond) + 0.999999);
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,31 @@
+#include "dooc/filter_stream.hpp"
+
+#include <exception>
+
+namespace nvmooc {
+
+void Pipeline::add_filter(std::string name, std::function<void()> body) {
+  filters_.push_back({std::move(name), std::move(body)});
+}
+
+void Pipeline::run() {
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(filters_.size());
+  for (FilterEntry& filter : filters_) {
+    threads.emplace_back([&filter, &error_mutex, &first_error] {
+      try {
+        filter.body();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nvmooc

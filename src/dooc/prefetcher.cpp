@@ -1,0 +1,84 @@
+#include "dooc/prefetcher.hpp"
+
+#include <stdexcept>
+
+namespace nvmooc {
+
+TilePrefetcher::TilePrefetcher(Storage& storage, std::vector<TileRef> tiles,
+                               std::size_t depth)
+    : storage_(storage), tiles_(std::move(tiles)), depth_(depth ? depth : 1) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+TilePrefetcher::~TilePrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  state_changed_.notify_all();
+  worker_.join();
+}
+
+void TilePrefetcher::worker_loop() {
+  for (;;) {
+    std::size_t index = 0;
+    std::uint64_t generation = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      state_changed_.wait(lock, [&] {
+        return stopping_ ||
+               (fetch_index_ < tiles_.size() && fetch_index_ < consumer_index_ + depth_);
+      });
+      if (stopping_) return;
+      index = fetch_index_++;
+      generation = generation_;
+    }
+
+    // Read outside the lock: this is the overlap with compute.
+    auto buffer = std::make_shared<std::vector<std::uint8_t>>(tiles_[index].bytes);
+    storage_.read(tiles_[index].offset, buffer->data(), tiles_[index].bytes);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (generation == generation_) buffered_.emplace(index, std::move(buffer));
+    }
+    state_changed_.notify_all();
+  }
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> TilePrefetcher::get(std::size_t index) {
+  if (index >= tiles_.size()) throw std::out_of_range("TilePrefetcher::get");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index < consumer_index_) {
+    throw std::logic_error("TilePrefetcher::get: tiles must be consumed in order");
+  }
+  // Release everything below the new consumer position and wake the
+  // worker (its window just slid forward).
+  consumer_index_ = index;
+  buffered_.erase(buffered_.begin(), buffered_.lower_bound(index));
+
+  const auto hit = buffered_.find(index);
+  if (hit != buffered_.end()) {
+    ++stats_.hits;
+    auto buffer = hit->second;
+    state_changed_.notify_all();
+    return buffer;
+  }
+
+  ++stats_.stalls;
+  state_changed_.notify_all();
+  state_changed_.wait(lock, [&] { return buffered_.count(index) > 0 || stopping_; });
+  if (stopping_) throw std::runtime_error("TilePrefetcher: stopped while waiting");
+  return buffered_.at(index);
+}
+
+void TilePrefetcher::restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++generation_;
+  buffered_.clear();
+  consumer_index_ = 0;
+  fetch_index_ = 0;
+  state_changed_.notify_all();
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,126 @@
+#include "dooc/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+namespace nvmooc {
+
+TaskId DataAwareScheduler::add_task(TaskSpec spec) {
+  for (TaskId dep : spec.dependencies) {
+    if (tasks_.find(dep) == tasks_.end()) {
+      throw std::invalid_argument("DataAwareScheduler: unknown dependency");
+    }
+  }
+  const TaskId id = next_id_++;
+  Task task;
+  task.spec = std::move(spec);
+  task.unmet_dependencies = task.spec.dependencies.size();
+  for (TaskId dep : task.spec.dependencies) tasks_.at(dep).dependents.push_back(id);
+  tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+std::vector<TaskId> DataAwareScheduler::run(unsigned workers) {
+  if (workers == 0) workers = 1;
+
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::vector<TaskId> ready;
+  std::vector<TaskId> completion_order;
+  std::size_t remaining = tasks_.size();
+  std::exception_ptr error;
+  bool aborted = false;
+
+  for (auto& [id, task] : tasks_) {
+    if (task.unmet_dependencies == 0) ready.push_back(id);
+  }
+  if (ready.empty() && !tasks_.empty()) {
+    throw std::logic_error("DataAwareScheduler: cyclic DAG (no initial ready task)");
+  }
+
+  // Per-worker memory of the last task's inputs, for locality-aware
+  // picking.
+  auto worker_loop = [&](unsigned) {
+    std::unordered_set<ArrayId> recent_inputs;
+    for (;;) {
+      TaskId picked = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ready_cv.wait(lock, [&] { return !ready.empty() || remaining == 0 || aborted; });
+        if (aborted || (ready.empty() && remaining == 0)) return;
+        if (ready.empty()) continue;
+
+        // Pick: highest locality overlap with this worker's recent
+        // inputs, then highest priority, then FIFO.
+        std::size_t best_index = 0;
+        std::size_t best_overlap = 0;
+        int best_priority = tasks_.at(ready[0]).spec.priority;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          const Task& candidate = tasks_.at(ready[i]);
+          std::size_t overlap = 0;
+          for (ArrayId input : candidate.spec.inputs) {
+            if (recent_inputs.count(input)) ++overlap;
+          }
+          const bool better =
+              overlap > best_overlap ||
+              (overlap == best_overlap && candidate.spec.priority > best_priority);
+          if (i == 0 || better) {
+            best_index = i;
+            best_overlap = overlap;
+            best_priority = candidate.spec.priority;
+          }
+        }
+        picked = ready[best_index];
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_index));
+        if (best_overlap > 0) {
+          ++stats_.locality_hits;
+        } else {
+          ++stats_.locality_misses;
+        }
+      }
+
+      Task& task = tasks_.at(picked);
+      try {
+        if (task.spec.work) task.spec.work();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        aborted = true;
+        ready_cv.notify_all();
+        return;
+      }
+
+      recent_inputs.clear();
+      recent_inputs.insert(task.spec.inputs.begin(), task.spec.inputs.end());
+
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        task.done = true;
+        ++stats_.executed;
+        completion_order.push_back(picked);
+        --remaining;
+        for (TaskId dependent : task.dependents) {
+          Task& next = tasks_.at(dependent);
+          if (--next.unmet_dependencies == 0) ready.push_back(dependent);
+        }
+        ready_cv.notify_all();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  for (auto& thread : threads) thread.join();
+
+  if (error) std::rethrow_exception(error);
+  if (remaining != 0) {
+    throw std::logic_error("DataAwareScheduler: cyclic DAG (tasks never became ready)");
+  }
+  return completion_order;
+}
+
+}  // namespace nvmooc

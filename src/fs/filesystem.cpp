@@ -1,0 +1,170 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+
+namespace nvmooc {
+namespace {
+
+/// Deterministic 64-bit mix (splitmix64 finaliser) for reproducible
+/// pseudo-random placement decisions.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FileSystemModel::FileSystemModel(FsBehavior behavior) : behavior_(std::move(behavior)) {
+  if (behavior_.block_size == 0) behavior_.block_size = 4 * KiB;
+  behavior_.max_request = std::max(behavior_.max_request, behavior_.block_size);
+}
+
+void FileSystemModel::mount(Bytes data_extent) {
+  data_extent_ = data_extent;
+  // Round the regions to 1 MiB so metadata/journal traffic is aligned.
+  const Bytes base = (data_extent + MiB - 1) / MiB * MiB;
+  metadata_base_ = base;
+  journal_base_ = base + 512 * MiB;
+  journal_cursor_ = 0;
+  bytes_since_metadata_ = 0;
+  bytes_since_journal_ = 0;
+  metadata_counter_ = 0;
+}
+
+Bytes FileSystemModel::map_offset(Bytes logical) const {
+  Bytes mapped = logical;
+
+  // GPFS-style striping: chunk index b goes to stripe (b mod width);
+  // stripes occupy disjoint on-device regions, so consecutive chunks land
+  // far apart (the scrambling of Figure 6, top).
+  if (behavior_.stripe_size > 0 && behavior_.stripe_width > 1) {
+    const Bytes chunk = logical / behavior_.stripe_size;
+    const Bytes within = logical % behavior_.stripe_size;
+    const Bytes stripes_total =
+        (data_extent_ + behavior_.stripe_size - 1) / behavior_.stripe_size + 1;
+    const Bytes rows = (stripes_total + behavior_.stripe_width - 1) / behavior_.stripe_width;
+    const Bytes stripe = chunk % behavior_.stripe_width;
+    const Bytes row = chunk / behavior_.stripe_width;
+    mapped = (stripe * rows + row) * behavior_.stripe_size + within;
+  }
+
+  // Fragmentation: relocate fragment_unit-sized extents with a
+  // deterministic hash (aged allocator / copy-on-write placement).
+  if (behavior_.fragmentation > 0.0 && data_extent_ > behavior_.fragment_unit) {
+    const Bytes extent_index = mapped / behavior_.fragment_unit;
+    const std::uint64_t hash = mix(extent_index + 0x5bd1e995);
+    const double draw = static_cast<double>(hash >> 11) * 0x1.0p-53;
+    if (draw < behavior_.fragmentation) {
+      const Bytes slots = data_extent_ / behavior_.fragment_unit;
+      const Bytes slot = mix(extent_index) % slots;
+      mapped = slot * behavior_.fragment_unit + mapped % behavior_.fragment_unit;
+    }
+  }
+  return mapped;
+}
+
+void FileSystemModel::append_data_requests(NvmOp op, Bytes device_offset, Bytes size,
+                                           std::vector<BlockRequest>& out) {
+  // Split on block boundaries, coalesce up to max_request.
+  Bytes cursor = device_offset;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    // A request may not cross a max_request-aligned boundary — this is
+    // the block layer's segment limit.
+    const Bytes boundary = (cursor / behavior_.max_request + 1) * behavior_.max_request;
+    const Bytes take = std::min(remaining, boundary - cursor);
+    BlockRequest request;
+    request.op = op;
+    request.offset = cursor;
+    request.size = take;
+    out.push_back(request);
+    cursor += take;
+    remaining -= take;
+  }
+}
+
+void FileSystemModel::maybe_emit_metadata(Bytes processed, std::vector<BlockRequest>& out) {
+  if (behavior_.metadata_interval == 0) return;
+  bytes_since_metadata_ += processed;
+  while (bytes_since_metadata_ >= behavior_.metadata_interval) {
+    bytes_since_metadata_ -= behavior_.metadata_interval;
+    BlockRequest metadata;
+    metadata.op = NvmOp::kRead;
+    // Metadata blocks scatter over a 256 MiB region (inode tables,
+    // B-tree nodes): random small reads amid the data stream.
+    const Bytes region = 256 * MiB;
+    metadata.offset = metadata_base_ +
+                      (mix(metadata_counter_++) % (region / behavior_.metadata_size)) *
+                          behavior_.metadata_size;
+    metadata.size = behavior_.metadata_size;
+    metadata.barrier = behavior_.metadata_barrier;
+    metadata.internal = true;
+    out.push_back(metadata);
+  }
+}
+
+std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
+  std::vector<BlockRequest> out;
+  if (request.size == 0) return out;
+
+  // Mapping metadata is consulted *before* the data moves: emit the
+  // synchronous metadata read first so it stalls the stream, as a real
+  // indirect-block chase does.
+  maybe_emit_metadata(request.size, out);
+
+  // Walk the logical range in pieces within which the device mapping is
+  // contiguous: stripe chunks under striping, fragment units on an aged
+  // file system, or the whole request on a pristine contiguous layout.
+  Bytes piece = request.size;
+  if (behavior_.stripe_size > 0) piece = behavior_.stripe_size;
+  if (behavior_.fragmentation > 0.0) {
+    piece = std::min<Bytes>(piece, behavior_.fragment_unit);
+  }
+  if (piece == 0) piece = request.size;
+  // Adjacent pieces whose device placement happens to be contiguous
+  // merge back together — only real discontinuities break requests.
+  Bytes logical = request.offset;
+  Bytes remaining = request.size;
+  Bytes run_mapped = 0;
+  Bytes run_length = 0;
+  while (remaining > 0) {
+    const Bytes within = logical % piece;
+    const Bytes take = std::min(remaining, piece - within);
+    const Bytes mapped = map_offset(logical);
+    if (run_length > 0 && mapped == run_mapped + run_length) {
+      run_length += take;
+    } else {
+      if (run_length > 0) append_data_requests(request.op, run_mapped, run_length, out);
+      run_mapped = mapped;
+      run_length = take;
+    }
+    logical += take;
+    remaining -= take;
+  }
+  if (run_length > 0) append_data_requests(request.op, run_mapped, run_length, out);
+
+  // Journal commits trail the data writes they cover.
+  if (request.op == NvmOp::kWrite && behavior_.journal_interval > 0) {
+    bytes_since_journal_ += request.size;
+    while (bytes_since_journal_ >= behavior_.journal_interval) {
+      bytes_since_journal_ -= behavior_.journal_interval;
+      BlockRequest commit;
+      commit.op = NvmOp::kWrite;
+      commit.offset = journal_base_ + journal_cursor_;
+      commit.size = behavior_.journal_size;
+      // Commit records order against other journal writes via FUA inside
+      // the journal machinery; they do not drain the read stream.
+      commit.barrier = false;
+      commit.internal = true;
+      out.push_back(commit);
+      journal_cursor_ = (journal_cursor_ + behavior_.journal_size) % journal_span_;
+    }
+  }
+  return out;
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,27 @@
+// The file systems evaluated in Figure 7 (Table 2 rows). Each factory
+// returns the behavioural parameters for one FS; the rationale for each
+// value lives next to its definition.
+#pragma once
+
+#include "fs/filesystem.hpp"
+
+namespace nvmooc {
+
+FsBehavior ext2_behavior();
+FsBehavior ext3_behavior();
+FsBehavior ext4_behavior();
+/// ext4 with "large request sizes": the block-layer coalescing knobs
+/// opened up (the paper's CNL-EXT4-L configuration).
+FsBehavior ext4_large_behavior();
+FsBehavior xfs_behavior();
+FsBehavior jfs_behavior();
+FsBehavior btrfs_behavior();
+FsBehavior reiserfs_behavior();
+/// GPFS as seen below the NSD server on an ION (striping included).
+FsBehavior gpfs_behavior();
+
+/// All CNL-evaluated local file systems, in the paper's Figure 7 order
+/// (JFS, BTRFS, XFS, ReiserFS, EXT2, EXT3, EXT4, EXT4-L).
+std::vector<FsBehavior> all_local_filesystems();
+
+}  // namespace nvmooc

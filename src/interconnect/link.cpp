@@ -1,0 +1,24 @@
+#include "interconnect/link.hpp"
+
+#include "common/string_util.hpp"
+
+namespace nvmooc {
+
+std::string LinkConfig::describe() const {
+  return format("%s: %ux %.1fGT/s, %.1f%% encoding, %.0f MB/s effective", name.c_str(),
+                lanes, gigatransfers_per_sec, encoding * 100.0, byte_rate() / 1e6);
+}
+
+DmaEngine::DmaEngine(const LinkConfig& config) : config_(config), link_(false) {}
+
+Reservation DmaEngine::transfer(Time earliest, Bytes bytes) {
+  // Fixed latencies delay the start; the link itself is held only for the
+  // wire time of the payload.
+  const Time ready = earliest + config_.request_latency + config_.bridge_latency;
+  Reservation grant = link_.reserve(ready, config_.payload_time(bytes));
+  grant.waited += config_.request_latency + config_.bridge_latency;
+  bytes_moved_ += bytes;
+  return grant;
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,63 @@
+// Host-side link model: the path between the device's media and the
+// application's buffers. Covers PCIe (native and SATA-bridged) and the
+// cluster network (InfiniBand) with the properties the paper's Section
+// 3.3 analysis turns on: per-lane signalling rate, line-encoding
+// efficiency (8b/10b vs 128b/130b), lane count, and fixed per-request
+// protocol/bridging latency.
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/timeline.hpp"
+
+namespace nvmooc {
+
+struct LinkConfig {
+  std::string name = "link";
+  /// Raw signalling rate per lane in transfers (bits) per second.
+  double gigatransfers_per_sec = 5.0;  // PCIe 2.0.
+  unsigned lanes = 8;
+  /// Encoding efficiency: payload bits per transferred bit.
+  double encoding = 8.0 / 10.0;
+  /// Fixed request overhead: DMA setup, doorbells, protocol handshakes.
+  Time request_latency = 2 * kMicrosecond;
+  /// Extra per-request cost of protocol bridging (SATA<->PCIe re-encode).
+  Time bridge_latency = 0;
+  /// Extra bandwidth derate from bridging/framing (1.0 = none).
+  double bridge_efficiency = 1.0;
+
+  /// Effective payload bytes per second.
+  double byte_rate() const {
+    return gigatransfers_per_sec * 1e9 * lanes * encoding * bridge_efficiency / 8.0;
+  }
+
+  Time payload_time(Bytes bytes) const { return transfer_time(bytes, byte_rate()); }
+
+  std::string describe() const;
+};
+
+/// Serially-occupied DMA engine over a link. Transfers queue on the link
+/// timeline; the caller learns when each transfer starts/ends so it can
+/// overlap media work with host DMA.
+class DmaEngine {
+ public:
+  explicit DmaEngine(const LinkConfig& config);
+
+  /// Schedules a transfer of `bytes` ready at `earliest` (for reads: the
+  /// time the data is available in device buffers). Returns the granted
+  /// interval including fixed latencies.
+  Reservation transfer(Time earliest, Bytes bytes);
+
+  const LinkConfig& config() const { return config_; }
+  const BusyTracker& busy() const { return link_.busy(); }
+  Bytes bytes_moved() const { return bytes_moved_; }
+
+ private:
+  LinkConfig config_;
+  Timeline link_;
+  Bytes bytes_moved_ = 0;
+};
+
+}  // namespace nvmooc

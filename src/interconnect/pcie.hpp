@@ -1,0 +1,21 @@
+// The concrete link configurations of Table 2.
+#pragma once
+
+#include "interconnect/link.hpp"
+
+namespace nvmooc {
+
+/// Bridged PCIe 2.0 device: SATA-destined controllers behind a PCIe
+/// endpoint. 5 GT/s per lane with 8b/10b encoding, plus the SATA
+/// re-encode cost on every request.
+LinkConfig bridged_pcie2(unsigned lanes);
+
+/// Native PCIe 3.0 device: 8 GT/s per lane with 128b/130b encoding,
+/// controller speaks PCIe end to end.
+LinkConfig native_pcie3(unsigned lanes);
+
+/// SATA 6 Gb/s device link (single lane, 8b/10b) — for the Figure 1
+/// bandwidth-trend comparisons.
+LinkConfig sata6g();
+
+}  // namespace nvmooc

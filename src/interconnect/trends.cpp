@@ -1,0 +1,77 @@
+#include "interconnect/trends.hpp"
+
+#include <cmath>
+
+#include "interconnect/network.hpp"
+#include "interconnect/pcie.hpp"
+#include "nvm/bus.hpp"
+
+namespace nvmooc {
+
+std::vector<TrendPoint> historical_trend_points() {
+  // Values read off Figure 1 (GB/s per channel, log2 scale). Networks are
+  // per-link; storage devices are per-device-channel.
+  return {
+      // Networks: InfiniBand generations (per 4X link).
+      {2001, "InfiniBand SDR 4X", TrendCategory::kNetwork, 1.0},
+      {2005, "InfiniBand DDR 4X", TrendCategory::kNetwork, 2.0},
+      {2008, "InfiniBand QDR 4X", TrendCategory::kNetwork, 4.0},
+      {2011, "InfiniBand FDR 4X", TrendCategory::kNetwork, 6.8},
+      {2014, "InfiniBand EDR 4X", TrendCategory::kNetwork, 12.1},
+      // Networks: Fibre Channel generations.
+      {1998, "Fibre Channel 1G", TrendCategory::kNetwork, 0.1},
+      {2001, "Fibre Channel 2G", TrendCategory::kNetwork, 0.2},
+      {2004, "Fibre Channel 4G", TrendCategory::kNetwork, 0.4},
+      {2008, "Fibre Channel 8G", TrendCategory::kNetwork, 0.8},
+      {2011, "Fibre Channel 16G", TrendCategory::kNetwork, 1.6},
+      // Flash SSDs.
+      {1999, "A25FB Winchester", TrendCategory::kFlashSsd, 0.02},
+      {2004, "ST-Zeus", TrendCategory::kFlashSsd, 0.05},
+      {2008, "Intel-X25", TrendCategory::kFlashSsd, 0.25},
+      {2009, "SF-1000", TrendCategory::kFlashSsd, 0.26},
+      {2009, "ioDrive", TrendCategory::kFlashSsd, 0.7},
+      {2011, "Z-Drive R4", TrendCategory::kFlashSsd, 2.0},
+      {2011, "ioDrive2", TrendCategory::kFlashSsd, 1.5},
+      {2012, "ioDrive Octal", TrendCategory::kFlashSsd, 6.0},
+      // Non-flash NVM storage.
+      {2006, "Silicon Disk II (RAM-SSD)", TrendCategory::kNonFlashSsd, 0.125},
+      {2011, "Onyx PCM Prototype", TrendCategory::kNonFlashSsd, 0.4},
+  };
+}
+
+std::vector<TrendPoint> projected_trend_points() {
+  std::vector<TrendPoint> points;
+
+  // Future PCIe SSD: the native PCIe 3.0 x16 link of the CNL-NATIVE-16
+  // configuration (Section 3.3).
+  const LinkConfig pcie3 = native_pcie3(16);
+  points.push_back({2015, "Future PCIe SSD (expectation)", TrendCategory::kFutureExpectation,
+                    pcie3.byte_rate() / 1e9});
+
+  // Future multi-channel PCM SSD: 8 channels on the future DDR NVM bus —
+  // the media-side capability of the CNL-NATIVE PCM device.
+  const BusConfig ddr = future_ddr_bus();
+  points.push_back({2016, "Future Multi-channel PCM-SSD (expectation)",
+                    TrendCategory::kFutureExpectation, ddr.byte_rate() * 8 / 1e9});
+  return points;
+}
+
+double doubling_period_years(const std::vector<TrendPoint>& points, TrendCategory category) {
+  // Least squares on log2(bandwidth) vs year.
+  double n = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const TrendPoint& point : points) {
+    if (point.category != category) continue;
+    const double x = point.year;
+    const double y = std::log2(point.gbytes_per_sec_per_channel);
+    n += 1;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  if (n < 2) return 0.0;
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return slope > 0 ? 1.0 / slope : 0.0;
+}
+
+}  // namespace nvmooc

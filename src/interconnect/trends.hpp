@@ -1,0 +1,35 @@
+// The Figure 1 dataset: per-channel bandwidth of real networks and NVM
+// storage devices over time, showing NVM out-pacing point-to-point
+// networks. Historical points follow the devices the figure plots; the
+// "expectation" points for future devices are *computed* from this
+// repository's device models instead of being hard-coded, so the trend
+// chart and the simulator agree by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvmooc {
+
+enum class TrendCategory { kNetwork, kFlashSsd, kNonFlashSsd, kFutureExpectation };
+
+struct TrendPoint {
+  int year;
+  std::string device;
+  TrendCategory category;
+  double gbytes_per_sec_per_channel;
+};
+
+/// Historical points (networks: InfiniBand & Fibre Channel generations;
+/// storage: the devices named in Figure 1).
+std::vector<TrendPoint> historical_trend_points();
+
+/// Future expectation points derived from the repo's own models:
+/// PCIe 3.0 x16 native SSD and the multi-channel PCM SSD.
+std::vector<TrendPoint> projected_trend_points();
+
+/// Least-squares exponential growth rate (doubling period in years) for a
+/// category — quantifies "NVM outpaces networks".
+double doubling_period_years(const std::vector<TrendPoint>& points, TrendCategory category);
+
+}  // namespace nvmooc

@@ -1,0 +1,28 @@
+#include "nvm/bus.hpp"
+
+#include "common/string_util.hpp"
+
+namespace nvmooc {
+
+std::string BusConfig::describe() const {
+  return format("%s %.0fMHz %u-bit (%.0f MB/s)", double_data_rate ? "DDR" : "SDR",
+                frequency_hz / 1e6, width_bits, byte_rate() / 1e6);
+}
+
+BusConfig onfi3_sdr_bus() {
+  BusConfig bus;
+  bus.frequency_hz = 400e6;
+  bus.double_data_rate = false;
+  bus.width_bits = 8;
+  return bus;
+}
+
+BusConfig future_ddr_bus() {
+  BusConfig bus;
+  bus.frequency_hz = 800e6;
+  bus.double_data_rate = true;
+  bus.width_bits = 8;
+  return bus;
+}
+
+}  // namespace nvmooc

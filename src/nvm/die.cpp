@@ -1,0 +1,82 @@
+#include "nvm/die.hpp"
+
+#include <stdexcept>
+
+namespace nvmooc {
+
+Die::Die(const NvmTiming& timing, bool backfill) : timing_(timing) {
+  planes_.reserve(timing_.planes_per_die);
+  for (std::uint32_t p = 0; p < timing_.planes_per_die; ++p) {
+    planes_.emplace_back(backfill);
+  }
+}
+
+Time Die::activation_time(NvmOp op, std::uint32_t page_in_block,
+                          std::uint32_t cell_ops) const {
+  Time total = 0;
+  for (std::uint32_t i = 0; i < cell_ops; ++i) {
+    const std::uint32_t page =
+        (page_in_block + i) % timing_.pages_per_block;
+    switch (op) {
+      case NvmOp::kRead:
+        total += timing_.read_time_for_page(page);
+        break;
+      case NvmOp::kWrite:
+        total += timing_.write_time_for_page(page);
+        break;
+      case NvmOp::kErase:
+        total += timing_.erase_time;
+        break;
+    }
+  }
+  return total;
+}
+
+CellActivation Die::activate(std::uint32_t plane, NvmOp op, std::uint64_t block,
+                             std::uint32_t page_in_block, std::uint32_t cell_ops,
+                             Time earliest) {
+  if (plane >= planes_.size()) {
+    throw std::out_of_range("Die::activate: plane index out of range");
+  }
+  const Time duration = activation_time(op, page_in_block, cell_ops);
+  const Reservation grant = planes_[plane].reserve(earliest, duration);
+
+  // Wear accounting. The wear unit id folds plane and block together so a
+  // die-wide tracker sees distinct units per plane.
+  const std::uint64_t unit = block * timing_.planes_per_die + plane;
+  switch (op) {
+    case NvmOp::kErase:
+      wear_.record_erase(unit);
+      break;
+    case NvmOp::kWrite:
+      for (std::uint32_t i = 0; i < cell_ops; ++i) wear_.record_write(unit);
+      break;
+    case NvmOp::kRead:
+      break;
+  }
+
+  CellActivation activation;
+  activation.start = grant.start;
+  activation.end = grant.end;
+  activation.waited = grant.waited;
+  return activation;
+}
+
+Time Die::busy_time() const {
+  // A die counts as busy when any of its planes is; merge the per-plane
+  // interval sets and take the exact union.
+  BusyTracker merged;
+  for (const Timeline& plane : planes_) merged.merge(plane.busy());
+  return merged.busy_time();
+}
+
+const BusyTracker& Die::plane_busy(std::uint32_t plane) const {
+  return planes_.at(plane).busy();
+}
+
+void Die::reset() {
+  for (Timeline& plane : planes_) plane.reset();
+  wear_ = WearTracker{};
+}
+
+}  // namespace nvmooc

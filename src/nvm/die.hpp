@@ -1,0 +1,61 @@
+// Die model: the smallest independently-operating NVM unit.
+//
+// A die has `planes_per_die` planes; each plane executes one cell
+// activation (read/program/erase) at a time. Multi-plane commands are
+// modelled by the controller issuing per-plane activations with the same
+// earliest-start; interleaving across dies falls out of each die having
+// its own plane timelines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "nvm/timing.hpp"
+#include "nvm/wear.hpp"
+#include "sim/timeline.hpp"
+
+namespace nvmooc {
+
+/// Result of one cell activation on a plane.
+struct CellActivation {
+  Time start = 0;   ///< When the cells actually begin the operation.
+  Time end = 0;     ///< When the operation finishes.
+  Time waited = 0;  ///< Cell contention: start - earliest.
+};
+
+class Die {
+ public:
+  Die(const NvmTiming& timing, bool backfill);
+
+  /// Reserves `cell_ops` back-to-back cell activations of `op` on `plane`
+  /// starting at page `page_in_block`, no earlier than `earliest`.
+  /// `cell_ops > 1` models controllers streaming bursts of small PCM
+  /// lines under a single command. Wear is recorded per block (NAND
+  /// erase) or per page written.
+  CellActivation activate(std::uint32_t plane, NvmOp op, std::uint64_t block,
+                          std::uint32_t page_in_block, std::uint32_t cell_ops,
+                          Time earliest);
+
+  /// Duration `cell_ops` activations would take (no reservation).
+  Time activation_time(NvmOp op, std::uint32_t page_in_block,
+                       std::uint32_t cell_ops) const;
+
+  const NvmTiming& timing() const { return timing_; }
+  std::uint32_t plane_count() const { return timing_.planes_per_die; }
+
+  /// Busy time union over all planes — "the die was doing cell work".
+  Time busy_time() const;
+  const BusyTracker& plane_busy(std::uint32_t plane) const;
+  const WearTracker& wear() const { return wear_; }
+
+  void reset();
+
+ private:
+  NvmTiming timing_;
+  std::vector<Timeline> planes_;
+  WearTracker wear_;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,24 @@
+#include "nvm/nvm_types.hpp"
+
+namespace nvmooc {
+
+std::string_view to_string(NvmType type) {
+  switch (type) {
+    case NvmType::kSlc: return "SLC";
+    case NvmType::kMlc: return "MLC";
+    case NvmType::kTlc: return "TLC";
+    case NvmType::kPcm: return "PCM";
+  }
+  return "?";
+}
+
+std::string_view to_string(NvmOp op) {
+  switch (op) {
+    case NvmOp::kRead: return "read";
+    case NvmOp::kWrite: return "write";
+    case NvmOp::kErase: return "erase";
+  }
+  return "?";
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,34 @@
+#include "nvm/package.hpp"
+
+namespace nvmooc {
+
+Package::Package(const NvmTiming& timing, const BusConfig& bus, std::uint32_t dies,
+                 bool backfill)
+    : bus_(bus), flash_bus_(backfill) {
+  dies_.reserve(dies);
+  for (std::uint32_t d = 0; d < dies; ++d) {
+    dies_.push_back(std::make_unique<Die>(timing, backfill));
+  }
+}
+
+Reservation Package::reserve_flash_bus(Time earliest, Bytes bytes) {
+  return flash_bus_.reserve(earliest, bus_.transfer_time(bytes));
+}
+
+Time Package::busy_time() const {
+  BusyTracker merged;
+  merged.merge(flash_bus_.busy());
+  for (const auto& die : dies_) {
+    for (std::uint32_t p = 0; p < die->plane_count(); ++p) {
+      merged.merge(die->plane_busy(p));
+    }
+  }
+  return merged.busy_time();
+}
+
+void Package::reset() {
+  flash_bus_.reset();
+  for (auto& die : dies_) die->reset();
+}
+
+}  // namespace nvmooc

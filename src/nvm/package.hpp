@@ -1,0 +1,52 @@
+// Package model: a set of dies behind one chip-enable, sharing the
+// package's port onto the channel.
+//
+// The "flash bus" phase of a transaction (register <-> channel pads, the
+// paper's "Flash-Bus Activation" category) occupies the package port; the
+// subsequent "channel bus" phase occupies the channel shared by all
+// packages (modelled in src/ssd). Keeping these as separate resources is
+// what lets transfers pipeline: while package A drives the channel,
+// package B can stage its next page onto its pads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvm/bus.hpp"
+#include "nvm/die.hpp"
+#include "sim/timeline.hpp"
+
+namespace nvmooc {
+
+class Package {
+ public:
+  Package(const NvmTiming& timing, const BusConfig& bus, std::uint32_t dies,
+          bool backfill);
+
+  Die& die(std::uint32_t index) { return *dies_.at(index); }
+  const Die& die(std::uint32_t index) const { return *dies_.at(index); }
+  std::uint32_t die_count() const { return static_cast<std::uint32_t>(dies_.size()); }
+
+  /// Reserves the package port for a `bytes` transfer at or after
+  /// `earliest`; returns the granted interval.
+  Reservation reserve_flash_bus(Time earliest, Bytes bytes);
+
+  Time flash_bus_time(Bytes bytes) const { return bus_.transfer_time(bytes); }
+
+  /// Busy when any die is doing cell work or the port is transferring —
+  /// the paper's package-level utilisation numerator.
+  Time busy_time() const;
+
+  const Timeline& flash_bus() const { return flash_bus_; }
+  const BusConfig& bus() const { return bus_; }
+
+  void reset();
+
+ private:
+  BusConfig bus_;
+  Timeline flash_bus_;
+  std::vector<std::unique_ptr<Die>> dies_;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,68 @@
+// Media timing parameters — Table 1 of the paper, extended with the
+// geometry facts (page size, pages per block, planes) needed to drive the
+// die model, plus the intrinsic program-latency variation NANDFlashSim
+// emphasises for MLC/TLC (fast LSB pages, slow CSB/MSB pages).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nvm/nvm_types.hpp"
+
+namespace nvmooc {
+
+struct NvmTiming {
+  NvmType type = NvmType::kSlc;
+
+  /// Native page size (the unit moved per cell activation).
+  Bytes page_size = 2 * KiB;
+  /// Pages per erase block.
+  std::uint32_t pages_per_block = 64;
+  /// Planes per die (multi-plane commands can activate both at once).
+  std::uint32_t planes_per_die = 2;
+  /// Blocks per plane (sets die capacity).
+  std::uint32_t blocks_per_plane = 2048;
+
+  /// Cell activation latencies (Table 1). Program latency for MLC/TLC
+  /// varies by the position of the page inside its block: `write_min`
+  /// applies to the fastest (LSB) page, `write_max` to the slowest.
+  Time read_time = 25 * kMicrosecond;
+  Time read_time_max = 25 * kMicrosecond;  ///< PCM reads vary 115-135ns.
+  Time write_min = 250 * kMicrosecond;
+  Time write_max = 250 * kMicrosecond;
+  Time erase_time = 1500 * kMicrosecond;
+
+  /// Command/address cycle cost on the channel bus per issued operation.
+  Time command_time = 200 * kNanosecond;
+
+  /// Program/erase cycles a block endures before wear-out (used by the
+  /// wear accounting, not to fail the simulation).
+  std::uint64_t endurance = 100'000;
+
+  /// Derived quantities ---------------------------------------------------
+  Bytes block_size() const { return page_size * pages_per_block; }
+  Bytes plane_size() const { return block_size() * blocks_per_plane; }
+  Bytes die_size() const { return plane_size() * planes_per_die; }
+
+  /// Deterministic per-page program latency: pages interleave fast/slow in
+  /// the bit-line order real MLC/TLC parts exhibit.
+  Time write_time_for_page(std::uint32_t page_in_block) const;
+
+  /// Deterministic per-page read latency (PCM jitter modelled as a small
+  /// page-index-dependent ramp; NAND reads are uniform).
+  Time read_time_for_page(std::uint32_t page_in_block) const;
+
+  /// Ideal per-die streaming read bandwidth in bytes/second, cell-limited
+  /// (page_size / read_time, both planes active).
+  double die_read_bandwidth() const;
+};
+
+/// Table 1 parameter sets.
+NvmTiming slc_timing();
+NvmTiming mlc_timing();
+NvmTiming tlc_timing();
+NvmTiming pcm_timing();
+
+NvmTiming timing_for(NvmType type);
+
+}  // namespace nvmooc

@@ -1,0 +1,97 @@
+#include "ooc/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nvmooc {
+
+EigenDecomposition jacobi_eigensolver(std::vector<double> a, std::size_t m,
+                                      double tolerance, std::size_t max_sweeps) {
+  if (a.size() != m * m) throw std::invalid_argument("jacobi: size mismatch");
+  EigenDecomposition result;
+  result.vectors.assign(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) result.vectors[i * m + i] = 1.0;
+  if (m == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  double frobenius = 0.0;
+  for (double value : a) frobenius += value * value;
+  frobenius = std::sqrt(frobenius);
+  const double threshold = tolerance * std::max(frobenius, 1e-300);
+
+  auto off_diagonal_norm = [&] {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) sum += a[i * m + j] * a[i * m + j];
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= threshold) {
+      result.converged = true;
+      break;
+    }
+    ++result.sweeps;
+    for (std::size_t p = 0; p + 1 < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        const double apq = a[p * m + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * m + p];
+        const double aqq = a[q * m + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of A.
+        for (std::size_t k = 0; k < m; ++k) {
+          const double akp = a[k * m + p];
+          const double akq = a[k * m + q];
+          a[k * m + p] = c * akp - s * akq;
+          a[k * m + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < m; ++k) {
+          const double apk = a[p * m + k];
+          const double aqk = a[q * m + k];
+          a[p * m + k] = c * apk - s * aqk;
+          a[q * m + k] = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (std::size_t k = 0; k < m; ++k) {
+          const double vkp = result.vectors[k * m + p];
+          const double vkq = result.vectors[k * m + q];
+          result.vectors[k * m + p] = c * vkp - s * vkq;
+          result.vectors[k * m + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && off_diagonal_norm() <= threshold) result.converged = true;
+
+  // Extract and sort ascending.
+  result.values.resize(m);
+  for (std::size_t i = 0; i < m; ++i) result.values[i] = a[i * m + i];
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return result.values[x] < result.values[y]; });
+  std::vector<double> sorted_values(m);
+  std::vector<double> sorted_vectors(m * m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sorted_values[j] = result.values[order[j]];
+    for (std::size_t i = 0; i < m; ++i) {
+      sorted_vectors[i * m + j] = result.vectors[i * m + order[j]];
+    }
+  }
+  result.values = std::move(sorted_values);
+  result.vectors = std::move(sorted_vectors);
+  return result;
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,24 @@
+// Cyclic Jacobi eigensolver for the small symmetric matrices of the
+// Rayleigh-Ritz step (3m x 3m with m ~ 10-20, so O(m^3) per sweep is
+// irrelevant next to the n-dimension work).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvmooc {
+
+struct EigenDecomposition {
+  std::vector<double> values;   ///< Ascending.
+  std::vector<double> vectors;  ///< Row-major m x m; column j pairs with values[j].
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+/// Diagonalises the symmetric row-major m x m matrix `a`.
+/// Off-diagonal tolerance is relative to the Frobenius norm.
+EigenDecomposition jacobi_eigensolver(std::vector<double> a, std::size_t m,
+                                      double tolerance = 1e-12,
+                                      std::size_t max_sweeps = 64);
+
+}  // namespace nvmooc

@@ -1,0 +1,38 @@
+// Locally Optimal Block Preconditioned Conjugate Gradient (Knyazev 2001),
+// the eigensolver the paper's OoC application runs (Section 2.1): finds
+// the lowest eigenpairs of a symmetric operator using a block of 10-20
+// vectors, one operator application per iteration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ooc/dense.hpp"
+
+namespace nvmooc {
+
+struct LobpcgOptions {
+  std::size_t block_size = 8;    ///< Eigenpairs sought (the Psi width).
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-6;       ///< Relative residual tolerance.
+  std::uint64_t seed = 7;
+  /// Optional inverse-diagonal preconditioner (empty = identity).
+  std::vector<double> inverse_diagonal;
+};
+
+struct LobpcgResult {
+  std::vector<double> eigenvalues;  ///< Ascending, block_size entries.
+  DenseMatrix eigenvectors;         ///< n x block_size.
+  std::vector<double> residuals;    ///< Final relative residual norms.
+  std::size_t iterations = 0;
+  std::size_t operator_applications = 0;
+  bool converged = false;
+};
+
+/// Operator application: Y = A * X.
+using ApplyFn = std::function<DenseMatrix(const DenseMatrix&)>;
+
+LobpcgResult lobpcg(const ApplyFn& apply, std::size_t n, const LobpcgOptions& options);
+
+}  // namespace nvmooc

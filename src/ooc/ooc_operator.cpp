@@ -1,0 +1,105 @@
+#include "ooc/ooc_operator.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nvmooc {
+namespace {
+
+// Tile wire format: [count rows (int64)][nnz (int64)]
+//                   [per-row nnz counts (int32 x rows)]
+//                   [column indices (int32 x nnz)]
+//                   [values (double x nnz)]
+Bytes tile_serialized_bytes(std::size_t tile_rows, std::int64_t nnz) {
+  return 2 * sizeof(std::int64_t) + tile_rows * sizeof(std::int32_t) +
+         static_cast<Bytes>(nnz) * (sizeof(std::int32_t) + sizeof(double));
+}
+
+}  // namespace
+
+OocHamiltonian::OocHamiltonian(const CsrMatrix& h, Storage& storage,
+                               std::size_t rows_per_tile)
+    : storage_(storage), rows_(h.rows()) {
+  if (rows_per_tile == 0) throw std::invalid_argument("OocHamiltonian: zero tile rows");
+
+  Bytes cursor = 0;
+  std::vector<std::uint8_t> buffer;
+  for (std::size_t row_begin = 0; row_begin < rows_; row_begin += rows_per_tile) {
+    const std::size_t row_end = std::min(rows_, row_begin + rows_per_tile);
+    const std::size_t tile_rows = row_end - row_begin;
+    const std::int64_t nnz = h.row_ptr()[row_end] - h.row_ptr()[row_begin];
+    const Bytes bytes = tile_serialized_bytes(tile_rows, nnz);
+
+    buffer.resize(bytes);
+    std::uint8_t* out = buffer.data();
+    const std::int64_t header[2] = {static_cast<std::int64_t>(tile_rows), nnz};
+    std::memcpy(out, header, sizeof(header));
+    out += sizeof(header);
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const std::int32_t row_nnz =
+          static_cast<std::int32_t>(h.row_ptr()[r + 1] - h.row_ptr()[r]);
+      std::memcpy(out, &row_nnz, sizeof(row_nnz));
+      out += sizeof(row_nnz);
+    }
+    const std::size_t first = static_cast<std::size_t>(h.row_ptr()[row_begin]);
+    std::memcpy(out, h.col_index().data() + first,
+                static_cast<std::size_t>(nnz) * sizeof(std::int32_t));
+    out += static_cast<std::size_t>(nnz) * sizeof(std::int32_t);
+    std::memcpy(out, h.values().data() + first,
+                static_cast<std::size_t>(nnz) * sizeof(double));
+
+    storage_.write(cursor, buffer.data(), bytes);
+    tiles_.push_back({row_begin, row_end, cursor, bytes, nnz});
+    cursor += bytes;
+  }
+  dataset_bytes_ = cursor;
+}
+
+void OocHamiltonian::apply_tile(const TileInfo& tile, const std::vector<std::uint8_t>& buffer,
+                                const DenseMatrix& x, DenseMatrix& y) const {
+  const std::uint8_t* in = buffer.data();
+  std::int64_t header[2];
+  std::memcpy(header, in, sizeof(header));
+  in += sizeof(header);
+  const std::size_t tile_rows = static_cast<std::size_t>(header[0]);
+  const std::int64_t nnz = header[1];
+  if (tile_rows != tile.row_end - tile.row_begin || nnz != tile.nnz) {
+    throw std::runtime_error("OocHamiltonian: corrupt tile header");
+  }
+
+  const std::int32_t* row_counts = reinterpret_cast<const std::int32_t*>(in);
+  in += tile_rows * sizeof(std::int32_t);
+  const std::int32_t* cols = reinterpret_cast<const std::int32_t*>(in);
+  in += static_cast<std::size_t>(nnz) * sizeof(std::int32_t);
+  // Values may be misaligned for double access; copy via memcpy per row
+  // chunk below using a raw pointer.
+  const std::uint8_t* values_raw = in;
+
+  const std::size_t m = x.cols();
+  std::size_t entry = 0;
+  for (std::size_t r = 0; r < tile_rows; ++r) {
+    double* out = y.row(tile.row_begin + r);
+    std::fill(out, out + m, 0.0);
+    const std::size_t row_nnz = static_cast<std::size_t>(row_counts[r]);
+    for (std::size_t k = 0; k < row_nnz; ++k, ++entry) {
+      double value;
+      std::memcpy(&value, values_raw + entry * sizeof(double), sizeof(double));
+      const double* xr = x.row(static_cast<std::size_t>(cols[entry]));
+      for (std::size_t c = 0; c < m; ++c) out[c] += value * xr[c];
+    }
+  }
+}
+
+DenseMatrix OocHamiltonian::apply(const DenseMatrix& x) const {
+  if (x.rows() != rows_) throw std::invalid_argument("OocHamiltonian::apply: shape");
+  DenseMatrix y(rows_, x.cols());
+  std::vector<std::uint8_t> buffer;
+  for (const TileInfo& tile : tiles_) {
+    buffer.resize(tile.bytes);
+    storage_.read(tile.offset, buffer.data(), tile.bytes);
+    apply_tile(tile, buffer, x, y);
+  }
+  return y;
+}
+
+}  // namespace nvmooc

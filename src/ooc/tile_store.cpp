@@ -1,0 +1,28 @@
+#include "ooc/tile_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nvmooc {
+
+void MemoryStorage::read(Bytes offset, void* destination, Bytes size) {
+  if (offset + size > data_.size()) throw std::out_of_range("MemoryStorage::read");
+  std::memcpy(destination, data_.data() + offset, size);
+}
+
+void MemoryStorage::write(Bytes offset, const void* source, Bytes size) {
+  if (offset + size > data_.size()) throw std::out_of_range("MemoryStorage::write");
+  std::memcpy(data_.data() + offset, source, size);
+}
+
+void TracedStorage::read(Bytes offset, void* destination, Bytes size) {
+  trace_.add(NvmOp::kRead, offset, size);
+  backing_.read(offset, destination, size);
+}
+
+void TracedStorage::write(Bytes offset, const void* source, Bytes size) {
+  trace_.add(NvmOp::kWrite, offset, size);
+  backing_.write(offset, source, size);
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,41 @@
+// Workload trace production.
+//
+// Two routes to a POSIX-level OoC trace:
+//  1. capture_ooc_trace(): run the *real* LOBPCG solver on a real (small)
+//     synthetic Hamiltonian through TracedStorage and keep what it did.
+//  2. synthesize_ooc_trace(): emit the identical structural pattern
+//     (sequential tile sweeps per operator application + periodic Psi
+//     checkpoints) scaled to a dataset too large to compute against in a
+//     unit-test time budget. Property tests assert both routes produce
+//     the same pattern shape.
+#pragma once
+
+#include "ooc/csr.hpp"
+#include "ooc/lobpcg.hpp"
+#include "trace/trace.hpp"
+
+namespace nvmooc {
+
+struct CapturedWorkload {
+  Trace trace;
+  LobpcgResult solution;
+  Bytes dataset_bytes = 0;
+};
+
+/// Runs LOBPCG on a synthetic Hamiltonian held out-of-core in traced
+/// storage; returns the trace and the (real) eigensolution.
+CapturedWorkload capture_ooc_trace(const HamiltonianParams& h_params,
+                                   std::size_t rows_per_tile,
+                                   const LobpcgOptions& solver_options);
+
+struct SyntheticWorkloadParams {
+  Bytes dataset_bytes = 2 * GiB;    ///< Serialized Hamiltonian size.
+  Bytes tile_bytes = 8 * MiB;       ///< Application read granularity.
+  std::size_t sweeps = 3;           ///< Operator applications (full H reads).
+  Bytes checkpoint_bytes = 16 * MiB;  ///< Psi checkpoint per sweep; 0 = none.
+};
+
+/// Emits the OoC access pattern at scale without the arithmetic.
+Trace synthesize_ooc_trace(const SyntheticWorkloadParams& params);
+
+}  // namespace nvmooc

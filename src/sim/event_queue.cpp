@@ -1,0 +1,26 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace nvmooc {
+
+void EventQueue::schedule(Time when, Callback callback) {
+  heap_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+Time EventQueue::pop_and_run() {
+  // Move the callback out before popping so the event may schedule more
+  // events (including at the same timestamp) safely.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  const Time when = event.when;
+  event.callback();
+  return when;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_sequence_ = 0;
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,52 @@
+// Event queue for the discrete-event simulator.
+//
+// Events at the same timestamp are delivered in insertion order (a strict
+// tiebreak on a monotone sequence number) so simulations are bit-for-bit
+// reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nvmooc {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `when`.
+  void schedule(Time when, Callback callback);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest pending timestamp; only valid when !empty().
+  Time next_time() const { return heap_.top().when; }
+
+  /// Pops and runs the earliest event, returning its timestamp.
+  Time pop_and_run();
+
+  void clear();
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace nvmooc {
+
+void Simulator::at(Time when, EventQueue::Callback callback) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::at: scheduling into the past");
+  }
+  queue_.schedule(when, std::move(callback));
+}
+
+void Simulator::after(Time delay, EventQueue::Callback callback) {
+  if (delay < 0) {
+    throw std::logic_error("Simulator::after: negative delay");
+  }
+  queue_.schedule(now_ + delay, std::move(callback));
+}
+
+Time Simulator::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+  return now_;
+}
+
+Time Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+void Simulator::reset() {
+  now_ = 0;
+  queue_.clear();
+}
+
+}  // namespace nvmooc

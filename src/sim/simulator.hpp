@@ -1,0 +1,41 @@
+// Discrete-event simulator: owns the clock and the event queue.
+//
+// Components hold a Simulator& and schedule continuations; `run()` drains
+// the queue. The SSD model mostly uses the reservation-based Timeline
+// (timeline.hpp) for resource contention, and falls back to events for
+// host-side arrival processes and middleware behaviour.
+#pragma once
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace nvmooc {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules at absolute simulation time (must be >= now()).
+  void at(Time when, EventQueue::Callback callback);
+
+  /// Schedules `delay` after now().
+  void after(Time delay, EventQueue::Callback callback);
+
+  /// Runs until the queue empties. Returns the final clock value.
+  Time run();
+
+  /// Runs until the queue empties or the clock passes `deadline`.
+  /// Events scheduled beyond the deadline stay queued.
+  Time run_until(Time deadline);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  void reset();
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,62 @@
+// Reservation timeline: the contention model for serially-occupied
+// resources (channel buses, die planes, host links).
+//
+// A transaction asks to occupy the resource for `duration` starting no
+// earlier than `earliest`. The timeline grants the first gap that fits
+// (backfilling earlier holes when allowed), records the busy interval, and
+// returns the granted [start, end). The difference start - earliest is the
+// contention (queueing) time the caller attributes to this resource.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace nvmooc {
+
+struct Reservation {
+  Time start = 0;
+  Time end = 0;
+  /// Queueing delay experienced: start - earliest.
+  Time wait() const { return waited; }
+  Time waited = 0;
+};
+
+class Timeline {
+ public:
+  /// When `backfill` is true the timeline keeps a bounded list of earlier
+  /// gaps and lets short transactions slot into them — this models
+  /// out-of-order dispatch at a channel (PAQ-style). When false it is a
+  /// strict next-free-time resource (FIFO occupancy).
+  explicit Timeline(bool backfill = false, std::size_t max_gaps = 64);
+
+  /// Reserves `duration` starting at or after `earliest`.
+  Reservation reserve(Time earliest, Time duration);
+
+  /// First time the resource is free at or after `earliest` for `duration`
+  /// (without reserving). Used by schedulers for candidate comparison.
+  Time peek(Time earliest, Time duration) const;
+
+  Time next_free() const { return next_free_; }
+  const BusyTracker& busy() const { return busy_; }
+  std::uint64_t reservation_count() const { return reservation_count_; }
+
+  void reset();
+
+ private:
+  struct Gap {
+    Time start;
+    Time end;
+  };
+
+  bool backfill_;
+  std::size_t max_gaps_;
+  Time next_free_ = 0;
+  std::vector<Gap> gaps_;
+  BusyTracker busy_;
+  std::uint64_t reservation_count_ = 0;
+};
+
+}  // namespace nvmooc

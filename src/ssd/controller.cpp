@@ -1,0 +1,321 @@
+#include "ssd/controller.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+namespace nvmooc {
+
+SsdHardware::SsdHardware(const SsdGeometry& geometry, const NvmTiming& timing,
+                         const BusConfig& bus, bool backfill)
+    : geometry_(geometry), timing_(timing), bus_(bus) {
+  channels_.reserve(geometry_.channels);
+  for (std::uint32_t c = 0; c < geometry_.channels; ++c) {
+    auto channel = std::make_unique<Channel>(backfill);
+    channel->packages.reserve(geometry_.packages_per_channel);
+    for (std::uint32_t p = 0; p < geometry_.packages_per_channel; ++p) {
+      channel->packages.emplace_back(timing_, bus_, geometry_.dies_per_package, backfill);
+    }
+    channels_.push_back(std::move(channel));
+  }
+}
+
+Controller::Controller(SsdHardware& hardware, Ftl& ftl, ControllerConfig config)
+    : hardware_(hardware), ftl_(ftl), config_(config) {}
+
+void Controller::expand_run(const UnitRun& run, std::vector<TxnSpec>& out) const {
+  const NvmTiming& timing = hardware_.timing();
+  const std::uint64_t positions = hardware_.geometry().plane_positions(timing);
+  const Bytes page = timing.page_size;
+
+  // Burst mode: group the run's units by plane position. Units at the
+  // same position are consecutive rows on that plane, so one command can
+  // stream them. This is PCM's row-burst read: it only exists for media
+  // with tiny pages — NAND cell activations are full-page commands and
+  // never merge.
+  const bool burst = config_.burst_small_pages && run.op != NvmOp::kErase &&
+                     timing.page_size <= 512 && run.count > positions;
+  if (burst) {
+    const std::uint64_t base_pos = run.first_unit % positions;
+    const std::uint64_t spanned = std::min<std::uint64_t>(run.count, positions);
+    Bytes bytes_left = run.bytes;
+    for (std::uint64_t i = 0; i < spanned; ++i) {
+      const std::uint64_t pos_offset = i;  // First `spanned` units cover distinct positions.
+      const std::uint64_t first = run.first_unit + pos_offset;
+      const std::uint64_t at_position =
+          (run.count - pos_offset + positions - 1) / positions;
+      (void)base_pos;
+      std::uint64_t remaining = at_position;
+      std::uint64_t cursor = first;
+      while (remaining > 0) {
+        const std::uint32_t cells = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, config_.max_burst_cells));
+        const Bytes want = static_cast<Bytes>(cells) * page;
+        const Bytes bytes = std::min(bytes_left, want);
+        bytes_left -= bytes;
+        out.push_back({run.op, cursor, cells, bytes});
+        cursor += static_cast<std::uint64_t>(cells) * positions;
+        remaining -= cells;
+      }
+    }
+    return;
+  }
+
+  // One transaction per unit; edge units absorb the run's byte trims.
+  const Bytes full = run.count * page;
+  Bytes leading_trim = 0;
+  Bytes trailing_trim = 0;
+  if (run.bytes < full) {
+    const Bytes trim = full - run.bytes;
+    leading_trim = std::min(trim, page - 1);
+    trailing_trim = trim - leading_trim;
+  }
+  for (std::uint64_t i = 0; i < run.count; ++i) {
+    Bytes bytes = (run.op == NvmOp::kErase) ? 0 : page;
+    if (run.op != NvmOp::kErase) {
+      if (i == 0) bytes -= std::min(bytes, leading_trim);
+      if (i + 1 == run.count) bytes -= std::min(bytes, trailing_trim);
+    }
+    out.push_back({run.op, run.first_unit + i, 1, bytes});
+  }
+}
+
+TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival) {
+  const NvmTiming& timing = hardware_.timing();
+  const SsdGeometry& geometry = hardware_.geometry();
+  const PhysicalAddress address = geometry.map_unit(spec.first_unit, timing);
+
+  Timeline& channel = hardware_.channel_bus(address.channel);
+  Package& package = hardware_.package(address.channel, address.package);
+  Die& die = package.die(address.die);
+
+  TransactionResult txn;
+  txn.channel = address.channel;
+  txn.package = address.package;
+  txn.die = address.die;
+  txn.plane = address.plane;
+  txn.bytes = spec.bytes;
+  txn.issue = arrival;
+
+  // Command/address cycles occupy the shared channel.
+  const Reservation cmd = channel.reserve(arrival, timing.command_time);
+  txn.command = timing.command_time;
+  txn.channel_wait += cmd.waited;
+
+  const Time data_time = package.flash_bus_time(spec.bytes);
+
+  switch (spec.op) {
+    case NvmOp::kRead: {
+      const CellActivation cell = die.activate(address.plane, NvmOp::kRead, address.block,
+                                               address.page, spec.cell_ops, cmd.end);
+      txn.cell = cell.end - cell.start;
+      txn.cell_wait = cell.waited;
+      const Reservation fb = package.reserve_flash_bus(cell.end, spec.bytes);
+      txn.flash_bus = fb.end - fb.start;
+      txn.channel_wait += fb.waited;
+      const Reservation out = channel.reserve(fb.end, data_time);
+      txn.channel_bus = out.end - out.start;
+      txn.channel_wait += out.waited;
+      txn.complete = out.end;
+      break;
+    }
+    case NvmOp::kWrite: {
+      const Reservation in = channel.reserve(cmd.end, data_time);
+      txn.channel_bus = in.end - in.start;
+      txn.channel_wait += in.waited;
+      txn.data_in_end = in.end;
+      const Reservation fb = package.reserve_flash_bus(in.end, spec.bytes);
+      txn.flash_bus = fb.end - fb.start;
+      txn.channel_wait += fb.waited;
+      const CellActivation cell = die.activate(address.plane, NvmOp::kWrite, address.block,
+                                               address.page, spec.cell_ops, fb.end);
+      txn.cell = cell.end - cell.start;
+      txn.cell_wait = cell.waited;
+      txn.complete = cell.end;
+      break;
+    }
+    case NvmOp::kErase: {
+      const CellActivation cell = die.activate(address.plane, NvmOp::kErase, address.block,
+                                               address.page, 1, cmd.end);
+      txn.cell = cell.end - cell.start;
+      txn.cell_wait = cell.waited;
+      txn.complete = cell.end;
+      break;
+    }
+  }
+  return txn;
+}
+
+Bytes Controller::dirty_bytes_at(Time when) {
+  Bytes dirty = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < write_buffer_drain_.size(); ++i) {
+    if (write_buffer_drain_[i].first > when) {
+      dirty += write_buffer_drain_[i].second;
+      write_buffer_drain_[keep++] = write_buffer_drain_[i];
+    }
+  }
+  write_buffer_drain_.resize(keep);
+  return dirty;
+}
+
+RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
+  const std::vector<UnitRun> runs = ftl_.translate(request);
+
+  std::vector<TxnSpec> specs;
+  for (const UnitRun& run : runs) expand_run(run, specs);
+
+  RequestResult result;
+  result.issue = arrival;
+  result.bytes = request.size;
+  result.media_begin = arrival;
+
+  // PAL classification state.
+  std::uint64_t channel_mask = 0;
+  std::map<std::uint32_t, std::uint64_t> dies_per_channel;   // channel -> die mask
+  std::map<std::uint64_t, std::uint32_t> planes_per_die;     // die id -> plane mask
+  const SsdGeometry& geometry = hardware_.geometry();
+
+  // Critical-path phase accounting: within one request, cell activations
+  // on different planes run in parallel and transfers on different
+  // channels run in parallel — what the request *feels* is the longest
+  // per-plane cell chain and the longest per-channel bus chain. Summing
+  // raw resource time across hundreds of parallel transactions would
+  // drown the breakdown in arithmetic parallelism (Figure 10 reports the
+  // per-request experience).
+  struct PlaneLoad {
+    Time cell = 0;
+    Time wait = 0;
+  };
+  struct ChannelLoad {
+    Time active = 0;  // command + data transfer
+    Time wait = 0;
+  };
+  std::map<std::uint64_t, PlaneLoad> plane_load;    // (ch,pkg,die,plane)
+  std::map<std::uint32_t, ChannelLoad> channel_load;
+  std::map<std::uint64_t, Time> package_fb;         // (ch,pkg)
+
+  Time write_data_in_end = 0;   // Last inbound transfer of this request.
+  Time non_write_end = 0;       // RMW reads / GC work that must land first.
+
+  for (const TxnSpec& spec : specs) {
+    const TransactionResult txn = schedule(spec, arrival);
+    ++stats_.transactions;
+    stats_.cell_time_by_op[static_cast<int>(spec.op)] += txn.cell;
+    stats_.bus_time += txn.flash_bus + txn.channel_bus + txn.command;
+    if (spec.op == NvmOp::kWrite) {
+      write_data_in_end = std::max(write_data_in_end, txn.data_in_end);
+    } else {
+      non_write_end = std::max(non_write_end, txn.complete);
+    }
+
+    const std::uint64_t plane_key =
+        (((static_cast<std::uint64_t>(txn.channel) << 8 | txn.package) << 8 | txn.die)
+         << 8) |
+        txn.plane;
+    PlaneLoad& plane = plane_load[plane_key];
+    plane.cell += txn.cell;
+    plane.wait += txn.cell_wait;
+    ChannelLoad& channel = channel_load[txn.channel];
+    channel.active += txn.command + txn.channel_bus;
+    channel.wait += txn.channel_wait;
+    package_fb[(static_cast<std::uint64_t>(txn.channel) << 8) | txn.package] +=
+        txn.flash_bus;
+
+    result.media_end = std::max(result.media_end, txn.complete);
+    ++result.transactions;
+
+    channel_mask |= 1ULL << (txn.channel % 64);
+    const std::uint32_t die_in_channel = txn.package * geometry.dies_per_package + txn.die;
+    dies_per_channel[txn.channel] |= 1ULL << (die_in_channel % 64);
+    const std::uint64_t die_id =
+        (static_cast<std::uint64_t>(txn.channel) << 32) | die_in_channel;
+    planes_per_die[die_id] |= 1u << txn.plane;
+  }
+
+  // Fold the request's critical-path components into the totals. Waits
+  // are capped by the device wall so queueing behind *other* requests
+  // (host-side pipelining) cannot inflate a single request's share.
+  const Time device_wall = std::max<Time>(0, result.media_end - arrival);
+  PlaneLoad worst_plane;
+  for (const auto& [key, load] : plane_load) {
+    if (load.cell + load.wait > worst_plane.cell + worst_plane.wait) worst_plane = load;
+  }
+  ChannelLoad worst_channel;
+  for (const auto& [key, load] : channel_load) {
+    if (load.active + load.wait > worst_channel.active + worst_channel.wait) {
+      worst_channel = load;
+    }
+  }
+  Time worst_fb = 0;
+  for (const auto& [key, time] : package_fb) worst_fb = std::max(worst_fb, time);
+
+  // Contention visible to one request is bounded by one service quantum
+  // per resource chain (it queues behind at most a dispatch window of
+  // peers); anything beyond that is host-side pipelining, not device
+  // time.
+  stats_.phase_time[static_cast<int>(Phase::kCellActivation)] +=
+      std::min(worst_plane.cell, device_wall);
+  stats_.phase_time[static_cast<int>(Phase::kCellContention)] +=
+      std::min(worst_plane.wait, std::min(worst_plane.cell, device_wall));
+  stats_.phase_time[static_cast<int>(Phase::kChannelActivation)] +=
+      std::min(worst_channel.active, device_wall);
+  stats_.phase_time[static_cast<int>(Phase::kChannelContention)] +=
+      std::min(worst_channel.wait, std::min(worst_channel.active, device_wall));
+  stats_.phase_time[static_cast<int>(Phase::kFlashBusActivation)] +=
+      std::min(worst_fb, device_wall);
+
+  // Write-back caching: a write request acknowledges once its bytes are
+  // in controller DRAM, provided the dirty set fits; the cell programs
+  // keep the planes busy in the background (their contention effects on
+  // later requests are already booked on the timelines).
+  if (config_.write_buffer > 0 && request.op == NvmOp::kWrite &&
+      write_data_in_end > 0) {
+    const Time ack_floor = std::max(write_data_in_end, non_write_end);
+    if (dirty_bytes_at(ack_floor) + request.size <= config_.write_buffer) {
+      write_buffer_drain_.emplace_back(result.media_end, request.size);
+      result.media_end = ack_floor;
+    }
+  }
+
+  // Classify parallelism.
+  bool die_interleaved = false;
+  for (const auto& [channel, mask] : dies_per_channel) {
+    if (std::popcount(mask) > 1) die_interleaved = true;
+  }
+  bool multi_plane = false;
+  for (const auto& [die, mask] : planes_per_die) {
+    if (std::popcount(static_cast<std::uint64_t>(mask)) > 1) multi_plane = true;
+  }
+  if (die_interleaved && multi_plane) {
+    result.pal = ParallelismLevel::kPal4;
+  } else if (multi_plane) {
+    result.pal = ParallelismLevel::kPal3;
+  } else if (die_interleaved) {
+    result.pal = ParallelismLevel::kPal2;
+  } else {
+    result.pal = ParallelismLevel::kPal1;
+  }
+
+  ++stats_.requests;
+  const bool overhead = request.internal;
+  bool any_gc = false;
+  for (const UnitRun& run : runs) any_gc = any_gc || run.gc;
+  if (overhead) {
+    stats_.internal_bytes += request.size;
+  } else {
+    stats_.payload_bytes += request.size;
+  }
+  if (any_gc) {
+    for (const UnitRun& run : runs) {
+      if (run.gc) stats_.internal_bytes += run.bytes;
+    }
+  }
+  stats_.pal_bytes[static_cast<int>(result.pal)] += request.size;
+  ++stats_.pal_requests[static_cast<int>(result.pal)];
+  if (stats_.first_activity < 0) stats_.first_activity = arrival;
+  stats_.last_completion = std::max(stats_.last_completion, result.media_end);
+  return result;
+}
+
+}  // namespace nvmooc

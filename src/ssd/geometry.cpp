@@ -1,0 +1,90 @@
+#include "ssd/geometry.hpp"
+
+namespace nvmooc {
+
+std::string_view to_string(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kChannelPlaneDie: return "channel-plane-die";
+    case AllocationPolicy::kChannelDiePlane: return "channel-die-plane";
+    case AllocationPolicy::kDieChannelPlane: return "die-channel-plane";
+  }
+  return "?";
+}
+
+PhysicalAddress SsdGeometry::map_unit(std::uint64_t unit, const NvmTiming& timing) const {
+  const std::uint64_t num_channels = channels;
+  const std::uint64_t num_planes = timing.planes_per_die;
+  const std::uint64_t num_dies = dies_per_channel();
+
+  std::uint64_t channel = 0;
+  std::uint64_t plane = 0;
+  std::uint64_t die_in_channel = 0;
+  std::uint64_t row = 0;
+
+  switch (policy) {
+    case AllocationPolicy::kChannelPlaneDie: {
+      channel = unit % num_channels;
+      std::uint64_t rest = unit / num_channels;
+      plane = rest % num_planes;
+      rest /= num_planes;
+      die_in_channel = rest % num_dies;
+      row = rest / num_dies;
+      break;
+    }
+    case AllocationPolicy::kChannelDiePlane: {
+      channel = unit % num_channels;
+      std::uint64_t rest = unit / num_channels;
+      die_in_channel = rest % num_dies;
+      rest /= num_dies;
+      plane = rest % num_planes;
+      row = rest / num_planes;
+      break;
+    }
+    case AllocationPolicy::kDieChannelPlane: {
+      die_in_channel = unit % num_dies;
+      std::uint64_t rest = unit / num_dies;
+      channel = rest % num_channels;
+      rest /= num_channels;
+      plane = rest % num_planes;
+      row = rest / num_planes;
+      break;
+    }
+  }
+
+  PhysicalAddress address;
+  address.channel = static_cast<std::uint32_t>(channel);
+  address.package = static_cast<std::uint32_t>(die_in_channel / dies_per_package);
+  address.die = static_cast<std::uint32_t>(die_in_channel % dies_per_package);
+  address.plane = static_cast<std::uint32_t>(plane);
+  address.block = row / timing.pages_per_block;
+  address.page = static_cast<std::uint32_t>(row % timing.pages_per_block);
+  return address;
+}
+
+std::uint64_t SsdGeometry::unit_of(const PhysicalAddress& address,
+                                   const NvmTiming& timing) const {
+  const std::uint64_t num_channels = channels;
+  const std::uint64_t num_planes = timing.planes_per_die;
+  const std::uint64_t num_dies = dies_per_channel();
+  const std::uint64_t die_in_channel =
+      static_cast<std::uint64_t>(address.package) * dies_per_package + address.die;
+  const std::uint64_t row =
+      address.block * timing.pages_per_block + address.page;
+
+  switch (policy) {
+    case AllocationPolicy::kChannelPlaneDie:
+      return address.channel +
+             num_channels * (address.plane + num_planes * (die_in_channel + num_dies * row));
+    case AllocationPolicy::kChannelDiePlane:
+      return address.channel +
+             num_channels * (die_in_channel + num_dies * (address.plane + num_planes * row));
+    case AllocationPolicy::kDieChannelPlane:
+      return die_in_channel +
+             num_dies * (address.channel + num_channels * (address.plane + num_planes * row));
+  }
+  return 0;
+}
+
+SsdGeometry paper_geometry() { return SsdGeometry{}; }
+
+}  // namespace nvmooc

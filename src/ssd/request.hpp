@@ -1,0 +1,97 @@
+// Device-level request and NVM-transaction records, plus the parallelism
+// classification (PAL1-4) and execution-phase taxonomy of the paper's
+// Section 4.5.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nvm/nvm_types.hpp"
+
+namespace nvmooc {
+
+/// Parallelism levels (paper Section 4.5):
+///  PAL1: channel striping + pipelining only.
+///  PAL2: die (bank) interleaving on top of PAL1.
+///  PAL3: multi-plane operation on top of PAL1.
+///  PAL4: all of the above.
+enum class ParallelismLevel : std::uint8_t { kPal1 = 0, kPal2 = 1, kPal3 = 2, kPal4 = 3 };
+
+inline const char* to_string(ParallelismLevel level) {
+  switch (level) {
+    case ParallelismLevel::kPal1: return "PAL1";
+    case ParallelismLevel::kPal2: return "PAL2";
+    case ParallelismLevel::kPal3: return "PAL3";
+    case ParallelismLevel::kPal4: return "PAL4";
+  }
+  return "?";
+}
+
+/// The six execution-time buckets of Figure 10.
+enum class Phase : std::uint8_t {
+  kNonOverlappedDma = 0,
+  kFlashBusActivation = 1,
+  kChannelActivation = 2,
+  kCellContention = 3,
+  kChannelContention = 4,
+  kCellActivation = 5,
+};
+inline constexpr int kPhaseCount = 6;
+
+inline const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kNonOverlappedDma: return "Non-overlapped DMA";
+    case Phase::kFlashBusActivation: return "Flash bus activation";
+    case Phase::kChannelActivation: return "Channel activation";
+    case Phase::kCellContention: return "Cell contention";
+    case Phase::kChannelContention: return "Channel contention";
+    case Phase::kCellActivation: return "Cell activation";
+  }
+  return "?";
+}
+
+/// A request as it reaches the SSD: the output of a file-system model (or
+/// of UFS, which passes application requests through nearly verbatim).
+struct BlockRequest {
+  NvmOp op = NvmOp::kRead;
+  Bytes offset = 0;  ///< Logical byte address within the device.
+  Bytes size = 0;
+  /// Barrier semantics: all earlier requests must complete before this
+  /// one issues, and later ones wait for it (journal commits, metadata
+  /// reads that gate further lookups).
+  bool barrier = false;
+  /// True for FS-internal traffic (journal/metadata) — accounted to
+  /// overhead, not payload, when computing achieved bandwidth.
+  bool internal = false;
+};
+
+/// Where a transaction landed and what it cost, phase by phase.
+struct TransactionResult {
+  std::uint32_t channel = 0;
+  std::uint32_t package = 0;  ///< Within the channel.
+  std::uint32_t die = 0;      ///< Within the package.
+  std::uint32_t plane = 0;
+  Bytes bytes = 0;
+
+  Time issue = 0;      ///< When the transaction was ready.
+  Time complete = 0;   ///< When its last phase finished.
+  Time data_in_end = 0;  ///< Writes: when the inbound channel transfer ended.
+  Time command = 0;    ///< Command/address cycles (channel activation).
+  Time cell = 0;       ///< Cell activation.
+  Time cell_wait = 0;  ///< Cell contention.
+  Time flash_bus = 0;  ///< Register <-> pads transfer.
+  Time channel_bus = 0;  ///< Shared-bus data transfer (channel activation).
+  Time channel_wait = 0;  ///< Channel (and package-port) contention.
+};
+
+/// Completion record for one BlockRequest.
+struct RequestResult {
+  Time issue = 0;
+  Time media_begin = 0;
+  Time media_end = 0;
+  Bytes bytes = 0;
+  std::uint32_t transactions = 0;
+  ParallelismLevel pal = ParallelismLevel::kPal1;
+};
+
+}  // namespace nvmooc

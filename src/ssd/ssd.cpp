@@ -1,0 +1,135 @@
+#include "ssd/ssd.hpp"
+
+#include <algorithm>
+
+namespace nvmooc {
+
+Ssd::Ssd(const SsdConfig& config)
+    : config_(config), timing_(timing_for(config.media)) {
+  hardware_ = std::make_unique<SsdHardware>(config_.geometry, timing_, config_.bus,
+                                            config_.controller.queue_backfill);
+  ftl_ = std::make_unique<Ftl>(config_.geometry, timing_, config_.ftl);
+  controller_ = std::make_unique<Controller>(*hardware_, *ftl_, config_.controller);
+}
+
+void Ssd::preload(Bytes dataset_bytes) { ftl_->set_preloaded(dataset_bytes); }
+
+RequestResult Ssd::submit(const BlockRequest& request, Time arrival) {
+  return controller_->submit(request, arrival);
+}
+
+WearSummary Ssd::wear() const {
+  WearSummary total;
+  double erase_weighted = 0.0;
+  total.min_unit_erases = ~0ULL;
+  for (std::uint32_t c = 0; c < config_.geometry.channels; ++c) {
+    for (std::uint32_t p = 0; p < config_.geometry.packages_per_channel; ++p) {
+      const Package& package = hardware_->package(c, p);
+      for (std::uint32_t d = 0; d < package.die_count(); ++d) {
+        const WearSummary die_wear = package.die(d).wear().summary();
+        total.total_erases += die_wear.total_erases;
+        total.total_writes += die_wear.total_writes;
+        total.touched_units += die_wear.touched_units;
+        total.max_unit_erases = std::max(total.max_unit_erases, die_wear.max_unit_erases);
+        if (die_wear.touched_units > 0) {
+          total.min_unit_erases = std::min(total.min_unit_erases, die_wear.min_unit_erases);
+          erase_weighted += die_wear.mean_unit_erases * static_cast<double>(die_wear.touched_units);
+        }
+      }
+    }
+  }
+  if (total.touched_units == 0) {
+    total.min_unit_erases = 0;
+    total.imbalance = 1.0;
+    return total;
+  }
+  total.mean_unit_erases = erase_weighted / static_cast<double>(total.touched_units);
+  total.imbalance = total.mean_unit_erases > 0.0
+                        ? static_cast<double>(total.max_unit_erases) / total.mean_unit_erases
+                        : 1.0;
+  return total;
+}
+
+BusyTracker Ssd::media_busy() const {
+  BusyTracker merged;
+  for (std::uint32_t c = 0; c < config_.geometry.channels; ++c) {
+    merged.merge(hardware_->channel_bus(c).busy());
+    for (std::uint32_t p = 0; p < config_.geometry.packages_per_channel; ++p) {
+      const Package& package = hardware_->package(c, p);
+      merged.merge(package.flash_bus().busy());
+      for (std::uint32_t d = 0; d < package.die_count(); ++d) {
+        const Die& die = package.die(d);
+        for (std::uint32_t plane = 0; plane < die.plane_count(); ++plane) {
+          merged.merge(die.plane_busy(plane));
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+double Ssd::media_capability_bytes_per_sec() const {
+  const double channel_aggregate =
+      config_.bus.byte_rate() * static_cast<double>(config_.geometry.channels);
+  const double cell_aggregate =
+      timing_.die_read_bandwidth() * static_cast<double>(config_.geometry.total_dies());
+  return std::min(channel_aggregate, cell_aggregate);
+}
+
+DeviceStats Ssd::device_stats(Time wall_time) const {
+  DeviceStats stats;
+  stats.media_capability = media_capability_bytes_per_sec();
+
+  const BusyTracker merged = media_busy();
+  stats.active_time = merged.busy_time();
+  if (stats.active_time <= 0) {
+    stats.remaining_bandwidth = stats.media_capability;
+    return stats;
+  }
+
+  // A channel counts as busy while anything in its subsystem (bus or any
+  // of its packages) is working — the paper's channel-level utilisation,
+  // which is why GPFS's scatter keeps "channels" hot even though each
+  // holds only one active die.
+  double channel_sum = 0.0;
+  for (std::uint32_t c = 0; c < config_.geometry.channels; ++c) {
+    BusyTracker subsystem;
+    subsystem.merge(hardware_->channel_bus(c).busy());
+    for (std::uint32_t p = 0; p < config_.geometry.packages_per_channel; ++p) {
+      const Package& package = hardware_->package(c, p);
+      subsystem.merge(package.flash_bus().busy());
+      for (std::uint32_t d = 0; d < package.die_count(); ++d) {
+        const Die& die = package.die(d);
+        for (std::uint32_t plane = 0; plane < die.plane_count(); ++plane) {
+          subsystem.merge(die.plane_busy(plane));
+        }
+      }
+    }
+    channel_sum += subsystem.utilization(stats.active_time);
+  }
+  stats.channel_utilization = channel_sum / config_.geometry.channels;
+
+  double package_sum = 0.0;
+  double die_sum = 0.0;
+  std::uint32_t die_count = 0;
+  for (std::uint32_t c = 0; c < config_.geometry.channels; ++c) {
+    for (std::uint32_t p = 0; p < config_.geometry.packages_per_channel; ++p) {
+      const Package& package = hardware_->package(c, p);
+      package_sum += std::min(
+          1.0, static_cast<double>(package.busy_time()) / static_cast<double>(stats.active_time));
+      for (std::uint32_t d = 0; d < package.die_count(); ++d) {
+        const Time busy = package.die(d).busy_time();
+        if (wall_time > 0) {
+          die_sum += std::min(1.0, static_cast<double>(busy) / static_cast<double>(wall_time));
+        }
+        ++die_count;
+      }
+    }
+  }
+  stats.package_utilization = package_sum / config_.geometry.total_packages();
+  stats.die_wall_utilization = die_count > 0 ? die_sum / die_count : 0.0;
+  stats.remaining_bandwidth = stats.media_capability * (1.0 - stats.die_wall_utilization);
+  return stats;
+}
+
+}  // namespace nvmooc

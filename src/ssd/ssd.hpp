@@ -1,0 +1,81 @@
+// Assembled SSD: hardware + FTL + controller, with the derived statistics
+// the paper's figures report.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nvm/bus.hpp"
+#include "nvm/wear.hpp"
+#include "ssd/controller.hpp"
+
+namespace nvmooc {
+
+struct SsdConfig {
+  SsdGeometry geometry = paper_geometry();
+  NvmType media = NvmType::kSlc;
+  BusConfig bus = onfi3_sdr_bus();
+  ControllerConfig controller;
+  FtlConfig ftl;
+};
+
+/// Figure 7b/8b/9 quantities, all derived after a replay finishes.
+struct DeviceStats {
+  /// Union of every internal busy interval — "the device was doing
+  /// something". Denominator for the utilisation numbers.
+  Time active_time = 0;
+  /// Mean over channels of bus-busy / active_time (Figure 9a).
+  double channel_utilization = 0.0;
+  /// Mean over packages of package-busy / active_time (Figure 9b).
+  double package_utilization = 0.0;
+  /// Mean over dies of cell-busy / wall time; used for the remaining-
+  /// bandwidth estimate.
+  double die_wall_utilization = 0.0;
+  /// min(aggregate channel-bus rate, aggregate cell read rate), bytes/s.
+  double media_capability = 0.0;
+  /// media_capability x (1 - die_wall_utilization) — Figure 7b/8b.
+  double remaining_bandwidth = 0.0;
+};
+
+class Ssd {
+ public:
+  explicit Ssd(const SsdConfig& config);
+
+  /// Declares the sequentially pre-loaded dataset (paper Section 3.1:
+  /// data migrates to the local SSD before computation starts).
+  void preload(Bytes dataset_bytes);
+
+  /// Runs one device request; `arrival` is when it reaches the device.
+  RequestResult submit(const BlockRequest& request, Time arrival);
+
+  const SsdConfig& config() const { return config_; }
+  const NvmTiming& timing() const { return timing_; }
+  const ControllerStats& controller_stats() const { return controller_->stats(); }
+  const FtlStats& ftl_stats() const { return ftl_->stats(); }
+
+  /// Aggregate wear across every die.
+  WearSummary wear() const;
+
+  /// Busy-interval union across all internal resources. O(n log n) in
+  /// interval count — compute once when a replay is done.
+  BusyTracker media_busy() const;
+
+  /// Derived per-figure statistics; `wall_time` is the replay makespan
+  /// (first issue to last completion including host DMA).
+  DeviceStats device_stats(Time wall_time) const;
+
+  /// min(channel aggregate, cell aggregate) streaming read capability.
+  double media_capability_bytes_per_sec() const;
+
+  SsdHardware& hardware() { return *hardware_; }
+  Ftl& ftl() { return *ftl_; }
+
+ private:
+  SsdConfig config_;
+  NvmTiming timing_;
+  std::unique_ptr<SsdHardware> hardware_;
+  std::unique_ptr<Ftl> ftl_;
+  std::unique_ptr<Controller> controller_;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,61 @@
+#include "trace/synthetic.hpp"
+
+namespace nvmooc {
+
+Trace sequential_read_trace(Bytes total, Bytes request_size) {
+  Trace trace;
+  for (Bytes offset = 0; offset < total; offset += request_size) {
+    trace.add(NvmOp::kRead, offset, std::min(request_size, total - offset));
+  }
+  return trace;
+}
+
+Trace random_read_trace(Bytes extent, Bytes request_size, std::size_t count, Rng& rng) {
+  Trace trace;
+  const Bytes slots = extent > request_size ? (extent - request_size) : 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Bytes offset = rng.next_below(slots);
+    trace.add(NvmOp::kRead, offset, request_size);
+  }
+  return trace;
+}
+
+Trace strided_read_trace(Bytes extent, Bytes request_size, Bytes stride, std::size_t count) {
+  Trace trace;
+  Bytes offset = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.add(NvmOp::kRead, offset, request_size);
+    offset += stride;
+    if (offset + request_size > extent) offset %= stride ? stride : 1;
+  }
+  return trace;
+}
+
+Trace mixed_trace(Bytes total, Bytes request_size, Bytes write_size,
+                  std::size_t writes_every) {
+  Trace trace;
+  std::size_t reads = 0;
+  Bytes write_cursor = 0;
+  for (Bytes offset = 0; offset < total; offset += request_size) {
+    trace.add(NvmOp::kRead, offset, std::min(request_size, total - offset));
+    if (writes_every > 0 && ++reads % writes_every == 0) {
+      trace.add(NvmOp::kWrite, write_cursor, write_size);
+      write_cursor += write_size;
+    }
+  }
+  return trace;
+}
+
+Trace zipf_read_trace(Bytes extent, Bytes request_size, std::size_t count, double skew,
+                      Rng& rng) {
+  Trace trace;
+  const std::uint64_t blocks = request_size ? extent / request_size : 0;
+  if (blocks == 0) return trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t rank = rng.next_zipf(blocks, skew);
+    trace.add(NvmOp::kRead, rank * request_size, request_size);
+  }
+  return trace;
+}
+
+}  // namespace nvmooc

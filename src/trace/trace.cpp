@@ -1,0 +1,78 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace nvmooc {
+
+Bytes Trace::extent() const {
+  Bytes end = 0;
+  for (const PosixRequest& request : requests_) {
+    end = std::max(end, request.offset + request.size);
+  }
+  return end;
+}
+
+TraceStats Trace::stats() const {
+  TraceStats stats;
+  stats.requests = requests_.size();
+  if (requests_.empty()) return stats;
+
+  stats.min_request = requests_.front().size;
+  Bytes previous_end = 0;
+  std::uint64_t sequential = 0;
+  bool first = true;
+  for (const PosixRequest& request : requests_) {
+    stats.total_bytes += request.size;
+    if (request.op == NvmOp::kRead) {
+      stats.read_bytes += request.size;
+    } else {
+      stats.write_bytes += request.size;
+    }
+    stats.min_request = std::min(stats.min_request, request.size);
+    stats.max_request = std::max(stats.max_request, request.size);
+    if (!first && request.offset == previous_end) ++sequential;
+    previous_end = request.offset + request.size;
+    first = false;
+  }
+  stats.read_fraction =
+      stats.total_bytes ? static_cast<double>(stats.read_bytes) / stats.total_bytes : 1.0;
+  stats.sequentiality = requests_.size() > 1
+                            ? static_cast<double>(sequential) / (requests_.size() - 1)
+                            : 1.0;
+  stats.mean_request = static_cast<double>(stats.total_bytes) / requests_.size();
+  return stats;
+}
+
+void Trace::save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) throw std::runtime_error("Trace::save: cannot open " + path);
+  for (const PosixRequest& request : requests_) {
+    std::fprintf(file, "%c %llu %llu %lld\n", request.op == NvmOp::kRead ? 'R' : 'W',
+                 static_cast<unsigned long long>(request.offset),
+                 static_cast<unsigned long long>(request.size),
+                 static_cast<long long>(request.not_before));
+  }
+  std::fclose(file);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (!file) throw std::runtime_error("Trace::load: cannot open " + path);
+  Trace trace;
+  char op = 0;
+  unsigned long long offset = 0;
+  unsigned long long size = 0;
+  long long not_before = 0;
+  while (std::fscanf(file, " %c %llu %llu %lld", &op, &offset, &size, &not_before) == 4) {
+    trace.add(op == 'W' ? NvmOp::kWrite : NvmOp::kRead, offset, size,
+              static_cast<Time>(not_before));
+  }
+  std::fclose(file);
+  return trace;
+}
+
+}  // namespace nvmooc

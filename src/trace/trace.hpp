@@ -1,0 +1,64 @@
+// POSIX-level I/O traces: what the OoC application emits above the file
+// system (the paper's compute-node POSIX trace of Figure 6), plus the
+// pattern statistics used to characterise them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "nvm/nvm_types.hpp"
+
+namespace nvmooc {
+
+/// One application-level request against a logical file address space.
+struct PosixRequest {
+  NvmOp op = NvmOp::kRead;
+  Bytes offset = 0;
+  Bytes size = 0;
+  /// Earliest time the application can issue it (compute dependencies);
+  /// 0 means "as soon as the previous work allows".
+  Time not_before = 0;
+};
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  Bytes total_bytes = 0;
+  Bytes read_bytes = 0;
+  Bytes write_bytes = 0;
+  double read_fraction = 1.0;
+  /// Fraction of requests starting exactly where the previous ended.
+  double sequentiality = 0.0;
+  Bytes min_request = 0;
+  Bytes max_request = 0;
+  double mean_request = 0.0;
+};
+
+class Trace {
+ public:
+  void add(PosixRequest request) { requests_.push_back(request); }
+  void add(NvmOp op, Bytes offset, Bytes size, Time not_before = 0) {
+    requests_.push_back({op, offset, size, not_before});
+  }
+
+  const std::vector<PosixRequest>& requests() const { return requests_; }
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  const PosixRequest& operator[](std::size_t i) const { return requests_[i]; }
+
+  /// Highest byte address touched plus one — the dataset extent.
+  Bytes extent() const;
+
+  TraceStats stats() const;
+
+  /// Text serialisation: one "op offset size not_before" line per request.
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+ private:
+  std::vector<PosixRequest> requests_;
+};
+
+}  // namespace nvmooc

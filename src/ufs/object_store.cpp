@@ -1,0 +1,55 @@
+#include "ufs/object_store.hpp"
+
+#include <stdexcept>
+
+namespace nvmooc {
+
+ObjectStore::ObjectStore(Bytes capacity, Bytes alignment)
+    : allocator_(capacity, alignment) {}
+
+std::optional<ObjectId> ObjectStore::create(Bytes size) {
+  std::vector<Extent> extents = allocator_.allocate(size);
+  if (extents.empty() && size > 0) return std::nullopt;
+  const ObjectId id = next_id_++;
+  objects_.emplace(id, ObjectInfo{id, size, std::move(extents)});
+  return id;
+}
+
+bool ObjectStore::remove(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  for (const Extent& extent : it->second.extents) allocator_.release(extent);
+  objects_.erase(it);
+  return true;
+}
+
+const ObjectInfo* ObjectStore::find(ObjectId id) const {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<Extent> ObjectStore::translate(ObjectId id, Bytes offset, Bytes length) const {
+  const ObjectInfo* object = find(id);
+  if (object == nullptr) throw std::out_of_range("ObjectStore::translate: unknown object");
+  if (offset + length > object->size) {
+    throw std::out_of_range("ObjectStore::translate: range beyond object size");
+  }
+  std::vector<Extent> result;
+  Bytes skip = offset;
+  Bytes remaining = length;
+  for (const Extent& extent : object->extents) {
+    if (remaining == 0) break;
+    if (skip >= extent.length) {
+      skip -= extent.length;
+      continue;
+    }
+    const Bytes start = extent.offset + skip;
+    const Bytes take = std::min(remaining, extent.length - skip);
+    result.push_back({start, take});
+    skip = 0;
+    remaining -= take;
+  }
+  return result;
+}
+
+}  // namespace nvmooc

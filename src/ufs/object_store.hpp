@@ -1,0 +1,53 @@
+// UFS object namespace: integer handles -> extent lists.
+//
+// There are no paths, no inodes and no directory tree: OoC frameworks
+// address their arrays by handle (DOoC's immutable distributed arrays map
+// 1:1 onto objects). Objects are immutable-once-written in the intended
+// usage, but the store itself supports remove/reallocate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ufs/extent_allocator.hpp"
+
+namespace nvmooc {
+
+using ObjectId = std::uint64_t;
+
+struct ObjectInfo {
+  ObjectId id = 0;
+  Bytes size = 0;
+  std::vector<Extent> extents;
+};
+
+class ObjectStore {
+ public:
+  ObjectStore(Bytes capacity, Bytes alignment);
+
+  /// Allocates an object of `size` bytes. Returns nullopt when space is
+  /// exhausted.
+  std::optional<ObjectId> create(Bytes size);
+
+  /// Frees the object's extents. Returns false for unknown ids.
+  bool remove(ObjectId id);
+
+  const ObjectInfo* find(ObjectId id) const;
+
+  /// Translates an object-relative byte range to device ranges, in order.
+  /// Throws std::out_of_range when the range exceeds the object.
+  std::vector<Extent> translate(ObjectId id, Bytes offset, Bytes length) const;
+
+  Bytes free_bytes() const { return allocator_.free_bytes(); }
+  std::size_t object_count() const { return objects_.size(); }
+  const ExtentAllocator& allocator() const { return allocator_; }
+
+ private:
+  ExtentAllocator allocator_;
+  std::unordered_map<ObjectId, ObjectInfo> objects_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace nvmooc

@@ -1,0 +1,48 @@
+#include "ufs/ufs.hpp"
+
+#include <stdexcept>
+
+namespace nvmooc {
+
+UnifiedFileSystem::UnifiedFileSystem(UfsConfig config)
+    : config_(config), store_(config.capacity, config.alignment) {
+  behavior_.name = "UFS";
+  behavior_.block_size = config_.alignment;
+  // Effectively unsplit: the only cap is the window itself.
+  behavior_.max_request = config_.window;
+  behavior_.readahead = config_.window;
+  behavior_.queue_depth = config_.queue_depth;
+  behavior_.per_request_overhead = config_.per_request_overhead;
+  behavior_.metadata_interval = 0;
+  behavior_.journal_interval = 0;
+}
+
+ObjectId UnifiedFileSystem::provision_dataset(Bytes size) {
+  const auto id = store_.create(size);
+  if (!id) throw std::runtime_error("UFS: dataset does not fit on device");
+  dataset_ = *id;
+  return dataset_;
+}
+
+std::vector<BlockRequest> UnifiedFileSystem::submit_object(ObjectId id,
+                                                           const PosixRequest& request) {
+  std::vector<BlockRequest> out;
+  if (request.size == 0) return out;
+  for (const Extent& extent : store_.translate(id, request.offset, request.size)) {
+    BlockRequest device;
+    device.op = request.op;
+    device.offset = extent.offset;
+    device.size = extent.length;
+    out.push_back(device);
+  }
+  return out;
+}
+
+std::vector<BlockRequest> UnifiedFileSystem::submit(const PosixRequest& request) {
+  if (dataset_ == 0) {
+    throw std::logic_error("UFS: provision_dataset() must be called before submit()");
+  }
+  return submit_object(dataset_, request);
+}
+
+}  // namespace nvmooc

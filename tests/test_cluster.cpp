@@ -1,0 +1,368 @@
+// Tests for the experiment configurations and the replay engine — the
+// qualitative claims of the paper expressed as assertions.
+#include <gtest/gtest.h>
+
+#include "cluster/configs.hpp"
+#include "cluster/energy.hpp"
+#include "cluster/engine.hpp"
+#include "cluster/multi_engine.hpp"
+#include "fs/presets.hpp"
+#include "ooc/workload.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmooc {
+namespace {
+
+Trace small_ooc_trace(Bytes dataset = 64 * MiB) {
+  SyntheticWorkloadParams params;
+  params.dataset_bytes = dataset;
+  params.tile_bytes = 8 * MiB;
+  params.sweeps = 2;
+  params.checkpoint_bytes = 0;
+  return synthesize_ooc_trace(params);
+}
+
+// ---------- configs -----------------------------------------------------------
+
+TEST(Configs, Table2RowsPresent) {
+  const auto configs = all_configs(NvmType::kTlc);
+  ASSERT_EQ(configs.size(), 13u);
+  EXPECT_EQ(configs[0].name, "ION-GPFS");
+  EXPECT_EQ(configs[9].name, "CNL-UFS");
+  EXPECT_EQ(configs[12].name, "CNL-NATIVE-16");
+}
+
+TEST(Configs, Figure7OrderMatchesPaper) {
+  const auto configs = figure7_configs(NvmType::kSlc);
+  ASSERT_EQ(configs.size(), 10u);
+  const char* expected[] = {"ION-GPFS",     "CNL-JFS",  "CNL-BTRFS", "CNL-XFS",
+                            "CNL-REISERFS", "CNL-EXT2", "CNL-EXT3",  "CNL-EXT4",
+                            "CNL-EXT4-L",   "CNL-UFS"};
+  for (std::size_t i = 0; i < configs.size(); ++i) EXPECT_EQ(configs[i].name, expected[i]);
+}
+
+TEST(Configs, HardwareVariantsDifferAsTable2Says) {
+  const auto ufs = cnl_ufs_config(NvmType::kSlc);
+  const auto bridge16 = cnl_bridge16_config(NvmType::kSlc);
+  const auto native8 = cnl_native8_config(NvmType::kSlc);
+  const auto native16 = cnl_native16_config(NvmType::kSlc);
+
+  EXPECT_EQ(ufs.host_link.lanes, 8u);
+  EXPECT_EQ(bridge16.host_link.lanes, 16u);
+  EXPECT_GT(bridge16.host_link.bridge_latency, 0);  // Still bridged.
+  EXPECT_EQ(native8.host_link.bridge_latency, 0);   // Native.
+  EXPECT_FALSE(ufs.nvm_bus.double_data_rate);       // SDR 400 MHz.
+  EXPECT_TRUE(native8.nvm_bus.double_data_rate);    // DDR 800 MHz.
+  EXPECT_EQ(native16.host_link.lanes, 16u);
+  EXPECT_TRUE(native16.use_ufs);
+}
+
+TEST(Configs, IonIsNetworked) {
+  const auto ion = ion_gpfs_config(NvmType::kSlc);
+  EXPECT_EQ(ion.location, StorageLocation::kIonLocal);
+  EXPECT_GT(ion.fs.stripe_width, 1u);
+  for (const auto& config : figure8_configs(NvmType::kSlc)) {
+    EXPECT_EQ(config.location, StorageLocation::kComputeLocal);
+  }
+}
+
+// ---------- engine: qualitative paper claims -----------------------------------
+
+TEST(Engine, CnlUfsBeatsIonGpfs) {
+  const Trace trace = small_ooc_trace();
+  for (NvmType media : kAllNvmTypes) {
+    const auto ion = run_experiment(ion_gpfs_config(media), trace);
+    const auto cnl = run_experiment(cnl_ufs_config(media), trace);
+    EXPECT_GT(cnl.achieved_mbps, ion.achieved_mbps * 2.0)
+        << "media " << to_string(media);
+  }
+}
+
+TEST(Engine, WorstCnlFsStillBeatsIonOnNand) {
+  // Paper Section 4.3: "Even in the worst performing file systems for
+  // the CN-local approaches, improvements over the ION-GPFS setup are
+  // 7%, 78%, and 108% for TLC, MLC, and SLC".
+  const Trace trace = small_ooc_trace();
+  for (NvmType media : {NvmType::kTlc, NvmType::kMlc, NvmType::kSlc}) {
+    const auto ion = run_experiment(ion_gpfs_config(media), trace);
+    double worst = 1e18;
+    for (const FsBehavior& fs : all_local_filesystems()) {
+      const auto result = run_experiment(cnl_fs_config(fs, media), trace);
+      worst = std::min(worst, result.achieved_mbps);
+    }
+    EXPECT_GT(worst, ion.achieved_mbps) << "media " << to_string(media);
+  }
+}
+
+TEST(Engine, UfsBeatsEveryTraditionalFs) {
+  const Trace trace = small_ooc_trace();
+  const auto ufs = run_experiment(cnl_ufs_config(NvmType::kTlc), trace);
+  for (const FsBehavior& fs : all_local_filesystems()) {
+    const auto result = run_experiment(cnl_fs_config(fs, NvmType::kTlc), trace);
+    EXPECT_GT(ufs.achieved_mbps, result.achieved_mbps) << fs.name;
+  }
+}
+
+TEST(Engine, Ext4LargeBeatsExt4) {
+  // The "simple tuning" observation: opening the coalescing knobs gains
+  // on the order of 1 GB/s.
+  const Trace trace = small_ooc_trace();
+  const auto ext4 = run_experiment(cnl_fs_config(ext4_behavior(), NvmType::kTlc), trace);
+  const auto ext4l =
+      run_experiment(cnl_fs_config(ext4_large_behavior(), NvmType::kTlc), trace);
+  EXPECT_GT(ext4l.achieved_mbps, ext4.achieved_mbps * 1.3);
+}
+
+TEST(Engine, PcmObscuresFsDifferences) {
+  // Paper: PCM's read speed hides the FS differences (PCIe becomes the
+  // only limit). Spread on PCM must be far smaller than on TLC.
+  const Trace trace = small_ooc_trace();
+  auto spread = [&](NvmType media) {
+    double lo = 1e18;
+    double hi = 0;
+    for (const FsBehavior& fs : all_local_filesystems()) {
+      const auto result = run_experiment(cnl_fs_config(fs, media), trace);
+      lo = std::min(lo, result.achieved_mbps);
+      hi = std::max(hi, result.achieved_mbps);
+    }
+    return hi / lo;
+  };
+  EXPECT_LT(spread(NvmType::kPcm), 1.6);
+  EXPECT_GT(spread(NvmType::kTlc), 2.0);
+}
+
+TEST(Engine, NativeLaddersUp) {
+  // Figure 8: BRIDGE-16 barely helps; NATIVE-8 is a big jump; NATIVE-16
+  // tops out.
+  const Trace trace = small_ooc_trace();
+  for (NvmType media : {NvmType::kTlc, NvmType::kPcm}) {
+    const auto ufs = run_experiment(cnl_ufs_config(media), trace);
+    const auto bridge16 = run_experiment(cnl_bridge16_config(media), trace);
+    const auto native8 = run_experiment(cnl_native8_config(media), trace);
+    const auto native16 = run_experiment(cnl_native16_config(media), trace);
+    EXPECT_GE(bridge16.achieved_mbps, ufs.achieved_mbps * 0.98);
+    EXPECT_LT(bridge16.achieved_mbps, ufs.achieved_mbps * 1.25);  // Marginal.
+    EXPECT_GT(native8.achieved_mbps, bridge16.achieved_mbps * 1.5);
+    EXPECT_GE(native16.achieved_mbps, native8.achieved_mbps);
+  }
+}
+
+TEST(Engine, OrderOfMagnitudeHeadline) {
+  // "throughput increases in excess of an order of magnitude over
+  // current approaches": NATIVE-16 vs ION-GPFS.
+  const Trace trace = small_ooc_trace();
+  const auto ion = run_experiment(ion_gpfs_config(NvmType::kPcm), trace);
+  const auto native = run_experiment(cnl_native16_config(NvmType::kPcm), trace);
+  EXPECT_GT(native.achieved_mbps, ion.achieved_mbps * 10.0);
+}
+
+TEST(Engine, IonShowsHighChannelLowPackageUtilization) {
+  // Figure 9 observation for ION-GPFS: striping keeps channels hot while
+  // packages idle.
+  const Trace trace = small_ooc_trace();
+  const auto ion = run_experiment(ion_gpfs_config(NvmType::kTlc), trace);
+  EXPECT_GT(ion.channel_utilization, 0.7);
+  EXPECT_LT(ion.package_utilization, 0.5);
+}
+
+TEST(Engine, IonDominatedByNonOverlappedDma) {
+  // Figure 10a: the ION cases spend a far larger share in non-overlapped
+  // DMA (network) than CNL cases.
+  const Trace trace = small_ooc_trace();
+  const auto ion = run_experiment(ion_gpfs_config(NvmType::kTlc), trace);
+  const auto cnl = run_experiment(cnl_ufs_config(NvmType::kTlc), trace);
+  const double ion_dma = ion.phase_fraction[static_cast<int>(Phase::kNonOverlappedDma)];
+  const double cnl_dma = cnl.phase_fraction[static_cast<int>(Phase::kNonOverlappedDma)];
+  EXPECT_GT(ion_dma, cnl_dma * 2);
+}
+
+TEST(Engine, IonTlcStaysAtPal3WhileUfsReachesPal4) {
+  // Figure 10b: "ION-local PCIe stays almost completely parallelism type
+  // PAL3, and almost never makes it to the full parallelism of PAL4...
+  // UFS-based architectures almost entirely reach PAL4".
+  const Trace trace = small_ooc_trace();
+  const auto ion = run_experiment(ion_gpfs_config(NvmType::kTlc), trace);
+  const auto ufs = run_experiment(cnl_ufs_config(NvmType::kTlc), trace);
+  EXPECT_GT(ion.pal_fraction[2], 0.6);   // PAL3-dominated.
+  EXPECT_LT(ion.pal_fraction[3], 0.3);
+  EXPECT_GT(ufs.pal_fraction[3], 0.9);   // PAL4-dominated.
+}
+
+TEST(Engine, PcmIsAlmostEntirelyPal4) {
+  // Figure 10d: PCM's tiny pages spread any request across all dies.
+  const Trace trace = small_ooc_trace();
+  for (const auto& config : {ion_gpfs_config(NvmType::kPcm), cnl_ufs_config(NvmType::kPcm),
+                             cnl_fs_config(ext2_behavior(), NvmType::kPcm)}) {
+    const auto result = run_experiment(config, trace);
+    EXPECT_GT(result.pal_fraction[3], 0.9) << config.name;
+  }
+}
+
+TEST(Engine, NativeShiftsTimeTowardCellActivation) {
+  // Figure 10a: toward the right (NATIVE), cell activation becomes the
+  // dominant TLC phase — "a nearly ideal case".
+  const Trace trace = small_ooc_trace();
+  const auto ufs = run_experiment(cnl_ufs_config(NvmType::kTlc), trace);
+  const auto native = run_experiment(cnl_native16_config(NvmType::kTlc), trace);
+  const int cell = static_cast<int>(Phase::kCellActivation);
+  const int cell_wait = static_cast<int>(Phase::kCellContention);
+  EXPECT_GT(native.phase_fraction[cell], ufs.phase_fraction[cell]);
+  // Cell work (activation + waiting on busy cells) dominates once the
+  // buses stop being the bottleneck.
+  EXPECT_GT(native.phase_fraction[cell] + native.phase_fraction[cell_wait], 0.4);
+}
+
+TEST(Engine, MakespanAndBytesAreConsistent) {
+  const Trace trace = small_ooc_trace();
+  const auto result = run_experiment(cnl_ufs_config(NvmType::kSlc), trace);
+  EXPECT_EQ(result.payload_bytes, trace.stats().total_bytes);
+  EXPECT_GT(result.makespan, 0);
+  const double bw = bandwidth_mbps(result.payload_bytes, result.makespan);
+  EXPECT_NEAR(result.achieved_mbps, bw, 1e-6);
+}
+
+TEST(Engine, BarriersSlowThingsDown) {
+  // Sanity: an FS with frequent synchronous metadata must do worse than
+  // the identical FS without it.
+  const Trace trace = small_ooc_trace();
+  FsBehavior chatty = ext4_behavior();
+  chatty.metadata_interval = 256 * KiB;
+  FsBehavior quiet = ext4_behavior();
+  quiet.metadata_interval = 0;
+  const auto slow = run_experiment(cnl_fs_config(chatty, NvmType::kSlc), trace);
+  const auto fast = run_experiment(cnl_fs_config(quiet, NvmType::kSlc), trace);
+  EXPECT_LT(slow.achieved_mbps, fast.achieved_mbps);
+}
+
+TEST(Engine, LatencyPercentilesAreOrdered) {
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const ExperimentResult result = run_experiment(cnl_ufs_config(NvmType::kMlc), trace);
+  EXPECT_GT(result.read_latency_p50_us, 0.0);
+  EXPECT_GE(result.read_latency_p99_us, result.read_latency_p50_us);
+  EXPECT_GT(result.read_latency_mean_us, 0.0);
+}
+
+TEST(Engine, IonLatencyDwarfsLocal) {
+  // Small random reads: the ION pays network + RPC on every access.
+  Rng rng(5);
+  const Trace trace = random_read_trace(64 * MiB, 8 * KiB, 300, rng);
+  const ExperimentResult ion = run_experiment(ion_gpfs_config(NvmType::kPcm), trace);
+  const ExperimentResult cnl = run_experiment(cnl_ufs_config(NvmType::kPcm), trace);
+  EXPECT_GT(ion.read_latency_p50_us, cnl.read_latency_p50_us * 5.0);
+}
+
+TEST(Energy, ComponentsAddUp) {
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const ExperimentResult result = run_experiment(cnl_ufs_config(NvmType::kMlc), trace);
+  const EnergyReport report = estimate_energy(result.controller, result, false);
+  EXPECT_GT(report.cell_joules, 0.0);
+  EXPECT_GT(report.bus_joules, 0.0);
+  EXPECT_GT(report.idle_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.network_joules, 0.0);  // Compute-local: no fabric.
+  EXPECT_NEAR(report.total_joules,
+              report.cell_joules + report.bus_joules + report.link_joules +
+                  report.network_joules + report.idle_joules,
+              1e-12);
+  EXPECT_GT(report.mj_per_mib, 0.0);
+}
+
+TEST(Energy, LocalNvmCheaperPerByteThanIon) {
+  // The paper's energy argument: the ION path pays the network per byte
+  // *and* idles everything longer.
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const ExperimentResult ion = run_experiment(ion_gpfs_config(NvmType::kMlc), trace);
+  const ExperimentResult cnl = run_experiment(cnl_ufs_config(NvmType::kMlc), trace);
+  const EnergyReport ion_energy = estimate_energy(ion.controller, ion, true);
+  const EnergyReport cnl_energy = estimate_energy(cnl.controller, cnl, false);
+  EXPECT_LT(cnl_energy.mj_per_mib, ion_energy.mj_per_mib);
+  EXPECT_GT(ion_energy.network_joules, 0.0);
+}
+
+TEST(Energy, DramAlternativeScalesWithResidency) {
+  const double small =
+      in_memory_alternative_joules(GiB, GiB, kSecond);
+  const double bigger_dataset =
+      in_memory_alternative_joules(8 * GiB, GiB, kSecond);
+  const double longer =
+      in_memory_alternative_joules(GiB, GiB, 10 * kSecond);
+  EXPECT_GT(bigger_dataset, small);
+  EXPECT_GT(longer, small);
+}
+
+TEST(MultiClient, SharedIonDividesBandwidth) {
+  // Figure 3's ratio: several CNs behind one ION SSD — per-client
+  // bandwidth must fall roughly with the client count.
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const MultiClientResult one = run_multi_client(ion_gpfs_config(NvmType::kMlc), trace, 1);
+  const MultiClientResult four = run_multi_client(ion_gpfs_config(NvmType::kMlc), trace, 4);
+  EXPECT_LT(four.per_client_mbps, one.per_client_mbps * 0.6);
+  // Aggregate cannot exceed the wire.
+  EXPECT_LE(four.aggregate_mbps, infiniband_qdr4x().byte_rate() / 1e6 * 1.01);
+}
+
+TEST(MultiClient, ComputeLocalScalesLinearly) {
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const MultiClientResult one = run_multi_client(cnl_ufs_config(NvmType::kMlc), trace, 1);
+  const MultiClientResult four = run_multi_client(cnl_ufs_config(NvmType::kMlc), trace, 4);
+  EXPECT_DOUBLE_EQ(four.per_client_mbps, one.per_client_mbps);
+  EXPECT_NEAR(four.aggregate_mbps, 4.0 * one.aggregate_mbps, 1e-6);
+}
+
+TEST(MultiClient, SingleClientMatchesEngineShape) {
+  // One shared-ION client should land near the single-stream engine.
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const MultiClientResult multi = run_multi_client(ion_gpfs_config(NvmType::kSlc), trace, 1);
+  const ExperimentResult single = run_experiment(ion_gpfs_config(NvmType::kSlc), trace);
+  EXPECT_NEAR(multi.per_client_mbps, single.achieved_mbps, single.achieved_mbps * 0.2);
+}
+
+TEST(MultiClient, CarverRatioStillFavoursCnl) {
+  // At the 4:1 Carver ratio, per-client ION bandwidth is far below a
+  // private compute-local SSD.
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const MultiClientResult ion = run_multi_client(ion_gpfs_config(NvmType::kMlc), trace, 4);
+  const MultiClientResult cnl = run_multi_client(cnl_ufs_config(NvmType::kMlc), trace, 4);
+  EXPECT_GT(cnl.per_client_mbps, ion.per_client_mbps * 8.0);
+}
+
+TEST(Engine, BarrierDrainsPipeline) {
+  // A trace with an explicit compute dependency: the second sweep may
+  // not begin before `not_before`.
+  Trace trace;
+  trace.add(NvmOp::kRead, 0, 8 * MiB, 0);
+  trace.add(NvmOp::kRead, 8 * MiB, 8 * MiB, /*not_before=*/kSecond);
+  const ExperimentResult result = run_experiment(cnl_ufs_config(NvmType::kSlc), trace);
+  EXPECT_GT(result.makespan, kSecond);  // Honoured the dependency.
+}
+
+TEST(MultiClient, Deterministic) {
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const MultiClientResult a = run_multi_client(ion_gpfs_config(NvmType::kTlc), trace, 3);
+  const MultiClientResult b = run_multi_client(ion_gpfs_config(NvmType::kTlc), trace, 3);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.aggregate_mbps, b.aggregate_mbps);
+}
+
+TEST(Engine, InternalTrafficNotCountedAsPayload) {
+  // ext2's metadata reads are real device traffic but must not inflate
+  // the achieved-bandwidth numerator.
+  const Trace trace = small_ooc_trace(32 * MiB);
+  const ExperimentResult result =
+      run_experiment(cnl_fs_config(ext2_behavior(), NvmType::kSlc), trace);
+  EXPECT_EQ(result.payload_bytes, trace.stats().total_bytes);
+  EXPECT_GT(result.internal_bytes, 0u);
+}
+
+TEST(Engine, WritesWearTheDevice) {
+  SyntheticWorkloadParams params;
+  params.dataset_bytes = 32 * MiB;
+  params.tile_bytes = 8 * MiB;
+  params.sweeps = 1;
+  params.checkpoint_bytes = 8 * MiB;
+  const Trace trace = synthesize_ooc_trace(params);
+  const auto result = run_experiment(cnl_ufs_config(NvmType::kSlc), trace);
+  EXPECT_GT(result.wear.total_writes, 0u);
+}
+
+}  // namespace
+}  // namespace nvmooc

@@ -1,0 +1,374 @@
+// Unit tests for src/common: units, RNG, statistics, busy tracking,
+// thread pool, string and table utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace nvmooc {
+namespace {
+
+// ---------- units -------------------------------------------------------
+
+TEST(Units, TimeConstantsCompose) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Units, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(to_seconds(123456789)), 123456789);
+}
+
+TEST(Units, BandwidthMbps) {
+  // 1 GB in 1 second = 1000 MB/s.
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, -5), 0.0);
+}
+
+TEST(Units, TransferTimeRoundsUp) {
+  // 1 byte at 1 GB/s = 1 ns exactly.
+  EXPECT_EQ(transfer_time(1, 1e9), kNanosecond);
+  // Zero-rate guards.
+  EXPECT_EQ(transfer_time(100, 0.0), 0);
+  // Never undershoots: moving N bytes takes at least N/rate.
+  for (Bytes b : {Bytes{1}, Bytes{4096}, Bytes{123457}}) {
+    const Time t = transfer_time(b, 400e6);
+    EXPECT_GE(to_seconds(t) * 400e6, static_cast<double>(b) * 0.999999);
+  }
+}
+
+// ---------- rng ---------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit for a small range.
+}
+
+TEST(Rng, NormalHasRoughlyUnitVariance) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(19);
+  std::uint64_t low = 0;
+  const std::uint64_t n = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t rank = rng.next_zipf(n, 1.2);
+    EXPECT_LT(rank, n);
+    if (rank < n / 10) ++low;
+  }
+  // Top decile should absorb well over its uniform 10% share.
+  EXPECT_GT(low, 4000u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+// ---------- running stats ----------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(31);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_normal() * 3 + 1;
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+// ---------- histogram ---------------------------------------------------
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // Clamps into bucket 0.
+  h.add(0.5);
+  h.add(9.99);
+  h.add(25.0);   // Clamps into last bucket.
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, EmptyQuantileIsLo) {
+  Histogram h(5.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+// ---------- busy tracker -------------------------------------------------
+
+TEST(BusyTracker, DisjointIntervalsSum) {
+  BusyTracker t;
+  t.add_interval(0, 10);
+  t.add_interval(20, 30);
+  EXPECT_EQ(t.busy_time(), 20);
+  EXPECT_EQ(t.raw_time(), 20);
+}
+
+TEST(BusyTracker, OverlapsUnion) {
+  BusyTracker t;
+  t.add_interval(0, 10);
+  t.add_interval(5, 15);
+  t.add_interval(14, 20);
+  EXPECT_EQ(t.busy_time(), 20);
+  EXPECT_EQ(t.raw_time(), 26);
+}
+
+TEST(BusyTracker, OutOfOrderInsertion) {
+  BusyTracker t;
+  t.add_interval(100, 110);
+  t.add_interval(0, 10);
+  t.add_interval(50, 60);
+  EXPECT_EQ(t.busy_time(), 30);
+}
+
+TEST(BusyTracker, UtilizationClamped) {
+  BusyTracker t;
+  t.add_interval(0, 50);
+  EXPECT_DOUBLE_EQ(t.utilization(100), 0.5);
+  EXPECT_DOUBLE_EQ(t.utilization(25), 1.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+}
+
+TEST(BusyTracker, MergeAndIntersect) {
+  BusyTracker a;
+  a.add_interval(0, 10);
+  a.add_interval(20, 30);
+  BusyTracker b;
+  b.add_interval(5, 25);
+  EXPECT_EQ(a.intersect_time(b), 10);  // [5,10) + [20,25).
+  a.merge(b);
+  EXPECT_EQ(a.busy_time(), 30);  // [0,30).
+}
+
+TEST(BusyTracker, IgnoresEmptyIntervals) {
+  BusyTracker t;
+  t.add_interval(10, 10);
+  t.add_interval(10, 5);
+  EXPECT_EQ(t.busy_time(), 0);
+}
+
+TEST(BusyTracker, CompactionPreservesTotals) {
+  BusyTracker t;
+  // Far more intervals than the compaction threshold, adversarially
+  // alternating so few merge.
+  std::int64_t expected = 0;
+  for (std::int64_t i = 0; i < 200000; ++i) {
+    t.add_interval(i * 10, i * 10 + 3);
+    expected += 3;
+  }
+  EXPECT_EQ(t.busy_time(), expected);
+}
+
+// ---------- thread pool --------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmission) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++counter; });
+  });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+// ---------- strings ------------------------------------------------------
+
+TEST(StringUtil, Split) {
+  const auto fields = split("a,b,,c", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim("\t \n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtil, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512B");
+  EXPECT_EQ(human_bytes(4096), "4KiB");
+  EXPECT_EQ(human_bytes(3ULL * 1024 * 1024 * 1024), "3GiB");
+}
+
+// ---------- table --------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "v1", "v2"});
+  table.add_row({"alpha", "1", "22"});
+  table.add_row_numeric("beta", {3.14159, 2.71828}, 2);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("2.72"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b"});
+  table.add_row({"only"});
+  EXPECT_NE(table.render().find("only"), std::string::npos);
+}
+
+// ---------- logging ------------------------------------------------------
+
+TEST(Logging, LevelGate) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // No crash formatting below the gate.
+  NVMOOC_LOG_DEBUG("dropped %d", 1);
+  NVMOOC_LOG_ERROR("kept %d", 2);
+  set_log_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace nvmooc

@@ -1,0 +1,380 @@
+// Tests for the DOoC middleware: immutable data pool, data-aware DAG
+// scheduler, tile prefetcher, and filter/stream pipelines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "dooc/data_pool.hpp"
+#include "dooc/filter_stream.hpp"
+#include "dooc/laf.hpp"
+#include "dooc/prefetcher.hpp"
+#include "dooc/scheduler.hpp"
+#include "ooc/tile_store.hpp"
+
+namespace nvmooc {
+namespace {
+
+// ---------- data pool --------------------------------------------------------
+
+TEST(DataPool, WriteSealReadRoundTrip) {
+  DataPool pool;
+  const ArrayId id = pool.create(64);
+  const int value = 42;
+  pool.write(id, 0, &value, sizeof(value));
+  pool.seal(id);
+  int back = 0;
+  pool.read(id, 0, &back, sizeof(back));
+  EXPECT_EQ(back, 42);
+}
+
+TEST(DataPool, ImmutableOnceSealed) {
+  DataPool pool;
+  const ArrayId id = pool.create(16);
+  pool.seal(id);
+  const int value = 1;
+  EXPECT_THROW(pool.write(id, 0, &value, sizeof(value)), std::logic_error);
+}
+
+TEST(DataPool, ReadBeforeSealRejected) {
+  DataPool pool;
+  const ArrayId id = pool.create(16);
+  int back = 0;
+  EXPECT_THROW(pool.read(id, 0, &back, sizeof(back)), std::logic_error);
+}
+
+TEST(DataPool, BoundsChecked) {
+  DataPool pool;
+  const ArrayId id = pool.create(8);
+  const double v = 1.0;
+  EXPECT_THROW(pool.write(id, 4, &v, sizeof(v)), std::out_of_range);
+  EXPECT_THROW(pool.read(999, 0, nullptr, 0), std::out_of_range);
+}
+
+TEST(DataPool, TracksNodeAndCount) {
+  DataPool pool;
+  const ArrayId a = pool.create(8, 3);
+  EXPECT_EQ(pool.node_of(a), 3u);
+  EXPECT_EQ(pool.array_count(), 1u);
+  EXPECT_TRUE(pool.remove(a));
+  EXPECT_EQ(pool.array_count(), 0u);
+}
+
+TEST(DataPool, ConcurrentReadersAfterSeal) {
+  DataPool pool;
+  const ArrayId id = pool.create(sizeof(std::uint64_t) * 1024);
+  std::vector<std::uint64_t> data(1024);
+  std::iota(data.begin(), data.end(), 0);
+  pool.write(id, 0, data.data(), data.size() * sizeof(std::uint64_t));
+  pool.seal(id);
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&pool, id, &errors] {
+      std::uint64_t value = 0;
+      for (int i = 0; i < 1024; ++i) {
+        pool.read(id, static_cast<Bytes>(i) * sizeof(value), &value, sizeof(value));
+        if (value != static_cast<std::uint64_t>(i)) ++errors;
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+// ---------- scheduler --------------------------------------------------------
+
+TEST(Scheduler, RespectsDependencies) {
+  DataAwareScheduler scheduler;
+  std::vector<int> log;
+  std::mutex log_mutex;
+  auto record = [&](int id) {
+    return [&log, &log_mutex, id] {
+      std::lock_guard<std::mutex> lock(log_mutex);
+      log.push_back(id);
+    };
+  };
+  const TaskId a = scheduler.add_task({record(1), {}, {}, 0});
+  const TaskId b = scheduler.add_task({record(2), {a}, {}, 0});
+  scheduler.add_task({record(3), {a, b}, {}, 0});
+  scheduler.run(4);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 1);
+  EXPECT_EQ(log[1], 2);
+  EXPECT_EQ(log[2], 3);
+}
+
+TEST(Scheduler, RunsIndependentTasksInParallel) {
+  DataAwareScheduler scheduler;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    scheduler.add_task({[&] {
+                          const int now = ++concurrent;
+                          int expected = peak.load();
+                          while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+                          }
+                          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                          --concurrent;
+                        },
+                        {},
+                        {},
+                        0});
+  }
+  scheduler.run(4);
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(Scheduler, UnknownDependencyRejected) {
+  DataAwareScheduler scheduler;
+  EXPECT_THROW(scheduler.add_task({[] {}, {12345}, {}, 0}), std::invalid_argument);
+}
+
+TEST(Scheduler, DataAwarePickPrefersSharedInputs) {
+  // Single worker; tasks alternate between two input arrays. The
+  // locality-aware pick should group same-array tasks back to back.
+  DataAwareScheduler scheduler;
+  const ArrayId hot = 1;
+  const ArrayId cold = 2;
+  scheduler.add_task({[] {}, {}, {hot}, 0});
+  for (int i = 0; i < 3; ++i) {
+    scheduler.add_task({[] {}, {}, {cold}, 0});
+    scheduler.add_task({[] {}, {}, {hot}, 0});
+  }
+  scheduler.run(1);
+  const SchedulerStats& stats = scheduler.stats();
+  EXPECT_EQ(stats.executed, 7u);
+  // With reordering, at least the hot tasks chain together.
+  EXPECT_GE(stats.locality_hits, 3u);
+}
+
+TEST(Scheduler, PriorityBreaksTies) {
+  DataAwareScheduler scheduler;
+  std::vector<int> log;
+  std::mutex log_mutex;
+  auto record = [&](int id) {
+    return [&log, &log_mutex, id] {
+      std::lock_guard<std::mutex> lock(log_mutex);
+      log.push_back(id);
+    };
+  };
+  scheduler.add_task({record(0), {}, {}, 0});
+  scheduler.add_task({record(9), {}, {}, 9});
+  scheduler.run(1);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 9);  // Higher priority first.
+}
+
+TEST(Scheduler, TaskExceptionPropagates) {
+  DataAwareScheduler scheduler;
+  scheduler.add_task({[] { throw std::runtime_error("task boom"); }, {}, {}, 0});
+  EXPECT_THROW(scheduler.run(2), std::runtime_error);
+}
+
+TEST(Scheduler, LargeDagCompletes) {
+  DataAwareScheduler scheduler;
+  std::atomic<int> count{0};
+  std::vector<TaskId> previous_layer;
+  for (int layer = 0; layer < 10; ++layer) {
+    std::vector<TaskId> current;
+    for (int i = 0; i < 20; ++i) {
+      current.push_back(scheduler.add_task({[&] { ++count; }, previous_layer, {}, 0}));
+    }
+    previous_layer = std::move(current);
+  }
+  const auto order = scheduler.run(8);
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(order.size(), 200u);
+}
+
+// ---------- prefetcher -------------------------------------------------------
+
+std::vector<TilePrefetcher::TileRef> make_tiles(Bytes tile, std::size_t count) {
+  std::vector<TilePrefetcher::TileRef> tiles;
+  for (std::size_t i = 0; i < count; ++i) tiles.push_back({i * tile, tile});
+  return tiles;
+}
+
+TEST(Prefetcher, DeliversCorrectBytes) {
+  MemoryStorage storage(64 * KiB);
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::vector<std::uint8_t> block(4 * KiB, static_cast<std::uint8_t>(i));
+    storage.write(i * 4 * KiB, block.data(), block.size());
+  }
+  TilePrefetcher prefetcher(storage, make_tiles(4 * KiB, 16), 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto buffer = prefetcher.get(i);
+    ASSERT_EQ(buffer->size(), 4 * KiB);
+    EXPECT_EQ((*buffer)[0], static_cast<std::uint8_t>(i));
+    EXPECT_EQ((*buffer)[4 * KiB - 1], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Prefetcher, AheadReadsBecomeHits) {
+  MemoryStorage storage(MiB);
+  TilePrefetcher prefetcher(storage, make_tiles(64 * KiB, 16), 8);
+  // Give the worker a moment to run ahead, then consume with compute
+  // gaps: most gets should be hits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (std::size_t i = 0; i < 16; ++i) {
+    prefetcher.get(i);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(prefetcher.stats().hits, prefetcher.stats().stalls);
+}
+
+TEST(Prefetcher, RestartSupportsNextSweep) {
+  MemoryStorage storage(MiB);
+  TilePrefetcher prefetcher(storage, make_tiles(64 * KiB, 8), 4);
+  for (std::size_t i = 0; i < 8; ++i) prefetcher.get(i);
+  prefetcher.restart();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(prefetcher.get(i)->size(), 64 * KiB);
+  }
+}
+
+TEST(Prefetcher, OutOfOrderConsumptionRejected) {
+  MemoryStorage storage(MiB);
+  TilePrefetcher prefetcher(storage, make_tiles(64 * KiB, 8), 4);
+  prefetcher.get(3);
+  EXPECT_THROW(prefetcher.get(1), std::logic_error);
+  EXPECT_THROW(prefetcher.get(99), std::out_of_range);
+}
+
+// ---------- LAF (linear algebra framework) -----------------------------------
+
+TEST(Laf, MultiplyMatchesDirectProduct) {
+  HamiltonianParams params;
+  params.dimension = 900;
+  params.band_width = 24;
+  const CsrMatrix h = synthetic_hamiltonian(params);
+  MemoryStorage storage(h.storage_bytes(0, h.rows()) + MiB);
+
+  LafOptions options;
+  options.workers = 4;
+  options.rows_per_tile = 128;
+  LafContext laf(storage, options);
+  const OocMatrixHandle handle = laf.register_matrix(h);
+  EXPECT_EQ(laf.rows(handle), 900u);
+
+  Rng rng(21);
+  DenseMatrix x(h.rows(), 4);
+  x.fill_random(rng);
+  const DenseMatrix expected = h.multiply(x);
+  const DenseMatrix actual = laf.multiply(handle, x);
+  double max_err = 0;
+  for (std::size_t i = 0; i < h.rows() * 4; ++i) {
+    max_err = std::max(max_err, std::abs(expected.data()[i] - actual.data()[i]));
+  }
+  EXPECT_LT(max_err, 1e-12);
+  EXPECT_EQ(laf.stats().multiplies, 1u);
+  EXPECT_EQ(laf.stats().tile_tasks, laf.stats().multiplies * ((900 + 127) / 128));
+}
+
+TEST(Laf, SolveLowestConverges) {
+  HamiltonianParams params;
+  params.dimension = 800;
+  params.band_width = 24;
+  const CsrMatrix h = synthetic_hamiltonian(params);
+  MemoryStorage storage(h.storage_bytes(0, h.rows()) + MiB);
+  LafContext laf(storage, {2, 128});
+  const OocMatrixHandle handle = laf.register_matrix(h);
+
+  LobpcgOptions solver;
+  solver.block_size = 4;
+  solver.tolerance = 1e-5;
+  solver.max_iterations = 200;
+  const LobpcgResult direct =
+      lobpcg([&](const DenseMatrix& x) { return h.multiply(x); }, h.rows(), solver);
+  const LobpcgResult framed = laf.solve_lowest(handle, solver);
+  ASSERT_TRUE(framed.converged);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(framed.eigenvalues[j], direct.eigenvalues[j], 1e-4);
+  }
+  EXPECT_GT(laf.stats().bytes_streamed, laf.dataset_bytes(handle));
+}
+
+TEST(Laf, MigrationRoundTripsThroughPool) {
+  MemoryStorage storage(MiB);
+  LafContext laf(storage);
+  DataPool pool;
+
+  // Pool array -> node storage (the pre-load directive).
+  const ArrayId in = pool.create(64 * KiB, 2);
+  std::vector<std::uint8_t> payload(64 * KiB);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  pool.write(in, 0, payload.data(), payload.size());
+  pool.seal(in);
+  laf.migrate_in(pool, in, 4096);
+
+  // Node storage -> pool (publishing results).
+  const ArrayId out = laf.migrate_out(pool, 4096, 64 * KiB, 5);
+  EXPECT_TRUE(pool.is_sealed(out));
+  EXPECT_EQ(pool.node_of(out), 5u);
+  std::vector<std::uint8_t> back(64 * KiB);
+  pool.read(out, 0, back.data(), back.size());
+  EXPECT_EQ(back, payload);
+}
+
+// ---------- filters & streams --------------------------------------------------
+
+TEST(Stream, BoundedBlockingFifo) {
+  Stream<int> stream(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(stream.push(i));
+  EXPECT_EQ(stream.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto v = stream.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(Stream, CloseDrainsThenEnds) {
+  Stream<int> stream(8);
+  stream.push(1);
+  stream.push(2);
+  stream.close();
+  EXPECT_FALSE(stream.push(3));  // Dropped after close.
+  EXPECT_EQ(stream.pop().value(), 1);
+  EXPECT_EQ(stream.pop().value(), 2);
+  EXPECT_FALSE(stream.pop().has_value());
+}
+
+TEST(Pipeline, ProducerFilterConsumer) {
+  Stream<int> raw(8);
+  Stream<int> squared(8);
+  std::vector<int> sink;
+
+  Pipeline pipeline;
+  pipeline.add_filter("produce", [&] {
+    for (int i = 1; i <= 100; ++i) raw.push(i);
+    raw.close();
+  });
+  pipeline.add_filter("square", [&] {
+    while (auto v = raw.pop()) squared.push(*v * *v);
+    squared.close();
+  });
+  pipeline.add_filter("consume", [&] {
+    while (auto v = squared.pop()) sink.push_back(*v);
+  });
+  pipeline.run();
+
+  ASSERT_EQ(sink.size(), 100u);
+  EXPECT_EQ(sink[0], 1);
+  EXPECT_EQ(sink[99], 10000);
+}
+
+TEST(Pipeline, FilterExceptionPropagates) {
+  Pipeline pipeline;
+  pipeline.add_filter("boom", [] { throw std::runtime_error("filter failed"); });
+  EXPECT_THROW(pipeline.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nvmooc

@@ -1,0 +1,245 @@
+// Unit tests for the NVM media layer: Table 1 timing, page-position
+// latency variation, die/plane concurrency, bus rates, wear accounting.
+#include <gtest/gtest.h>
+
+#include "nvm/bus.hpp"
+#include "nvm/die.hpp"
+#include "nvm/package.hpp"
+#include "nvm/timing.hpp"
+#include "nvm/wear.hpp"
+
+namespace nvmooc {
+namespace {
+
+// ---------- Table 1 -------------------------------------------------------
+
+TEST(Timing, Table1PageSizes) {
+  EXPECT_EQ(slc_timing().page_size, 2 * KiB);
+  EXPECT_EQ(mlc_timing().page_size, 4 * KiB);
+  EXPECT_EQ(tlc_timing().page_size, 8 * KiB);
+  EXPECT_EQ(pcm_timing().page_size, 64u);
+}
+
+TEST(Timing, Table1ReadLatencies) {
+  EXPECT_EQ(slc_timing().read_time, 25 * kMicrosecond);
+  EXPECT_EQ(mlc_timing().read_time, 50 * kMicrosecond);
+  EXPECT_EQ(tlc_timing().read_time, 150 * kMicrosecond);
+  EXPECT_EQ(pcm_timing().read_time, 115 * kNanosecond);
+  EXPECT_EQ(pcm_timing().read_time_max, 135 * kNanosecond);
+}
+
+TEST(Timing, Table1WriteAndEraseLatencies) {
+  EXPECT_EQ(slc_timing().write_min, 250 * kMicrosecond);
+  EXPECT_EQ(slc_timing().write_max, 250 * kMicrosecond);
+  EXPECT_EQ(mlc_timing().write_min, 250 * kMicrosecond);
+  EXPECT_EQ(mlc_timing().write_max, 2200 * kMicrosecond);
+  EXPECT_EQ(tlc_timing().write_min, 440 * kMicrosecond);
+  EXPECT_EQ(tlc_timing().write_max, 6000 * kMicrosecond);
+  EXPECT_EQ(pcm_timing().write_min, 35 * kMicrosecond);
+
+  EXPECT_EQ(slc_timing().erase_time, 1500 * kMicrosecond);
+  EXPECT_EQ(mlc_timing().erase_time, 2500 * kMicrosecond);
+  EXPECT_EQ(tlc_timing().erase_time, 3000 * kMicrosecond);
+  EXPECT_EQ(pcm_timing().erase_time, 35 * kMicrosecond);
+}
+
+TEST(Timing, EraseBlocksWithinNandNorms) {
+  // Paper: NAND erase blocks "typically range between 64kB and 256kB"
+  // (and denser media trend larger).
+  for (NvmType type : {NvmType::kSlc, NvmType::kMlc}) {
+    const NvmTiming t = timing_for(type);
+    EXPECT_GE(t.block_size(), 64 * KiB);
+    EXPECT_LE(t.block_size(), 512 * KiB);
+  }
+  // PCM's emulated block is small (NOR-style interface over 64 B lines).
+  EXPECT_EQ(pcm_timing().block_size(), 4 * KiB);
+}
+
+TEST(Timing, WriteVariationCyclesAcrossPages) {
+  const NvmTiming mlc = mlc_timing();
+  EXPECT_EQ(mlc.write_time_for_page(0), mlc.write_min);  // LSB page fast.
+  EXPECT_EQ(mlc.write_time_for_page(1), mlc.write_max);  // MSB page slow.
+  EXPECT_EQ(mlc.write_time_for_page(2), mlc.write_min);
+
+  const NvmTiming tlc = tlc_timing();
+  EXPECT_EQ(tlc.write_time_for_page(0), tlc.write_min);
+  EXPECT_GT(tlc.write_time_for_page(1), tlc.write_min);
+  EXPECT_LT(tlc.write_time_for_page(1), tlc.write_max);
+  EXPECT_EQ(tlc.write_time_for_page(2), tlc.write_max);
+}
+
+TEST(Timing, ReadVariationBounded) {
+  const NvmTiming pcm = pcm_timing();
+  for (std::uint32_t page = 0; page < 64; ++page) {
+    const Time t = pcm.read_time_for_page(page);
+    EXPECT_GE(t, pcm.read_time);
+    EXPECT_LE(t, pcm.read_time_max);
+  }
+}
+
+TEST(Timing, UniformMediaHasNoVariation) {
+  const NvmTiming slc = slc_timing();
+  for (std::uint32_t page = 0; page < 10; ++page) {
+    EXPECT_EQ(slc.read_time_for_page(page), slc.read_time);
+    EXPECT_EQ(slc.write_time_for_page(page), slc.write_min);
+  }
+}
+
+TEST(Timing, DieCapacityConsistent) {
+  for (NvmType type : kAllNvmTypes) {
+    const NvmTiming t = timing_for(type);
+    EXPECT_EQ(t.die_size(), t.page_size * t.pages_per_block *
+                                t.blocks_per_plane * t.planes_per_die);
+    // All media share the ~8 GiB-per-die ballpark so device capacities
+    // are comparable across NVM types.
+    EXPECT_GE(t.die_size(), 7 * GiB);
+    EXPECT_LE(t.die_size(), 9 * GiB);
+  }
+}
+
+TEST(Timing, DieReadBandwidthOrdering) {
+  // PCM line reads stream far faster than NAND page reads; TLC is the
+  // slowest NAND.
+  EXPECT_GT(pcm_timing().die_read_bandwidth(), slc_timing().die_read_bandwidth());
+  EXPECT_GT(slc_timing().die_read_bandwidth(), tlc_timing().die_read_bandwidth());
+  EXPECT_GT(mlc_timing().die_read_bandwidth(), tlc_timing().die_read_bandwidth());
+}
+
+// ---------- bus ----------------------------------------------------------
+
+TEST(Bus, Onfi3SdrRate) {
+  const BusConfig bus = onfi3_sdr_bus();
+  EXPECT_DOUBLE_EQ(bus.byte_rate(), 400e6);  // 400 MHz x 8 bit SDR.
+}
+
+TEST(Bus, FutureDdrRate) {
+  const BusConfig bus = future_ddr_bus();
+  EXPECT_DOUBLE_EQ(bus.byte_rate(), 1600e6);  // 800 MHz x 8 bit DDR.
+}
+
+TEST(Bus, TransferTimeScalesLinearly) {
+  const BusConfig bus = onfi3_sdr_bus();
+  const Time t1 = bus.transfer_time(4 * KiB);
+  const Time t2 = bus.transfer_time(8 * KiB);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1),
+              static_cast<double>(t1) * 0.01);
+}
+
+TEST(Bus, DescribeMentionsMode) {
+  EXPECT_NE(onfi3_sdr_bus().describe().find("SDR"), std::string::npos);
+  EXPECT_NE(future_ddr_bus().describe().find("DDR"), std::string::npos);
+}
+
+// ---------- die ----------------------------------------------------------
+
+TEST(Die, ReadActivationMatchesTiming) {
+  const NvmTiming timing = slc_timing();
+  Die die(timing, false);
+  const CellActivation a = die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(a.end, timing.read_time);
+  EXPECT_EQ(a.waited, 0);
+}
+
+TEST(Die, SamePlaneSerializes) {
+  const NvmTiming timing = slc_timing();
+  Die die(timing, false);
+  die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
+  const CellActivation b = die.activate(0, NvmOp::kRead, 0, 1, 1, 0);
+  EXPECT_EQ(b.start, timing.read_time);
+  EXPECT_EQ(b.waited, timing.read_time);
+}
+
+TEST(Die, PlanesRunConcurrently) {
+  const NvmTiming timing = slc_timing();
+  Die die(timing, false);
+  const CellActivation a = die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
+  const CellActivation b = die.activate(1, NvmOp::kRead, 0, 0, 1, 0);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(b.start, 0);  // Multi-plane: no contention across planes.
+}
+
+TEST(Die, BurstAccumulatesCellOps) {
+  const NvmTiming timing = pcm_timing();
+  Die die(timing, false);
+  const CellActivation burst = die.activate(0, NvmOp::kRead, 0, 0, 64, 0);
+  Time expected = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) expected += timing.read_time_for_page(i % 64);
+  EXPECT_EQ(burst.end - burst.start, expected);
+}
+
+TEST(Die, EraseTakesEraseTime) {
+  const NvmTiming timing = tlc_timing();
+  Die die(timing, false);
+  const CellActivation e = die.activate(0, NvmOp::kErase, 5, 0, 1, 0);
+  EXPECT_EQ(e.end - e.start, timing.erase_time);
+  EXPECT_EQ(die.wear().erases(5 * timing.planes_per_die + 0), 1u);
+}
+
+TEST(Die, BusyTimeUnionsPlanes) {
+  const NvmTiming timing = slc_timing();
+  Die die(timing, false);
+  die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
+  die.activate(1, NvmOp::kRead, 0, 0, 1, 0);  // Concurrent.
+  EXPECT_EQ(die.busy_time(), timing.read_time);
+}
+
+TEST(Die, InvalidPlaneThrows) {
+  Die die(slc_timing(), false);
+  EXPECT_THROW(die.activate(9, NvmOp::kRead, 0, 0, 1, 0), std::out_of_range);
+}
+
+// ---------- package -------------------------------------------------------
+
+TEST(Package, FlashBusSerializesAcrossDies) {
+  const NvmTiming timing = slc_timing();
+  Package package(timing, onfi3_sdr_bus(), 2, false);
+  const Reservation a = package.reserve_flash_bus(0, 2 * KiB);
+  const Reservation b = package.reserve_flash_bus(0, 2 * KiB);
+  EXPECT_EQ(b.start, a.end);  // One port per package.
+}
+
+TEST(Package, BusyIncludesDiesAndPort) {
+  const NvmTiming timing = slc_timing();
+  Package package(timing, onfi3_sdr_bus(), 2, false);
+  package.die(0).activate(0, NvmOp::kRead, 0, 0, 1, 0);
+  package.reserve_flash_bus(timing.read_time, 2 * KiB);
+  const Time port = onfi3_sdr_bus().transfer_time(2 * KiB);
+  EXPECT_EQ(package.busy_time(), timing.read_time + port);
+}
+
+// ---------- wear -----------------------------------------------------------
+
+TEST(Wear, CountsAndSummary) {
+  WearTracker wear;
+  wear.record_erase(1);
+  wear.record_erase(1);
+  wear.record_erase(2);
+  wear.record_write(7);
+  const WearSummary s = wear.summary();
+  EXPECT_EQ(s.total_erases, 3u);
+  EXPECT_EQ(s.total_writes, 1u);
+  EXPECT_EQ(s.touched_units, 2u);
+  EXPECT_EQ(s.max_unit_erases, 2u);
+  EXPECT_EQ(s.min_unit_erases, 1u);
+  EXPECT_NEAR(s.imbalance, 2.0 / 1.5, 1e-12);
+}
+
+TEST(Wear, EmptySummaryIsNeutral) {
+  const WearSummary s = WearTracker{}.summary();
+  EXPECT_EQ(s.total_erases, 0u);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+TEST(Wear, LeastWornPrefersUntouched) {
+  WearTracker wear;
+  wear.record_erase(0);
+  wear.record_erase(1);
+  EXPECT_EQ(wear.least_worn(3), 2u);
+  wear.record_erase(2);
+  wear.record_erase(2);
+  EXPECT_EQ(wear.least_worn(3), 0u);
+}
+
+}  // namespace
+}  // namespace nvmooc

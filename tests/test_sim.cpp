@@ -1,0 +1,174 @@
+// Unit tests for the discrete-event core: event queue ordering, simulator
+// clock semantics, and the reservation timeline (incl. backfill).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
+
+namespace nvmooc {
+namespace {
+
+TEST(EventQueue, DeliversInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertion) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) queue.schedule(5, [&order, i] { order.push_back(i); });
+  while (!queue.empty()) queue.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventMaySchedule) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1, [&] {
+    ++fired;
+    queue.schedule(2, [&] { ++fired; });
+  });
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ClockAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.at(100, [&] { seen.push_back(sim.now()); });
+  sim.after(50, [&] { seen.push_back(sim.now()); });
+  const Time end = sim.run();
+  EXPECT_EQ(seen, (std::vector<Time>{50, 100}));
+  EXPECT_EQ(end, 100);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(5, [] {}), std::logic_error);
+  EXPECT_THROW(sim.after(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ResetClearsState) {
+  Simulator sim;
+  sim.at(10, [] {});
+  sim.run();
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+// ---------- timeline -----------------------------------------------------
+
+TEST(Timeline, FifoReservationsQueue) {
+  Timeline timeline(false);
+  const Reservation a = timeline.reserve(0, 100);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(a.end, 100);
+  EXPECT_EQ(a.waited, 0);
+
+  const Reservation b = timeline.reserve(10, 50);
+  EXPECT_EQ(b.start, 100);  // Queued behind a.
+  EXPECT_EQ(b.waited, 90);
+}
+
+TEST(Timeline, GapNotUsedWithoutBackfill) {
+  Timeline timeline(false);
+  timeline.reserve(1000, 100);  // Leaves [0,1000) idle.
+  const Reservation late = timeline.reserve(0, 10);
+  EXPECT_EQ(late.start, 1100);
+}
+
+TEST(Timeline, BackfillUsesGap) {
+  Timeline timeline(true);
+  timeline.reserve(1000, 100);  // Gap [0,1000).
+  const Reservation fill = timeline.reserve(0, 10);
+  EXPECT_EQ(fill.start, 0);
+  EXPECT_EQ(fill.waited, 0);
+}
+
+TEST(Timeline, BackfillSplitsGap) {
+  Timeline timeline(true);
+  timeline.reserve(1000, 100);
+  timeline.reserve(400, 100);  // Inside the gap: [400,500).
+  // Remaining sub-gaps [0,400) and [500,1000) both usable.
+  EXPECT_EQ(timeline.reserve(0, 400).start, 0);
+  EXPECT_EQ(timeline.reserve(0, 500).start, 500);
+}
+
+TEST(Timeline, BackfillRespectsEarliest) {
+  Timeline timeline(true);
+  timeline.reserve(1000, 100);
+  const Reservation r = timeline.reserve(600, 200);
+  EXPECT_EQ(r.start, 600);  // Fits the gap tail [600,800).
+}
+
+TEST(Timeline, BusyTimeAccumulates) {
+  Timeline timeline(false);
+  timeline.reserve(0, 10);
+  timeline.reserve(20, 10);
+  EXPECT_EQ(timeline.busy().busy_time(), 20);
+  EXPECT_EQ(timeline.reservation_count(), 2u);
+}
+
+TEST(Timeline, ZeroDurationIsFree) {
+  Timeline timeline(false);
+  timeline.reserve(0, 100);
+  const Reservation r = timeline.reserve(5, 0);
+  EXPECT_EQ(r.start, 5);
+  EXPECT_EQ(r.end, 5);
+}
+
+TEST(Timeline, PeekDoesNotReserve) {
+  Timeline timeline(false);
+  timeline.reserve(0, 100);
+  EXPECT_EQ(timeline.peek(0, 10), 100);
+  EXPECT_EQ(timeline.peek(0, 10), 100);  // Unchanged.
+  EXPECT_EQ(timeline.next_free(), 100);
+}
+
+TEST(Timeline, ResetRestoresEmpty) {
+  Timeline timeline(true);
+  timeline.reserve(100, 50);
+  timeline.reset();
+  EXPECT_EQ(timeline.next_free(), 0);
+  EXPECT_EQ(timeline.reserve(0, 10).start, 0);
+}
+
+// Property: a dense stream of FIFO reservations is gap-free and ordered.
+TEST(Timeline, PropertyDenseStreamIsContiguous) {
+  Timeline timeline(false);
+  Time expected_start = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Reservation r = timeline.reserve(0, 7);
+    EXPECT_EQ(r.start, expected_start);
+    expected_start = r.end;
+  }
+  EXPECT_EQ(timeline.busy().busy_time(), 7000);
+}
+
+}  // namespace
+}  // namespace nvmooc

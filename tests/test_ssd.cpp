@@ -1,0 +1,471 @@
+// Unit + property tests for the SSD layer: geometry mapping, FTL
+// translation/allocation/GC, controller scheduling, PAL classification,
+// and device statistics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "ssd/controller.hpp"
+#include "ssd/ftl.hpp"
+#include "ssd/geometry.hpp"
+#include "ssd/ssd.hpp"
+
+namespace nvmooc {
+namespace {
+
+SsdGeometry small_geometry() {
+  SsdGeometry g;
+  g.channels = 2;
+  g.packages_per_channel = 2;
+  g.dies_per_package = 2;
+  return g;
+}
+
+NvmTiming tiny_timing() {
+  // Miniature SLC-like media so FTL capacity edges are reachable.
+  NvmTiming t = slc_timing();
+  t.blocks_per_plane = 4;
+  t.pages_per_block = 8;
+  return t;
+}
+
+// ---------- geometry -------------------------------------------------------
+
+TEST(Geometry, PaperGeometryMatchesSection41) {
+  const SsdGeometry g = paper_geometry();
+  EXPECT_EQ(g.channels, 8u);
+  EXPECT_EQ(g.total_packages(), 64u);  // "64 NVM packages"
+  EXPECT_EQ(g.total_dies(), 128u);     // "a total of 128 NVM dies"
+}
+
+class GeometryPolicyTest : public ::testing::TestWithParam<AllocationPolicy> {};
+
+TEST_P(GeometryPolicyTest, MappingIsBijective) {
+  SsdGeometry g = small_geometry();
+  g.policy = GetParam();
+  const NvmTiming timing = tiny_timing();
+  const std::uint64_t units = g.capacity(timing) / timing.page_size;
+  std::set<std::tuple<unsigned, unsigned, unsigned, unsigned, std::uint64_t, unsigned>> seen;
+  for (std::uint64_t u = 0; u < units; ++u) {
+    const PhysicalAddress a = g.map_unit(u, timing);
+    EXPECT_LT(a.channel, g.channels);
+    EXPECT_LT(a.package, g.packages_per_channel);
+    EXPECT_LT(a.die, g.dies_per_package);
+    EXPECT_LT(a.plane, timing.planes_per_die);
+    EXPECT_LT(a.block, timing.blocks_per_plane);
+    EXPECT_LT(a.page, timing.pages_per_block);
+    EXPECT_TRUE(seen.insert({a.channel, a.package, a.die, a.plane, a.block, a.page}).second)
+        << "collision at unit " << u;
+    EXPECT_EQ(g.unit_of(a, timing), u);  // Exact inverse.
+  }
+  EXPECT_EQ(seen.size(), units);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, GeometryPolicyTest,
+                         ::testing::Values(AllocationPolicy::kChannelPlaneDie,
+                                           AllocationPolicy::kChannelDiePlane,
+                                           AllocationPolicy::kDieChannelPlane));
+
+TEST(Geometry, ChannelFirstStriping) {
+  const SsdGeometry g = paper_geometry();  // channel-plane-die order.
+  const NvmTiming timing = slc_timing();
+  for (std::uint64_t u = 0; u < 16; ++u) {
+    EXPECT_EQ(g.map_unit(u, timing).channel, u % 8);
+  }
+  // Units 0..7 on plane 0, 8..15 on plane 1, same die.
+  EXPECT_EQ(g.map_unit(0, timing).plane, 0u);
+  EXPECT_EQ(g.map_unit(8, timing).plane, 1u);
+  EXPECT_EQ(g.map_unit(0, timing).package, g.map_unit(8, timing).package);
+}
+
+// ---------- FTL ------------------------------------------------------------
+
+TEST(Ftl, ReadOfPreloadedDataIsIdentityAndSingleRun) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  ftl.set_preloaded(GiB);
+  BlockRequest request{NvmOp::kRead, 0, MiB, false, false};
+  const auto runs = ftl.translate(request);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].first_unit, 0u);
+  EXPECT_EQ(runs[0].count, MiB / (2 * KiB));
+  EXPECT_EQ(runs[0].bytes, MiB);
+}
+
+TEST(Ftl, UnalignedReadTrimsEdges) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  ftl.set_preloaded(GiB);
+  // 3 KiB starting at 1 KiB: touches pages 0 and 1, payload 3 KiB.
+  BlockRequest request{NvmOp::kRead, 1 * KiB, 3 * KiB, false, false};
+  const auto runs = ftl.translate(request);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 2u);
+  EXPECT_EQ(runs[0].bytes, 3 * KiB);
+}
+
+TEST(Ftl, WriteAllocatesBeyondPreload) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  ftl.set_preloaded(MiB);
+  BlockRequest write{NvmOp::kWrite, 0, 2 * KiB, false, false};
+  const auto runs = ftl.translate(write);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].op, NvmOp::kWrite);
+  EXPECT_GE(runs[0].first_unit, MiB / (2 * KiB));  // Frontier above preload.
+  // The mapping now redirects reads of page 0.
+  EXPECT_EQ(ftl.lookup(0), runs[0].first_unit);
+}
+
+TEST(Ftl, RewriteInvalidatesOldMapping) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  ftl.set_preloaded(MiB);
+  BlockRequest write{NvmOp::kWrite, 0, 2 * KiB, false, false};
+  const auto first = ftl.translate(write);
+  const auto second = ftl.translate(write);
+  EXPECT_NE(first[0].first_unit, second[0].first_unit);
+  EXPECT_EQ(ftl.lookup(0), second[0].first_unit);
+}
+
+TEST(Ftl, PartialPageWriteDoesReadModifyWrite) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  ftl.set_preloaded(MiB);
+  BlockRequest partial{NvmOp::kWrite, 512, 1 * KiB, false, false};  // Inside page 0.
+  const auto runs = ftl.translate(partial);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].op, NvmOp::kRead);  // Fetch old page first.
+  EXPECT_EQ(runs[1].op, NvmOp::kWrite);
+  EXPECT_EQ(ftl.stats().read_modify_writes, 1u);
+}
+
+TEST(Ftl, PartialWriteToVirginSpaceSkipsRmw) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  // No preload: nothing to read back.
+  BlockRequest partial{NvmOp::kWrite, 512, 512, false, false};
+  const auto runs = ftl.translate(partial);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].op, NvmOp::kWrite);
+  EXPECT_EQ(ftl.stats().read_modify_writes, 0u);
+}
+
+TEST(Ftl, SequentialWritesFormSingleRun) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  BlockRequest write{NvmOp::kWrite, 0, 64 * KiB, false, false};
+  const auto runs = ftl.translate(write);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 32u);
+}
+
+TEST(Ftl, ReadAfterScatteredRewritesSplitsRuns) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  ftl.set_preloaded(MiB);
+  // Rewrite pages 2 and 3 (they allocate consecutively -> merged run),
+  // leave 0,1,4,5 in place.
+  ftl.translate({NvmOp::kWrite, 2 * 2 * KiB, 4 * KiB, false, false});
+  const auto runs = ftl.translate({NvmOp::kRead, 0, 12 * KiB, false, false});
+  // Expect: identity [0,2), override [2,4), identity [4,6).
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].count, 2u);
+  EXPECT_EQ(runs[1].count, 2u);
+  EXPECT_GE(runs[1].first_unit, MiB / (2 * KiB));
+  EXPECT_EQ(runs[2].count, 2u);
+  Bytes total = 0;
+  for (const auto& run : runs) total += run.bytes;
+  EXPECT_EQ(total, 12 * KiB);
+}
+
+TEST(Ftl, GarbageCollectionReclaimsSpace) {
+  Ftl ftl(small_geometry(), tiny_timing(), FtlConfig{1});
+  // Capacity: 16 plane positions x 4 blocks x 8 pages = 512 units.
+  // Hammer one logical page; GC must kick in and the device must keep
+  // accepting writes.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_NO_THROW(ftl.translate({NvmOp::kWrite, 0, 2 * KiB, false, false}));
+  }
+  EXPECT_GT(ftl.stats().gc_runs, 0u);
+  EXPECT_GT(ftl.stats().gc_erased_blocks, 0u);
+}
+
+TEST(Ftl, GcEmitsEraseTraffic) {
+  Ftl ftl(small_geometry(), tiny_timing(), FtlConfig{1});
+  bool saw_erase = false;
+  for (int i = 0; i < 2000 && !saw_erase; ++i) {
+    for (const UnitRun& run : ftl.translate({NvmOp::kWrite, 0, 2 * KiB, false, false})) {
+      if (run.op == NvmOp::kErase) {
+        saw_erase = true;
+        EXPECT_TRUE(run.gc);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_erase);
+}
+
+TEST(Ftl, WearAwareGcLevelsEraseCounts) {
+  FtlConfig plain_config;
+  plain_config.gc_reserve_blocks = 1;
+  plain_config.wear_aware = false;
+  FtlConfig aware_config = plain_config;
+  aware_config.wear_aware = true;
+
+  auto hammer = [](Ftl& ftl) {
+    // Skewed rewrite workload: one hot page plus a sweep of colder ones.
+    for (int round = 0; round < 3000; ++round) {
+      ftl.translate({NvmOp::kWrite, 0, 2 * KiB, false, false});
+      if (round % 4 == 0) {
+        const Bytes cold = 2 * KiB * (1 + (round / 4) % 64);
+        ftl.translate({NvmOp::kWrite, cold, 2 * KiB, false, false});
+      }
+    }
+  };
+
+  Ftl plain(small_geometry(), tiny_timing(), plain_config);
+  Ftl aware(small_geometry(), tiny_timing(), aware_config);
+  hammer(plain);
+  hammer(aware);
+  ASSERT_GT(plain.stats().gc_erased_blocks, 10u);
+  ASSERT_GT(aware.stats().gc_erased_blocks, 10u);
+  // Wear-aware allocation must not distribute erases *worse* than naive
+  // FIFO reuse on the same workload.
+  EXPECT_LE(aware.wear_spread(), plain.wear_spread() * 1.05);
+}
+
+TEST(Ftl, ZeroSizeRequestIsEmpty) {
+  Ftl ftl(paper_geometry(), slc_timing());
+  EXPECT_TRUE(ftl.translate({NvmOp::kRead, 0, 0, false, false}).empty());
+}
+
+// ---------- controller ------------------------------------------------------
+
+struct ControllerFixture {
+  explicit ControllerFixture(NvmType media = NvmType::kSlc, bool backfill = false) {
+    config.media = media;
+    config.controller.queue_backfill = backfill;
+    ssd = std::make_unique<Ssd>(config);
+    ssd->preload(GiB);
+  }
+  SsdConfig config;
+  std::unique_ptr<Ssd> ssd;
+};
+
+TEST(Controller, LargeReadReachesPal4) {
+  ControllerFixture f;
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 4 * MiB, false, false}, 0);
+  EXPECT_EQ(r.pal, ParallelismLevel::kPal4);
+  EXPECT_EQ(r.transactions, 4 * MiB / (2 * KiB));
+}
+
+TEST(Controller, SinglePageReadIsPal1) {
+  ControllerFixture f;
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 2 * KiB, false, false}, 0);
+  EXPECT_EQ(r.pal, ParallelismLevel::kPal1);
+  EXPECT_EQ(r.transactions, 1u);
+}
+
+TEST(Controller, ChannelPlaneSpanIsPal3) {
+  // 16 SLC pages = 8 channels x 2 planes, one die each: multi-plane
+  // without die interleaving.
+  ControllerFixture f;
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 32 * KiB, false, false}, 0);
+  EXPECT_EQ(r.pal, ParallelismLevel::kPal3);
+}
+
+TEST(Controller, DieSpanWithoutPlanesIsPal2) {
+  // With channel-die-plane order, 16 pages span two dies per channel on
+  // one plane.
+  ControllerFixture f;
+  f.config.geometry.policy = AllocationPolicy::kChannelDiePlane;
+  f.ssd = std::make_unique<Ssd>(f.config);
+  f.ssd->preload(GiB);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 32 * KiB, false, false}, 0);
+  EXPECT_EQ(r.pal, ParallelismLevel::kPal2);
+}
+
+TEST(Controller, ReadLatencyBounds) {
+  ControllerFixture f;
+  const NvmTiming timing = f.ssd->timing();
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 2 * KiB, false, false}, 0);
+  const Time lower = timing.read_time + onfi3_sdr_bus().transfer_time(2 * KiB);
+  EXPECT_GE(r.media_end, lower);
+  EXPECT_LE(r.media_end, lower + timing.command_time +
+                             onfi3_sdr_bus().transfer_time(2 * KiB) + kMicrosecond);
+}
+
+TEST(Controller, ConcurrentRequestsShareChannels) {
+  ControllerFixture f;
+  const RequestResult a = f.ssd->submit({NvmOp::kRead, 0, 2 * KiB, false, false}, 0);
+  // Different channel (offset 2 KiB = unit 1 = channel 1): no contention.
+  const RequestResult b = f.ssd->submit({NvmOp::kRead, 2 * KiB, 2 * KiB, false, false}, 0);
+  EXPECT_LT(std::max(a.media_end, b.media_end),
+            2 * f.ssd->timing().read_time + 100 * kMicrosecond);
+}
+
+TEST(Controller, PcmBurstsGroupTransactions) {
+  ControllerFixture f(NvmType::kPcm);
+  // 1 MiB = 16384 lines over 512 plane positions -> grouped bursts, far
+  // fewer transactions than lines.
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, MiB, false, false}, 0);
+  EXPECT_LE(r.transactions, 512u * 4);
+  EXPECT_GE(r.transactions, 256u);
+  EXPECT_EQ(r.pal, ParallelismLevel::kPal4);
+}
+
+TEST(Controller, PcmSmallReadStillSpreads) {
+  ControllerFixture f(NvmType::kPcm);
+  // Even a 4 KiB request covers 64 lines across channels/planes (the
+  // paper: PCM requests "can easily be spread across all dies").
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 4 * KiB, false, false}, 0);
+  EXPECT_EQ(r.pal, ParallelismLevel::kPal4);
+}
+
+TEST(Controller, WritesLandOnCells) {
+  ControllerFixture f;
+  const RequestResult r = f.ssd->submit({NvmOp::kWrite, 0, 2 * KiB, false, false}, 0);
+  const ControllerStats& stats = f.ssd->controller_stats();
+  EXPECT_GE(stats.phase_time[static_cast<int>(Phase::kCellActivation)],
+            f.ssd->timing().write_min);
+  EXPECT_GE(r.media_end, f.ssd->timing().write_min);
+}
+
+TEST(Controller, BackfillNeverWorseThanFifo) {
+  ControllerFixture fifo(NvmType::kTlc, false);
+  ControllerFixture paq(NvmType::kTlc, true);
+  Time fifo_end = 0;
+  Time paq_end = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Bytes offset = static_cast<Bytes>(i) * 8 * 8 * KiB;  // Same channel.
+    fifo_end = std::max(
+        fifo_end,
+        fifo.ssd->submit({NvmOp::kRead, offset, 8 * KiB, false, false}, 0).media_end);
+    paq_end = std::max(
+        paq_end,
+        paq.ssd->submit({NvmOp::kRead, offset, 8 * KiB, false, false}, 0).media_end);
+  }
+  EXPECT_LE(paq_end, fifo_end);
+}
+
+TEST(Controller, StatsAccumulate) {
+  ControllerFixture f;
+  f.ssd->submit({NvmOp::kRead, 0, 64 * KiB, false, false}, 0);
+  f.ssd->submit({NvmOp::kRead, 64 * KiB, 64 * KiB, false, false}, 0);
+  const ControllerStats& stats = f.ssd->controller_stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.payload_bytes, 128 * KiB);
+  EXPECT_EQ(stats.transactions, 64u);
+  EXPECT_GT(stats.phase_time[static_cast<int>(Phase::kCellActivation)], 0);
+}
+
+TEST(Controller, InternalRequestsCountSeparately) {
+  ControllerFixture f;
+  f.ssd->submit({NvmOp::kRead, 0, 4 * KiB, false, true}, 0);
+  const ControllerStats& stats = f.ssd->controller_stats();
+  EXPECT_EQ(stats.payload_bytes, 0u);
+  EXPECT_EQ(stats.internal_bytes, 4 * KiB);
+}
+
+TEST(Controller, WriteBackCacheAcksAtTransfer) {
+  SsdConfig config;
+  config.media = NvmType::kTlc;  // Slow programs: the cache matters most.
+  config.controller.write_buffer = 16 * MiB;
+  Ssd cached(config);
+  cached.preload(GiB);
+  config.controller.write_buffer = 0;
+  Ssd through(config);
+  through.preload(GiB);
+
+  const BlockRequest write{NvmOp::kWrite, 0, 64 * KiB, false, false};
+  const RequestResult fast = cached.submit(write, 0);
+  const RequestResult slow = through.submit(write, 0);
+  // Cached: acknowledged after the channel transfer, long before the
+  // 440-6000 us TLC program.
+  EXPECT_LT(fast.media_end, 200 * kMicrosecond);
+  EXPECT_GE(slow.media_end, 440 * kMicrosecond);
+}
+
+TEST(Controller, WriteBackCacheOverflowFallsBack) {
+  SsdConfig config;
+  config.media = NvmType::kTlc;
+  config.controller.write_buffer = 128 * KiB;  // Tiny buffer.
+  Ssd ssd(config);
+  ssd.preload(GiB);
+  // First write fits and acks fast; the second (arriving immediately)
+  // finds the buffer dirty and must wait for real programming.
+  const RequestResult first = ssd.submit({NvmOp::kWrite, 0, 128 * KiB, false, false}, 0);
+  const RequestResult second =
+      ssd.submit({NvmOp::kWrite, MiB, 128 * KiB, false, false}, first.media_end);
+  EXPECT_LT(first.media_end, 2 * kMillisecond);
+  EXPECT_GE(second.media_end, 440 * kMicrosecond);
+  EXPECT_GT(second.media_end, first.media_end + 400 * kMicrosecond);
+}
+
+TEST(Controller, WriteBackCacheDrains) {
+  SsdConfig config;
+  config.media = NvmType::kSlc;
+  config.controller.write_buffer = 256 * KiB;
+  Ssd ssd(config);
+  ssd.preload(GiB);
+  ssd.submit({NvmOp::kWrite, 0, 256 * KiB, false, false}, 0);
+  // Well after the SLC programs finish (250 us), the buffer is clean and
+  // a new write acks fast again.
+  const RequestResult later =
+      ssd.submit({NvmOp::kWrite, MiB, 256 * KiB, false, false}, 10 * kMillisecond);
+  EXPECT_LT(later.media_end - later.issue, 2 * kMillisecond);
+}
+
+// ---------- device stats ----------------------------------------------------
+
+TEST(DeviceStats, SaturatedSequentialKeepsChannelsBusy) {
+  // On the SDR bus the channel is the bottleneck: channel utilisation
+  // saturates while packages spend most of their time waiting to
+  // transfer (low package utilisation) — the Figure 7b/9 signature.
+  ControllerFixture f(NvmType::kTlc);
+  Bytes offset = 0;
+  for (int i = 0; i < 64; ++i) {
+    f.ssd->submit({NvmOp::kRead, offset, MiB, false, false}, 0);
+    offset += MiB;
+  }
+  const Time makespan = f.ssd->controller_stats().last_completion;
+  const DeviceStats stats = f.ssd->device_stats(makespan);
+  EXPECT_GT(stats.channel_utilization, 0.9);
+  EXPECT_GT(stats.package_utilization, 0.05);
+  EXPECT_LT(stats.package_utilization, 0.5);
+  EXPECT_GT(stats.active_time, 0);
+}
+
+TEST(DeviceStats, FutureDdrBusShiftsBottleneckToCells) {
+  // Same workload on the future DDR bus: transfers get 4x faster, so the
+  // TLC cells become the limit and packages stay far busier.
+  SsdConfig config;
+  config.media = NvmType::kTlc;
+  config.bus = future_ddr_bus();
+  Ssd ssd(config);
+  ssd.preload(GiB);
+  Bytes offset = 0;
+  for (int i = 0; i < 64; ++i) {
+    ssd.submit({NvmOp::kRead, offset, MiB, false, false}, 0);
+    offset += MiB;
+  }
+  const Time makespan = ssd.controller_stats().last_completion;
+  const DeviceStats stats = ssd.device_stats(makespan);
+  EXPECT_GT(stats.package_utilization, 0.3);
+}
+
+TEST(DeviceStats, MediaCapabilityIsChannelBoundForSlc) {
+  ControllerFixture f;
+  // SLC cell aggregate (~20 GB/s) exceeds 8 channels x 400 MB/s.
+  EXPECT_NEAR(f.ssd->media_capability_bytes_per_sec(), 8 * 400e6, 1e6);
+}
+
+TEST(DeviceStats, IdleDeviceLeavesFullCapability) {
+  ControllerFixture f;
+  const DeviceStats stats = f.ssd->device_stats(kSecond);
+  EXPECT_DOUBLE_EQ(stats.remaining_bandwidth, stats.media_capability);
+}
+
+TEST(DeviceStats, WearAggregatesAcrossDies) {
+  ControllerFixture f;
+  f.ssd->submit({NvmOp::kWrite, 0, MiB, false, false}, 0);
+  const WearSummary wear = f.ssd->wear();
+  EXPECT_EQ(wear.total_writes, MiB / (2 * KiB));
+}
+
+}  // namespace
+}  // namespace nvmooc

@@ -1,0 +1,115 @@
+// Unit tests for trace records, statistics, serialisation and synthetic
+// generators.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace nvmooc {
+namespace {
+
+TEST(Trace, ExtentCoversFarthestByte) {
+  Trace trace;
+  trace.add(NvmOp::kRead, 0, 4 * KiB);
+  trace.add(NvmOp::kRead, MiB, 64 * KiB);
+  EXPECT_EQ(trace.extent(), MiB + 64 * KiB);
+}
+
+TEST(Trace, StatsComputeMixAndSizes) {
+  Trace trace;
+  trace.add(NvmOp::kRead, 0, 8 * KiB);
+  trace.add(NvmOp::kRead, 8 * KiB, 8 * KiB);   // Sequential.
+  trace.add(NvmOp::kWrite, 64 * KiB, 4 * KiB);  // Jump.
+  const TraceStats stats = trace.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.total_bytes, 20 * KiB);
+  EXPECT_EQ(stats.read_bytes, 16 * KiB);
+  EXPECT_EQ(stats.write_bytes, 4 * KiB);
+  EXPECT_NEAR(stats.read_fraction, 0.8, 1e-12);
+  EXPECT_NEAR(stats.sequentiality, 0.5, 1e-12);  // 1 of 2 transitions.
+  EXPECT_EQ(stats.min_request, 4 * KiB);
+  EXPECT_EQ(stats.max_request, 8 * KiB);
+}
+
+TEST(Trace, EmptyStatsAreZero) {
+  const TraceStats stats = Trace{}.stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace trace;
+  trace.add(NvmOp::kRead, 123, 456, 789);
+  trace.add(NvmOp::kWrite, 1 * GiB, 2 * MiB);
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
+  trace.save(path);
+  const Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].op, NvmOp::kRead);
+  EXPECT_EQ(loaded[0].offset, 123u);
+  EXPECT_EQ(loaded[0].size, 456u);
+  EXPECT_EQ(loaded[0].not_before, 789);
+  EXPECT_EQ(loaded[1].op, NvmOp::kWrite);
+  EXPECT_EQ(loaded[1].offset, GiB);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load("/nonexistent/path/x.trace"), std::runtime_error);
+}
+
+// ---------- synthetic generators -------------------------------------------
+
+TEST(Synthetic, SequentialIsFullySequential) {
+  const Trace trace = sequential_read_trace(MiB, 64 * KiB);
+  EXPECT_EQ(trace.size(), 16u);
+  EXPECT_DOUBLE_EQ(trace.stats().sequentiality, 1.0);
+  EXPECT_EQ(trace.stats().total_bytes, MiB);
+}
+
+TEST(Synthetic, SequentialHandlesRemainder) {
+  const Trace trace = sequential_read_trace(100 * KiB, 64 * KiB);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].size, 36 * KiB);
+}
+
+TEST(Synthetic, RandomStaysInExtent) {
+  Rng rng(5);
+  const Trace trace = random_read_trace(MiB, 4 * KiB, 500, rng);
+  EXPECT_EQ(trace.size(), 500u);
+  for (const PosixRequest& r : trace.requests()) {
+    EXPECT_LE(r.offset + r.size, MiB);
+  }
+  // Random access is far from sequential.
+  EXPECT_LT(trace.stats().sequentiality, 0.05);
+}
+
+TEST(Synthetic, StridedAdvancesByStride) {
+  const Trace trace = strided_read_trace(GiB, 4 * KiB, 1 * MiB, 10);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].offset - trace[i - 1].offset, MiB);
+  }
+}
+
+TEST(Synthetic, MixedInterleavesWrites) {
+  const Trace trace = mixed_trace(MiB, 64 * KiB, 16 * KiB, 4);
+  std::size_t writes = 0;
+  for (const PosixRequest& r : trace.requests()) writes += r.op == NvmOp::kWrite;
+  EXPECT_EQ(writes, 4u);  // 16 reads, one write per 4.
+}
+
+TEST(Synthetic, ZipfIsSkewed) {
+  Rng rng(7);
+  const Trace trace = zipf_read_trace(GiB, 64 * KiB, 5000, 1.1, rng);
+  std::size_t in_head = 0;
+  for (const PosixRequest& r : trace.requests()) {
+    if (r.offset < GiB / 20) ++in_head;  // First 5% of blocks.
+  }
+  EXPECT_GT(in_head, trace.size() / 3);
+}
+
+}  // namespace
+}  // namespace nvmooc
