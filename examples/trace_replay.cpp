@@ -3,6 +3,7 @@
 //
 // Run: ./build/examples/trace_replay --config=cnl-ufs --media=tlc
 //        [--trace=FILE | --pattern=seq|rand|strided] [--size-mib=256]
+//        [--faults=SCENARIO]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -11,6 +12,7 @@
 #include "cluster/engine.hpp"
 #include "common/random.hpp"
 #include "fs/presets.hpp"
+#include "trace/scenario.hpp"
 #include "trace/synthetic.hpp"
 
 namespace {
@@ -20,7 +22,7 @@ using namespace nvmooc;
 const char* kUsage =
     "usage: trace_replay [--config=NAME] [--media=slc|mlc|tlc|pcm]\n"
     "                    [--trace=FILE | --pattern=seq|rand|strided]\n"
-    "                    [--size-mib=N] [--request-kib=N]\n"
+    "                    [--size-mib=N] [--request-kib=N] [--faults=SCENARIO]\n"
     "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
     "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
     "         cnl-native-8, cnl-native-16\n";
@@ -74,6 +76,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string fault_path = option(argc, argv, "faults", "");
+  if (!fault_path.empty()) {
+    try {
+      config.fault = load_fault_scenario(fault_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad fault scenario: %s\n", e.what());
+      return 1;
+    }
+  }
+
   Trace trace;
   if (!trace_path.empty()) {
     trace = Trace::load(trace_path);
@@ -111,5 +123,29 @@ int main(int argc, char** argv) {
   std::printf("\n  device traffic %llu requests, %llu transactions\n",
               static_cast<unsigned long long>(result.device_requests),
               static_cast<unsigned long long>(result.transactions));
+  if (config.fault.enabled) {
+    const ReliabilityStats& r = result.reliability;
+    std::printf("  reliability    %llu retries, %llu corrected, %llu uncorrectable, "
+                "%llu stuck-die, %llu stalls\n",
+                static_cast<unsigned long long>(r.read_retries),
+                static_cast<unsigned long long>(r.corrected_reads),
+                static_cast<unsigned long long>(r.uncorrectable_reads),
+                static_cast<unsigned long long>(r.die_stuck_reads),
+                static_cast<unsigned long long>(r.channel_stalls));
+    std::printf("  bad blocks     %llu retired (%llu on spares), %.1f MiB capacity "
+                "lost, %llu pages relocated\n",
+                static_cast<unsigned long long>(r.remapped_blocks),
+                static_cast<unsigned long long>(r.spare_blocks_used),
+                static_cast<double>(r.capacity_lost) / MiB,
+                static_cast<unsigned long long>(r.remap_relocations));
+    std::printf("  degraded mode  %llu requests, %.1f MiB via replica; effective "
+                "%.0f MB/s\n",
+                static_cast<unsigned long long>(r.degraded_requests),
+                static_cast<double>(r.degraded_bytes) / MiB, r.effective_mbps);
+    if (r.aborted) {
+      std::printf("  ABORTED        %s\n", r.abort_reason.c_str());
+      return 2;
+    }
+  }
   return 0;
 }

@@ -13,6 +13,8 @@ ReplayEngine::ReplayEngine(const ExperimentConfig& config) : config_(config) {
   ssd_config.media = config_.media;
   ssd_config.bus = config_.nvm_bus;
   ssd_config.controller = config_.controller;
+  ssd_config.ftl = config_.ftl;
+  ssd_config.fault = config_.fault;
   ssd_ = std::make_unique<Ssd>(ssd_config);
 
   if (config_.use_ufs) {
@@ -31,6 +33,10 @@ ReplayEngine::ReplayEngine(const ExperimentConfig& config) : config_(config) {
     // The parallel-FS RPC software cost rides on every network transfer.
     wire.request_latency += config_.network.rpc_overhead;
     network_dma_ = std::make_unique<DmaEngine>(wire);
+  } else if (config_.fault.enabled) {
+    LinkConfig wire = config_.network.wire;
+    wire.request_latency += config_.network.rpc_overhead;
+    degraded_dma_ = std::make_unique<DmaEngine>(wire);
   }
 }
 
@@ -68,7 +74,17 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   Histogram read_latency_us(0.0, 50'000.0, 4096);
   RunningStats read_latency_stats;
 
+  // Degraded-mode accounting (only moves under fault injection).
+  std::uint64_t degraded_requests = 0;
+  Bytes degraded_bytes = 0;
+  bool aborted = false;
+  std::string abort_reason;
+  // Application payload actually delivered; falls short of the trace
+  // total only when an abort truncates the replay.
+  Bytes completed_payload = 0;
+
   for (const PosixRequest& posix : trace.requests()) {
+    if (aborted) break;
     for (const BlockRequest& device_request : path_->submit(posix)) {
       if (device_request.size == 0) continue;
 
@@ -97,6 +113,29 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
                                      device_request.size);
           completion = std::max(completion, net.end);
           rpc_window.launch(completion, device_request.size);
+        }
+        if (media.uncorrectable_units > 0) {
+          if (media.hard_failure) {
+            aborted = true;
+            abort_reason = "device hard failure: capacity lost past the spare "
+                           "pool exceeded the failure threshold";
+          } else if (degraded_dma_) {
+            // Compute-local degraded mode: the device already remapped
+            // the lost pages onto good media; their content is re-fetched
+            // from the replica the ION kept. The request is only done
+            // once that copy crosses the cluster network.
+            const Reservation replica =
+                degraded_dma_->transfer(media.media_end, media.uncorrectable_bytes);
+            completion = std::max(completion, replica.end);
+            ++degraded_requests;
+            degraded_bytes += media.uncorrectable_bytes;
+          } else {
+            // ION-local storage *is* the resilience tier — an
+            // uncorrectable read there has nowhere to fall back to.
+            aborted = true;
+            abort_reason = "uncorrectable read on ION-local storage (no "
+                           "replica to recover from)";
+          }
         }
       } else {
         // Writes: data crosses the links before the media programs it.
@@ -127,7 +166,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       device_window.launch(completion, device_request.size);
       all_done = std::max(all_done, completion);
       if (device_request.barrier) barrier_gate = completion;
+      if (aborted) break;  // Replay stops; diagnostics ride in the result.
     }
+    if (!aborted) completed_payload += posix.size;
   }
 
   // ---- Derive the figures' quantities. --------------------------------
@@ -144,8 +185,11 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   result.device_requests = controller.requests;
   result.transactions = controller.transactions;
 
+  // Bandwidth over what was actually delivered: identical to the trace
+  // payload on a completed replay, honest (not inflated by undelivered
+  // bytes) on an aborted one.
   if (result.makespan > 0) {
-    result.achieved_mbps = bandwidth_mbps(result.payload_bytes, result.makespan);
+    result.achieved_mbps = bandwidth_mbps(completed_payload, result.makespan);
   }
 
   const DeviceStats device = ssd_->device_stats(result.makespan);
@@ -181,6 +225,26 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   result.wear = ssd_->wear();
   result.ftl = ssd_->ftl_stats();
   result.controller = controller;
+
+  // Fold the three reliability vantage points together: the controller's
+  // sense counters, the FTL's bad-block totals, and this engine's
+  // degraded-mode recovery accounting.
+  result.reliability = controller.reliability;
+  result.reliability.remapped_blocks = result.ftl.retired_blocks;
+  result.reliability.remap_relocations = result.ftl.remap_relocated_pages;
+  result.reliability.spare_blocks_used = result.ftl.spare_blocks_used;
+  result.reliability.capacity_lost = ssd_->ftl().capacity_lost();
+  result.reliability.hard_failure =
+      result.reliability.hard_failure || ssd_->ftl().failed();
+  result.reliability.degraded_requests = degraded_requests;
+  result.reliability.degraded_bytes = degraded_bytes;
+  result.reliability.aborted = aborted;
+  result.reliability.abort_reason = abort_reason;
+  if (result.makespan > 0) {
+    const Bytes device_served =
+        completed_payload - std::min(degraded_bytes, completed_payload);
+    result.reliability.effective_mbps = bandwidth_mbps(device_served, result.makespan);
+  }
   return result;
 }
 

@@ -37,6 +37,11 @@ class ReplayEngine {
   IoPath* path_ = nullptr;
   std::unique_ptr<DmaEngine> host_dma_;
   std::unique_ptr<DmaEngine> network_dma_;
+  /// Degraded-mode recovery wire for compute-local configurations under
+  /// fault injection: uncorrectable data is re-fetched from the replica
+  /// that stayed on the ION (paper Section 3.1 keeps the ION copy as the
+  /// resilience tier). Null otherwise.
+  std::unique_ptr<DmaEngine> degraded_dma_;
 };
 
 /// Convenience: build an engine, synthesize nothing, replay `trace`.

@@ -34,6 +34,10 @@ struct ExperimentConfig {
 
   SsdGeometry geometry = paper_geometry();
   ControllerConfig controller;
+  FtlConfig ftl;
+  /// Fault injection (off by default). The ECC/retry ladder shape rides
+  /// in `controller.ecc`.
+  FaultConfig fault;
 };
 
 struct ExperimentResult {
@@ -67,6 +71,10 @@ struct ExperimentResult {
   /// Raw device accounting (resource-seconds per op etc.) for energy and
   /// deeper post-processing.
   ControllerStats controller;
+  /// End-to-end reliability accounting: sense-level counters from the
+  /// controller, bad-block totals from the FTL, degraded-mode recovery
+  /// from the engine. All zero when fault injection is off.
+  ReliabilityStats reliability;
 };
 
 }  // namespace nvmooc

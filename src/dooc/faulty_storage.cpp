@@ -1,0 +1,35 @@
+#include "dooc/faulty_storage.hpp"
+
+#include <string>
+
+namespace nvmooc {
+
+void FaultInjectingStorage::read(Bytes offset, void* destination, Bytes size) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (params_.permanent_offsets.count(offset) > 0) {
+      ++stats_.injected_failures;
+      throw StorageReadError("injected permanent read failure at offset " +
+                             std::to_string(offset));
+    }
+    if (params_.transient_failure_probability > 0.0) {
+      const std::uint64_t attempt = attempts_[offset]++;
+      const double u = fault_uniform(params_.seed, offset, attempt, 0);
+      if (u < params_.transient_failure_probability) {
+        ++stats_.injected_failures;
+        throw StorageReadError("injected transient read failure at offset " +
+                               std::to_string(offset) + ", attempt " +
+                               std::to_string(attempt));
+      }
+    }
+    ++stats_.reads;
+  }
+  backing_.read(offset, destination, size);
+}
+
+FaultInjectingStorage::Stats FaultInjectingStorage::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nvmooc

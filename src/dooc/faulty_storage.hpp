@@ -1,0 +1,63 @@
+// Fault-injecting Storage decorator for the DOoC runtime layer.
+//
+// The device-level FaultInjector (src/reliability) models faults the SSD
+// resolves internally; this wrapper models the failures that escape to
+// the host — a read() that errors out and must be retried or given up on
+// by the prefetcher. Draws use the same stateless fault_uniform hash, so
+// a (seed, offset, attempt) triple fails identically on every run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "ooc/tile_store.hpp"
+#include "reliability/fault.hpp"
+
+namespace nvmooc {
+
+/// Thrown by FaultInjectingStorage::read when an injected fault fires.
+struct StorageReadError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjectingStorage : public Storage {
+ public:
+  struct Params {
+    /// Probability any single read() attempt fails transiently.
+    double transient_failure_probability = 0.0;
+    std::uint64_t seed = 0x5eedULL;
+    /// Read offsets that fail on every attempt (a dead region: retries
+    /// cannot help, the tile is unrecoverable from this copy).
+    std::set<Bytes> permanent_offsets;
+  };
+
+  struct Stats {
+    std::uint64_t reads = 0;              ///< Attempts that reached the backing store.
+    std::uint64_t injected_failures = 0;  ///< Attempts that threw instead.
+  };
+
+  FaultInjectingStorage(Storage& backing, Params params)
+      : backing_(backing), params_(std::move(params)) {}
+
+  void read(Bytes offset, void* destination, Bytes size) override;
+  void write(Bytes offset, const void* source, Bytes size) override {
+    backing_.write(offset, source, size);
+  }
+  Bytes size() const override { return backing_.size(); }
+
+  Stats stats() const;
+
+ private:
+  Storage& backing_;
+  Params params_;
+  mutable std::mutex mutex_;
+  /// Per-offset attempt ordinal: the draw stream advances with each
+  /// retry so a transient fault does not fail forever.
+  std::map<Bytes, std::uint64_t> attempts_;
+  Stats stats_;
+};
+
+}  // namespace nvmooc

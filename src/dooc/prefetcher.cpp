@@ -1,12 +1,14 @@
 #include "dooc/prefetcher.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace nvmooc {
 
 TilePrefetcher::TilePrefetcher(Storage& storage, std::vector<TileRef> tiles,
-                               std::size_t depth)
-    : storage_(storage), tiles_(std::move(tiles)), depth_(depth ? depth : 1) {
+                               std::size_t depth, std::uint32_t max_read_retries)
+    : storage_(storage), tiles_(std::move(tiles)), depth_(depth ? depth : 1),
+      max_read_retries_(max_read_retries) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -34,12 +36,31 @@ void TilePrefetcher::worker_loop() {
       generation = generation_;
     }
 
-    // Read outside the lock: this is the overlap with compute.
+    // Read outside the lock: this is the overlap with compute. A read
+    // that throws is retried up to the budget; a tile that defeats it is
+    // buffered as null — the poisoned entry wakes the consumer, whose
+    // get() rethrows instead of blocking forever on a tile that will
+    // never arrive.
     auto buffer = std::make_shared<std::vector<std::uint8_t>>(tiles_[index].bytes);
-    storage_.read(tiles_[index].offset, buffer->data(), tiles_[index].bytes);
+    std::uint32_t retries = 0;
+    bool read_ok = false;
+    for (std::uint32_t attempt = 0; attempt <= max_read_retries_; ++attempt) {
+      try {
+        storage_.read(tiles_[index].offset, buffer->data(), tiles_[index].bytes);
+        read_ok = true;
+        break;
+      } catch (const std::exception&) {
+        if (attempt < max_read_retries_) ++retries;
+      }
+    }
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      stats_.read_retries += retries;
+      if (!read_ok) {
+        ++stats_.failed_tiles;
+        buffer = nullptr;
+      }
       if (generation == generation_) buffered_.emplace(index, std::move(buffer));
     }
     state_changed_.notify_all();
@@ -57,11 +78,18 @@ std::shared_ptr<const std::vector<std::uint8_t>> TilePrefetcher::get(std::size_t
   consumer_index_ = index;
   buffered_.erase(buffered_.begin(), buffered_.lower_bound(index));
 
+  const auto failed = [](const std::shared_ptr<const std::vector<std::uint8_t>>& b) {
+    return b == nullptr;
+  };
   const auto hit = buffered_.find(index);
   if (hit != buffered_.end()) {
     ++stats_.hits;
     auto buffer = hit->second;
     state_changed_.notify_all();
+    if (failed(buffer)) {
+      throw std::runtime_error("TilePrefetcher: tile " + std::to_string(index) +
+                               " unreadable after retry budget");
+    }
     return buffer;
   }
 
@@ -69,7 +97,12 @@ std::shared_ptr<const std::vector<std::uint8_t>> TilePrefetcher::get(std::size_t
   state_changed_.notify_all();
   state_changed_.wait(lock, [&] { return buffered_.count(index) > 0 || stopping_; });
   if (stopping_) throw std::runtime_error("TilePrefetcher: stopped while waiting");
-  return buffered_.at(index);
+  auto buffer = buffered_.at(index);
+  if (failed(buffer)) {
+    throw std::runtime_error("TilePrefetcher: tile " + std::to_string(index) +
+                             " unreadable after retry budget");
+  }
+  return buffer;
 }
 
 void TilePrefetcher::restart() {

@@ -19,6 +19,8 @@ namespace nvmooc {
 struct PrefetchStats {
   std::uint64_t hits = 0;    ///< get() found the tile already buffered.
   std::uint64_t stalls = 0;  ///< get() had to wait for the read.
+  std::uint64_t read_retries = 0;  ///< Failed read attempts that were retried.
+  std::uint64_t failed_tiles = 0;  ///< Tiles given up on after the retry budget.
 };
 
 class TilePrefetcher {
@@ -29,8 +31,11 @@ class TilePrefetcher {
   };
 
   /// Prefetches from `storage` along the given tile sequence, keeping at
-  /// most `depth` tiles buffered ahead of the consumer.
-  TilePrefetcher(Storage& storage, std::vector<TileRef> tiles, std::size_t depth);
+  /// most `depth` tiles buffered ahead of the consumer. A read that
+  /// throws is retried up to `max_read_retries` times; a tile that
+  /// exhausts the budget is marked failed, and get() on it rethrows.
+  TilePrefetcher(Storage& storage, std::vector<TileRef> tiles, std::size_t depth,
+                 std::uint32_t max_read_retries = 0);
   ~TilePrefetcher();
 
   TilePrefetcher(const TilePrefetcher&) = delete;
@@ -38,7 +43,9 @@ class TilePrefetcher {
 
   /// Blocks until tile `index` is available and returns its bytes. Tiles
   /// must be consumed in monotonically non-decreasing index order;
-  /// consuming index i releases all buffers below i.
+  /// consuming index i releases all buffers below i. Throws
+  /// std::runtime_error if the tile's read failed permanently (its retry
+  /// budget ran out).
   std::shared_ptr<const std::vector<std::uint8_t>> get(std::size_t index);
 
   /// Restarts the sweep from tile 0 (the next solver iteration).
@@ -52,6 +59,7 @@ class TilePrefetcher {
   Storage& storage_;
   std::vector<TileRef> tiles_;
   std::size_t depth_;
+  std::uint32_t max_read_retries_;
 
   std::mutex mutex_;
   std::condition_variable state_changed_;

@@ -147,6 +147,12 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
   }
   if (run_length > 0) append_data_requests(request.op, run_mapped, run_length, out);
 
+  // An application-level barrier (fsync, checkpoint commit) marks the
+  // last piece of the expansion: everything before it drains, and later
+  // requests wait for it — the journal commit below, if one fires, then
+  // trails that ordered tail.
+  if (request.barrier && !out.empty()) out.back().barrier = true;
+
   // Journal commits trail the data writes they cover.
   if (request.op == NvmOp::kWrite && behavior_.journal_interval > 0) {
     bytes_since_journal_ += request.size;

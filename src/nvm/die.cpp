@@ -34,11 +34,11 @@ Time Die::activation_time(NvmOp op, std::uint32_t page_in_block,
 
 CellActivation Die::activate(std::uint32_t plane, NvmOp op, std::uint64_t block,
                              std::uint32_t page_in_block, std::uint32_t cell_ops,
-                             Time earliest) {
+                             Time earliest, Time extra) {
   if (plane >= planes_.size()) {
     throw std::out_of_range("Die::activate: plane index out of range");
   }
-  const Time duration = activation_time(op, page_in_block, cell_ops);
+  const Time duration = activation_time(op, page_in_block, cell_ops) + extra;
   const Reservation grant = planes_[plane].reserve(earliest, duration);
 
   // Wear accounting. The wear unit id folds plane and block together so a

@@ -33,10 +33,12 @@ class Die {
   /// starting at page `page_in_block`, no earlier than `earliest`.
   /// `cell_ops > 1` models controllers streaming bursts of small PCM
   /// lines under a single command. Wear is recorded per block (NAND
-  /// erase) or per page written.
+  /// erase) or per page written. `extra` lengthens the occupancy beyond
+  /// the nominal activation time — read-retry ladder steps sense with
+  /// finer reference levels and hold the plane longer.
   CellActivation activate(std::uint32_t plane, NvmOp op, std::uint64_t block,
                           std::uint32_t page_in_block, std::uint32_t cell_ops,
-                          Time earliest);
+                          Time earliest, Time extra = 0);
 
   /// Duration `cell_ops` activations would take (no reservation).
   Time activation_time(NvmOp op, std::uint32_t page_in_block,

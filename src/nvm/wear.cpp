@@ -30,7 +30,17 @@ WearSummary WearTracker::summary() const {
   out.total_erases = total_erases_;
   out.total_writes = total_writes_;
   out.touched_units = erase_counts_.size();
-  if (erase_counts_.empty()) return out;
+  if (erase_counts_.empty()) {
+    // No touched units: min/max/mean erases are 0 and the device is
+    // trivially level. Returning here guards the mean division below —
+    // an untouched tracker (fresh device, or PCM whose wear is recorded
+    // per write) must not divide by zero or leave fields at sentinels.
+    out.min_unit_erases = 0;
+    out.max_unit_erases = 0;
+    out.mean_unit_erases = 0.0;
+    out.imbalance = 1.0;
+    return out;
+  }
   std::uint64_t max_count = 0;
   std::uint64_t min_count = std::numeric_limits<std::uint64_t>::max();
   for (const auto& [unit, count] : erase_counts_) {

@@ -1,0 +1,55 @@
+#include "reliability/ecc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvmooc {
+
+namespace {
+
+/// P(X > t) for X ~ Poisson(lambda). Exact partial-sum evaluation; for
+/// lambda large enough that exp(-lambda) underflows (~745) the CDF mass
+/// below t is negligible anyway and the tail saturates to 1.
+double poisson_tail(double lambda, std::uint32_t t) {
+  if (lambda <= 0.0) return 0.0;
+  double term = std::exp(-lambda);
+  if (term <= 0.0) return 1.0;
+  double cdf = term;
+  for (std::uint32_t i = 1; i <= t; ++i) {
+    term *= lambda / static_cast<double>(i);
+    cdf += term;
+  }
+  return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+}  // namespace
+
+double EccModel::p_any_error(double rber, Bytes bytes) const {
+  if (rber <= 0.0) return 0.0;
+  if (rber >= 1.0) return 1.0;
+  const double bits = static_cast<double>(std::max<Bytes>(bytes, 1)) * 8.0;
+  return -std::expm1(bits * std::log1p(-rber));
+}
+
+double EccModel::p_uncorrectable(double rber, Bytes bytes) const {
+  if (rber <= 0.0) return 0.0;
+  const Bytes codeword = std::max<Bytes>(config_.codeword_bytes, 1);
+  const Bytes payload = std::max<Bytes>(bytes, 1);
+  const std::uint64_t codewords = (payload + codeword - 1) / codeword;
+  const double bits_per_codeword =
+      static_cast<double>(std::min<Bytes>(payload, codeword)) * 8.0;
+  const double p_codeword =
+      poisson_tail(bits_per_codeword * rber, config_.correctable_bits);
+  if (p_codeword <= 0.0) return 0.0;
+  if (p_codeword >= 1.0) return 1.0;
+  // 1 - (1 - p)^m, evaluated stably for tiny p.
+  return -std::expm1(static_cast<double>(codewords) * std::log1p(-p_codeword));
+}
+
+double EccModel::pow_scale(std::uint32_t step) const {
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < step; ++i) scale *= config_.retry_rber_scale;
+  return scale;
+}
+
+}  // namespace nvmooc

@@ -1,0 +1,92 @@
+// ECC and read-retry model.
+//
+// The controller protects each codeword (512 B - 2 KiB of data plus
+// parity) with a BCH/LDPC-class code that corrects up to `correctable_bits`
+// errors. A sense whose worst codeword exceeds that budget triggers the
+// read-retry ladder: the page is re-sensed with shifted reference
+// voltages, each step slower than the last but seeing a lower effective
+// error rate. A page that defeats the whole ladder is uncorrectable —
+// the device cannot produce the data, and recovery moves up the stack
+// (bad-block remap + replicated-path re-read).
+//
+// Error arithmetic uses the Poisson approximation to Binomial(n, rber):
+// per-codeword failure = P(X > t), X ~ Poisson(bits_per_codeword * rber),
+// exact enough for rber << 1 and far cheaper than simulating bits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace nvmooc {
+
+struct EccConfig {
+  /// Data bytes protected per codeword.
+  Bytes codeword_bytes = 1 * KiB;
+  /// Bit errors correctable per codeword (40 b / 1 KiB is a typical
+  /// mid-life BCH operating point).
+  std::uint32_t correctable_bits = 40;
+  /// Read-retry ladder depth: senses after the first, each with shifted
+  /// reference voltages. 0 disables retries entirely.
+  std::uint32_t max_read_retries = 4;
+  /// Effective RBER multiplier per ladder step (reference-voltage shifts
+  /// recover margin): step k senses at rber * scale^k.
+  double retry_rber_scale = 0.7;
+  /// Escalating sense cost: ladder step k adds k * factor * t_read on top
+  /// of the re-sense itself (finer sensing levels take longer).
+  double retry_latency_factor = 0.5;
+};
+
+enum class ReadVerdict : std::uint8_t { kClean = 0, kCorrected = 1, kUncorrectable = 2 };
+
+struct EccOutcome {
+  ReadVerdict verdict = ReadVerdict::kClean;
+  /// Ladder steps taken (0 = first sense decided it).
+  std::uint32_t retries = 0;
+};
+
+class EccModel {
+ public:
+  explicit EccModel(EccConfig config = {}) : config_(config) {}
+
+  const EccConfig& config() const { return config_; }
+
+  /// P(at least one raw bit error in `bytes`) at the given RBER.
+  double p_any_error(double rber, Bytes bytes) const;
+
+  /// P(some codeword of a `bytes` read exceeds the correction budget).
+  double p_uncorrectable(double rber, Bytes bytes) const;
+
+  /// Resolves one read sense chain. `draw(attempt)` must return a
+  /// uniform [0,1) for ladder attempt `attempt` (0 = initial sense);
+  /// the caller supplies the deterministic fault-injector stream.
+  ///
+  /// Coupled single-draw-per-attempt construction: with u = draw(k),
+  /// u < p_uncorrectable  -> this sense failed (take another step),
+  /// u < p_any_error      -> raw errors present but ECC fixed them,
+  /// otherwise            -> clean. p_uncorrectable <= p_any_error makes
+  /// the three outcomes consistent for one uniform.
+  template <typename Draw>
+  EccOutcome read(double rber, Bytes bytes, Draw&& draw) const {
+    EccOutcome outcome;
+    if (rber <= 0.0) return outcome;
+    const double u0 = draw(0u);
+    if (u0 >= p_any_error(rber, bytes)) return outcome;  // kClean
+    outcome.verdict = ReadVerdict::kCorrected;
+    if (u0 >= p_uncorrectable(rber, bytes)) return outcome;  // First sense ok.
+    for (std::uint32_t step = 1; step <= config_.max_read_retries; ++step) {
+      ++outcome.retries;
+      const double stepped = rber * pow_scale(step);
+      if (draw(step) >= p_uncorrectable(stepped, bytes)) return outcome;
+    }
+    outcome.verdict = ReadVerdict::kUncorrectable;
+    return outcome;
+  }
+
+ private:
+  double pow_scale(std::uint32_t step) const;
+
+  EccConfig config_;
+};
+
+}  // namespace nvmooc

@@ -20,8 +20,10 @@ SsdHardware::SsdHardware(const SsdGeometry& geometry, const NvmTiming& timing,
   }
 }
 
-Controller::Controller(SsdHardware& hardware, Ftl& ftl, ControllerConfig config)
-    : hardware_(hardware), ftl_(ftl), config_(config) {}
+Controller::Controller(SsdHardware& hardware, Ftl& ftl, ControllerConfig config,
+                       FaultInjector* injector)
+    : hardware_(hardware), ftl_(ftl), config_(config), ecc_(config.ecc),
+      injector_(injector) {}
 
 void Controller::expand_run(const UnitRun& run, std::vector<TxnSpec>& out) const {
   const NvmTiming& timing = hardware_.timing();
@@ -80,7 +82,7 @@ void Controller::expand_run(const UnitRun& run, std::vector<TxnSpec>& out) const
   }
 }
 
-TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival) {
+TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool inject) {
   const NvmTiming& timing = hardware_.timing();
   const SsdGeometry& geometry = hardware_.geometry();
   const PhysicalAddress address = geometry.map_unit(spec.first_unit, timing);
@@ -97,8 +99,20 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival) {
   txn.bytes = spec.bytes;
   txn.issue = arrival;
 
+  // An injected channel stall pushes the whole transaction back; the
+  // delay books as channel contention like any other bus wait.
+  Time start = arrival;
+  if (inject && injector_ != nullptr) {
+    bool stalled = false;
+    start = injector_->channel_available(address.channel, arrival, &stalled);
+    if (stalled) {
+      ++stats_.reliability.channel_stalls;
+      txn.channel_wait += start - arrival;
+    }
+  }
+
   // Command/address cycles occupy the shared channel.
-  const Reservation cmd = channel.reserve(arrival, timing.command_time);
+  const Reservation cmd = channel.reserve(start, timing.command_time);
   txn.command = timing.command_time;
   txn.channel_wait += cmd.waited;
 
@@ -106,17 +120,60 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival) {
 
   switch (spec.op) {
     case NvmOp::kRead: {
-      const CellActivation cell = die.activate(address.plane, NvmOp::kRead, address.block,
-                                               address.page, spec.cell_ops, cmd.end);
-      txn.cell = cell.end - cell.start;
-      txn.cell_wait = cell.waited;
-      const Reservation fb = package.reserve_flash_bus(cell.end, spec.bytes);
-      txn.flash_bus = fb.end - fb.start;
-      txn.channel_wait += fb.waited;
-      const Reservation out = channel.reserve(fb.end, data_time);
-      txn.channel_bus = out.end - out.start;
-      txn.channel_wait += out.waited;
-      txn.complete = out.end;
+      // Decide the sense chain's fate up front (the draw stream is keyed
+      // by unit + access ordinal, so the verdict is independent of when
+      // the senses land), then reserve one cell/bus chain per attempt so
+      // retries re-enter cell and channel contention for real.
+      std::uint32_t attempts = 1;
+      if (inject && injector_ != nullptr) {
+        if (injector_->die_stuck(address.channel, address.package, address.die,
+                                 cmd.end)) {
+          // Stuck die: the status poll fails immediately — no sense data,
+          // no ladder to climb, the data is simply gone.
+          txn.uncorrectable = true;
+          ++stats_.reliability.die_stuck_reads;
+        } else {
+          const std::uint64_t wear_unit =
+              address.block * timing.planes_per_die + address.plane;
+          const double rber = injector_->effective_rber(die.wear().erases(wear_unit));
+          const std::uint64_t access = injector_->next_access(spec.first_unit);
+          const Bytes sensed = std::max<Bytes>(spec.bytes, timing.page_size);
+          const EccOutcome ecc = ecc_.read(rber, sensed, [&](std::uint32_t attempt) {
+            return injector_->uniform(spec.first_unit, access, attempt);
+          });
+          txn.retries = ecc.retries;
+          txn.corrected = ecc.verdict != ReadVerdict::kClean;
+          txn.uncorrectable = ecc.verdict == ReadVerdict::kUncorrectable;
+          attempts += ecc.retries;
+        }
+      }
+
+      Time cursor = cmd.end;
+      Time first_end = 0;
+      for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        // Ladder step k senses with finer reference levels and holds the
+        // plane k * factor * t_read longer than a nominal read.
+        const Time extra =
+            attempt == 0 ? 0
+                         : static_cast<Time>(static_cast<double>(timing.read_time) *
+                                             ecc_.config().retry_latency_factor *
+                                             static_cast<double>(attempt));
+        const CellActivation cell =
+            die.activate(address.plane, NvmOp::kRead, address.block, address.page,
+                         spec.cell_ops, cursor, extra);
+        txn.cell += cell.end - cell.start;
+        txn.cell_wait += cell.waited;
+        const Reservation fb = package.reserve_flash_bus(cell.end, spec.bytes);
+        txn.flash_bus += fb.end - fb.start;
+        txn.channel_wait += fb.waited;
+        const Reservation out = channel.reserve(fb.end, data_time);
+        txn.channel_bus += out.end - out.start;
+        txn.channel_wait += out.waited;
+        cursor = out.end;
+        if (attempt == 0) first_end = cursor;
+      }
+      txn.complete = cursor;
+      txn.retry_time = cursor - first_end;
       break;
     }
     case NvmOp::kWrite: {
@@ -198,8 +255,14 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
   Time write_data_in_end = 0;   // Last inbound transfer of this request.
   Time non_write_end = 0;       // RMW reads / GC work that must land first.
 
-  for (const TxnSpec& spec : specs) {
-    const TransactionResult txn = schedule(spec, arrival);
+  // Bad-block relocation traffic triggered by this request's
+  // uncorrectable reads; scheduled after the payload pass, without fault
+  // injection (a remap must not recursively fail), and excluded from the
+  // PAL masks (it says nothing about the request's data layout).
+  std::vector<UnitRun> remap_runs;
+
+  const auto run_spec = [&](const TxnSpec& spec, bool inject, bool count_pal) {
+    const TransactionResult txn = schedule(spec, arrival, inject);
     ++stats_.transactions;
     stats_.cell_time_by_op[static_cast<int>(spec.op)] += txn.cell;
     stats_.bus_time += txn.flash_bus + txn.channel_bus + txn.command;
@@ -207,6 +270,27 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
       write_data_in_end = std::max(write_data_in_end, txn.data_in_end);
     } else {
       non_write_end = std::max(non_write_end, txn.complete);
+    }
+
+    if (txn.retries > 0 || txn.corrected || txn.uncorrectable) {
+      stats_.reliability.read_retries += txn.retries;
+      stats_.reliability.retry_time += txn.retry_time;
+      if (txn.uncorrectable) {
+        ++stats_.reliability.uncorrectable_reads;
+      } else if (txn.corrected) {
+        ++stats_.reliability.corrected_reads;
+      }
+      result.retries += txn.retries;
+      result.retry_time += txn.retry_time;
+      if (txn.uncorrectable) {
+        ++result.uncorrectable_units;
+        result.uncorrectable_bytes +=
+            std::max<Bytes>(spec.bytes, hardware_.timing().page_size);
+        if (!ftl_.retire_block(spec.first_unit, remap_runs)) {
+          result.hard_failure = true;
+          stats_.reliability.hard_failure = true;
+        }
+      }
     }
 
     const std::uint64_t plane_key =
@@ -225,12 +309,25 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
     result.media_end = std::max(result.media_end, txn.complete);
     ++result.transactions;
 
+    if (!count_pal) return;
     channel_mask |= 1ULL << (txn.channel % 64);
     const std::uint32_t die_in_channel = txn.package * geometry.dies_per_package + txn.die;
     dies_per_channel[txn.channel] |= 1ULL << (die_in_channel % 64);
     const std::uint64_t die_id =
         (static_cast<std::uint64_t>(txn.channel) << 32) | die_in_channel;
     planes_per_die[die_id] |= 1u << txn.plane;
+  };
+
+  for (const TxnSpec& spec : specs) {
+    run_spec(spec, /*inject=*/true, /*count_pal=*/true);
+  }
+  if (!remap_runs.empty()) {
+    std::vector<TxnSpec> remap_specs;
+    for (const UnitRun& run : remap_runs) expand_run(run, remap_specs);
+    for (const TxnSpec& spec : remap_specs) {
+      run_spec(spec, /*inject=*/false, /*count_pal=*/false);
+    }
+    for (const UnitRun& run : remap_runs) stats_.internal_bytes += run.bytes;
   }
 
   // Fold the request's critical-path components into the totals. Waits

@@ -10,6 +10,8 @@
 
 #include "nvm/bus.hpp"
 #include "nvm/package.hpp"
+#include "reliability/ecc.hpp"
+#include "reliability/fault.hpp"
 #include "sim/timeline.hpp"
 #include "ssd/ftl.hpp"
 #include "ssd/geometry.hpp"
@@ -63,6 +65,9 @@ struct ControllerConfig {
   /// bytes fit; programming drains in the background. 0 disables
   /// (write-through, the evaluation default).
   Bytes write_buffer = 0;
+  /// ECC strength and read-retry ladder shape. Only consulted when the
+  /// device was built with a FaultInjector (fault injection enabled).
+  EccConfig ecc;
 };
 
 struct ControllerStats {
@@ -81,11 +86,16 @@ struct ControllerStats {
   std::array<std::uint64_t, 4> pal_requests{};
   Time first_activity = -1;
   Time last_completion = 0;
+  /// Sense-level reliability counters (all zero with injection off).
+  ReliabilityStats reliability;
 };
 
 class Controller {
  public:
-  Controller(SsdHardware& hardware, Ftl& ftl, ControllerConfig config);
+  /// `injector` may be null (the default): no faults, no per-sense
+  /// draws, the fault-free fast path.
+  Controller(SsdHardware& hardware, Ftl& ftl, ControllerConfig config,
+             FaultInjector* injector = nullptr);
 
   /// Executes one device request arriving at `arrival`; returns its
   /// completion record (media_end is when the last byte left the channel
@@ -106,7 +116,9 @@ class Controller {
   /// pages when enabled).
   void expand_run(const UnitRun& run, std::vector<TxnSpec>& out) const;
 
-  TransactionResult schedule(const TxnSpec& spec, Time arrival);
+  /// `inject` gates fault draws: bad-block relocation traffic is
+  /// scheduled with injection off so a remap cannot recursively fail.
+  TransactionResult schedule(const TxnSpec& spec, Time arrival, bool inject);
 
   /// Dirty bytes still being programmed at time `when`.
   Bytes dirty_bytes_at(Time when);
@@ -114,6 +126,8 @@ class Controller {
   SsdHardware& hardware_;
   Ftl& ftl_;
   ControllerConfig config_;
+  EccModel ecc_;
+  FaultInjector* injector_ = nullptr;
   ControllerStats stats_;
   /// (program completion, bytes) of buffered writes still draining.
   std::vector<std::pair<Time, Bytes>> write_buffer_drain_;

@@ -107,10 +107,80 @@ std::uint64_t Ftl::allocate_unit(std::vector<UnitRun>& gc_out) {
     collect_garbage(gc_out);
   }
 
-  const std::uint64_t unit = frontier_++;
-  const PhysicalAddress address = geometry_.map_unit(unit, timing_);
-  ++valid_pages_[block_key(address)];
-  return unit;
+  // Frontier allocation, skipping retired blocks. Skipping can exhaust
+  // the frontier, in which case the recursion above falls back to GC.
+  while (frontier_ < capacity_units_) {
+    const std::uint64_t unit = frontier_++;
+    const PhysicalAddress address = geometry_.map_unit(unit, timing_);
+    const std::uint64_t key = block_key(address);
+    if (!bad_blocks_.empty() && bad_blocks_.count(key) > 0) continue;
+    ++valid_pages_[key];
+    return unit;
+  }
+  return allocate_unit(gc_out);
+}
+
+bool Ftl::is_bad_block(std::uint64_t physical_unit) const {
+  if (bad_blocks_.empty()) return false;
+  const PhysicalAddress address = geometry_.map_unit(physical_unit, timing_);
+  return bad_blocks_.count(block_key(address)) > 0;
+}
+
+bool Ftl::retire_block(std::uint64_t physical_unit, std::vector<UnitRun>& out) {
+  PhysicalAddress base = geometry_.map_unit(physical_unit, timing_);
+  base.page = 0;
+  const std::uint64_t key = block_key(base);
+  if (bad_blocks_.count(key) > 0) return !failed_;  // Already retired.
+  bad_blocks_.insert(key);
+  ++stats_.retired_blocks;
+  if (stats_.spare_blocks_used < config_.spare_blocks) {
+    ++stats_.spare_blocks_used;
+  } else {
+    capacity_lost_units_ += timing_.pages_per_block;
+    if (static_cast<double>(capacity_lost_units_) >
+        config_.hard_failure_capacity_fraction * static_cast<double>(capacity_units_)) {
+      failed_ = true;
+    }
+  }
+
+  // Drop the block from the free list if it went bad between reclaim and
+  // reuse (a partially-refilled free block is handled by the live-page
+  // sweep below).
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end();) {
+    PhysicalAddress candidate = it->base;
+    candidate.page = 0;
+    it = block_key(candidate) == key ? free_blocks_.erase(it) : std::next(it);
+  }
+
+  // Relocate the block's live pages. The other pages are still readable
+  // (one page failed, not the whole block); the failed page itself has no
+  // readable source, so it is rewritten only — its content arrives from
+  // the replica fetched by the layer above.
+  for (std::uint32_t page = 0; page < timing_.pages_per_block; ++page) {
+    PhysicalAddress address = base;
+    address.page = page;
+    const std::uint64_t physical = geometry_.unit_of(address, timing_);
+    std::uint64_t logical = 0;
+    const auto live = reverse_.find(physical);
+    if (live != reverse_.end()) {
+      logical = live->second;
+      reverse_.erase(live);
+    } else if (physical < preloaded_units_ && overrides_.count(physical) == 0) {
+      logical = physical;  // Identity-mapped pre-loaded data.
+    } else {
+      continue;  // Dead or never-written page: nothing to move.
+    }
+    if (physical != physical_unit) {
+      out.push_back({NvmOp::kRead, physical, 1, timing_.page_size, /*gc=*/true});
+    }
+    const std::uint64_t fresh = allocate_unit(out);
+    overrides_[logical] = fresh;
+    reverse_[fresh] = logical;
+    out.push_back({NvmOp::kWrite, fresh, 1, timing_.page_size, /*gc=*/true});
+    ++stats_.remap_relocated_pages;
+  }
+  valid_pages_.erase(key);
+  return !failed_;
 }
 
 void Ftl::collect_garbage(std::vector<UnitRun>& out) {
@@ -127,6 +197,7 @@ void Ftl::collect_garbage(std::vector<UnitRun>& out) {
   for (const auto& [key, valid] : valid_pages_) {
     const std::uint64_t block = key % timing_.blocks_per_plane;
     if (block >= frontier_block && frontier_ < capacity_units_) continue;
+    if (!bad_blocks_.empty() && bad_blocks_.count(key) > 0) continue;
     std::uint32_t wear = 0;
     if (config_.wear_aware) {
       const auto it = erase_counts_.find(key);

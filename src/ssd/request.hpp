@@ -82,6 +82,12 @@ struct TransactionResult {
   Time flash_bus = 0;  ///< Register <-> pads transfer.
   Time channel_bus = 0;  ///< Shared-bus data transfer (channel activation).
   Time channel_wait = 0;  ///< Channel (and package-port) contention.
+
+  // Reliability outcome (all zero/false when fault injection is off).
+  std::uint32_t retries = 0;  ///< Read-retry ladder steps taken.
+  bool corrected = false;     ///< Raw bit errors occurred but ECC recovered.
+  bool uncorrectable = false; ///< Ladder exhausted (or die stuck): data lost.
+  Time retry_time = 0;        ///< Completion delay added by the retry attempts.
 };
 
 /// Completion record for one BlockRequest.
@@ -92,6 +98,13 @@ struct RequestResult {
   Bytes bytes = 0;
   std::uint32_t transactions = 0;
   ParallelismLevel pal = ParallelismLevel::kPal1;
+
+  // Reliability outcome (all zero/false when fault injection is off).
+  std::uint32_t retries = 0;            ///< Read-retry steps across all transactions.
+  std::uint32_t uncorrectable_units = 0;  ///< Transactions whose data was lost.
+  Bytes uncorrectable_bytes = 0;        ///< Payload bytes those transactions carried.
+  Time retry_time = 0;                  ///< Latency the retry ladders added.
+  bool hard_failure = false;            ///< Device crossed its capacity-loss threshold.
 };
 
 }  // namespace nvmooc

@@ -9,7 +9,12 @@ Ssd::Ssd(const SsdConfig& config)
   hardware_ = std::make_unique<SsdHardware>(config_.geometry, timing_, config_.bus,
                                             config_.controller.queue_backfill);
   ftl_ = std::make_unique<Ftl>(config_.geometry, timing_, config_.ftl);
-  controller_ = std::make_unique<Controller>(*hardware_, *ftl_, config_.controller);
+  if (config_.fault.enabled) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault, config_.media,
+                                                timing_.endurance);
+  }
+  controller_ = std::make_unique<Controller>(*hardware_, *ftl_, config_.controller,
+                                             injector_.get());
 }
 
 void Ssd::preload(Bytes dataset_bytes) { ftl_->set_preloaded(dataset_bytes); }
@@ -86,6 +91,11 @@ DeviceStats Ssd::device_stats(Time wall_time) const {
     stats.remaining_bandwidth = stats.media_capability;
     return stats;
   }
+  // A caller passing a zero/negative makespan (empty replay, or stats
+  // taken before any host DMA) must get 0-utilisation answers, not
+  // NaN/inf from the divisions below; the device's own active window is
+  // the honest fallback denominator.
+  if (wall_time <= 0) wall_time = stats.active_time;
 
   // A channel counts as busy while anything in its subsystem (bus or any
   // of its packages) is working — the paper's channel-level utilisation,

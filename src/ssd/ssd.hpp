@@ -17,6 +17,9 @@ struct SsdConfig {
   BusConfig bus = onfi3_sdr_bus();
   ControllerConfig controller;
   FtlConfig ftl;
+  /// Fault injection (disabled by default: no injector is built and the
+  /// device behaves exactly like the fault-free simulator).
+  FaultConfig fault;
 };
 
 /// Figure 7b/8b/9 quantities, all derived after a replay finishes.
@@ -69,12 +72,16 @@ class Ssd {
 
   SsdHardware& hardware() { return *hardware_; }
   Ftl& ftl() { return *ftl_; }
+  const Ftl& ftl() const { return *ftl_; }
+  /// Null unless fault injection is enabled.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   SsdConfig config_;
   NvmTiming timing_;
   std::unique_ptr<SsdHardware> hardware_;
   std::unique_ptr<Ftl> ftl_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Controller> controller_;
 };
 

@@ -51,10 +51,11 @@ void Trace::save(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (!file) throw std::runtime_error("Trace::save: cannot open " + path);
   for (const PosixRequest& request : requests_) {
-    std::fprintf(file, "%c %llu %llu %lld\n", request.op == NvmOp::kRead ? 'R' : 'W',
+    std::fprintf(file, "%c %llu %llu %lld%s\n", request.op == NvmOp::kRead ? 'R' : 'W',
                  static_cast<unsigned long long>(request.offset),
                  static_cast<unsigned long long>(request.size),
-                 static_cast<long long>(request.not_before));
+                 static_cast<long long>(request.not_before),
+                 request.barrier ? " 1" : "");
   }
   std::fclose(file);
 }
@@ -68,8 +69,12 @@ Trace Trace::load(const std::string& path) {
   unsigned long long size = 0;
   long long not_before = 0;
   while (std::fscanf(file, " %c %llu %llu %lld", &op, &offset, &size, &not_before) == 4) {
+    // Optional fifth column; a following 'R'/'W' fails the %d match and
+    // stays in the stream for the next iteration.
+    int barrier = 0;
+    if (std::fscanf(file, " %d", &barrier) != 1) barrier = 0;
     trace.add(op == 'W' ? NvmOp::kWrite : NvmOp::kRead, offset, size,
-              static_cast<Time>(not_before));
+              static_cast<Time>(not_before), barrier != 0);
   }
   std::fclose(file);
   return trace;

@@ -21,6 +21,10 @@ struct PosixRequest {
   /// Earliest time the application can issue it (compute dependencies);
   /// 0 means "as soon as the previous work allows".
   Time not_before = 0;
+  /// fsync-like ordering: every earlier request must complete before
+  /// this one issues, and later requests wait for it. Propagated to all
+  /// device requests this one expands into (checkpoint commits).
+  bool barrier = false;
 };
 
 struct TraceStats {
@@ -39,8 +43,9 @@ struct TraceStats {
 class Trace {
  public:
   void add(PosixRequest request) { requests_.push_back(request); }
-  void add(NvmOp op, Bytes offset, Bytes size, Time not_before = 0) {
-    requests_.push_back({op, offset, size, not_before});
+  void add(NvmOp op, Bytes offset, Bytes size, Time not_before = 0,
+           bool barrier = false) {
+    requests_.push_back({op, offset, size, not_before, barrier});
   }
 
   const std::vector<PosixRequest>& requests() const { return requests_; }
@@ -53,7 +58,9 @@ class Trace {
 
   TraceStats stats() const;
 
-  /// Text serialisation: one "op offset size not_before" line per request.
+  /// Text serialisation: one "op offset size not_before [barrier]" line
+  /// per request; the barrier column is written only when set, and its
+  /// absence loads as false (older four-column traces stay readable).
   void save(const std::string& path) const;
   static Trace load(const std::string& path);
 

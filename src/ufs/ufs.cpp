@@ -33,6 +33,9 @@ std::vector<BlockRequest> UnifiedFileSystem::submit_object(ObjectId id,
     device.op = request.op;
     device.offset = extent.offset;
     device.size = extent.length;
+    // fsync-like POSIX barriers pass through to every extent: UFS has no
+    // journal to order through, so the drain happens at the device queue.
+    device.barrier = request.barrier;
     out.push_back(device);
   }
   return out;

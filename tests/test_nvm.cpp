@@ -2,6 +2,8 @@
 // latency variation, die/plane concurrency, bus rates, wear accounting.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "nvm/bus.hpp"
 #include "nvm/die.hpp"
 #include "nvm/package.hpp"
@@ -226,9 +228,17 @@ TEST(Wear, CountsAndSummary) {
 }
 
 TEST(Wear, EmptySummaryIsNeutral) {
+  // Regression: an untouched tracker must report well-defined zeros, not
+  // iterate over an empty map (min over nothing) or divide by zero.
   const WearSummary s = WearTracker{}.summary();
   EXPECT_EQ(s.total_erases, 0u);
+  EXPECT_EQ(s.total_writes, 0u);
+  EXPECT_EQ(s.touched_units, 0u);
+  EXPECT_EQ(s.min_unit_erases, 0u);
+  EXPECT_EQ(s.max_unit_erases, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_unit_erases, 0.0);
   EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+  EXPECT_FALSE(std::isnan(s.imbalance));
 }
 
 TEST(Wear, LeastWornPrefersUntouched) {

@@ -3,6 +3,7 @@
 // and device statistics.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <set>
 #include <tuple>
@@ -458,6 +459,20 @@ TEST(DeviceStats, IdleDeviceLeavesFullCapability) {
   ControllerFixture f;
   const DeviceStats stats = f.ssd->device_stats(kSecond);
   EXPECT_DOUBLE_EQ(stats.remaining_bandwidth, stats.media_capability);
+}
+
+TEST(DeviceStats, ZeroWallTimeYieldsFiniteUtilization) {
+  // Regression: device_stats(0) on a busy device used to divide by the
+  // zero wall time. The guard substitutes the active window, so the
+  // ratios stay finite and in range.
+  ControllerFixture f;
+  f.ssd->submit({NvmOp::kRead, 0, MiB, false, false}, 0);
+  const DeviceStats stats = f.ssd->device_stats(0);
+  EXPECT_TRUE(std::isfinite(stats.channel_utilization));
+  EXPECT_TRUE(std::isfinite(stats.package_utilization));
+  EXPECT_GE(stats.channel_utilization, 0.0);
+  EXPECT_LE(stats.channel_utilization, 1.0);
+  EXPECT_TRUE(std::isfinite(stats.remaining_bandwidth));
 }
 
 TEST(DeviceStats, WearAggregatesAcrossDies) {
