@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
@@ -18,9 +19,39 @@
 #include "cluster/engine.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/cli.hpp"
 #include "ooc/workload.hpp"
 
 namespace nvmooc::bench {
+
+/// Observability and mode flags shared by the bench binaries. They are
+/// stripped from argv *before* benchmark::Initialize so google-benchmark
+/// never sees them.
+struct BenchOptions {
+  obs::CliOptions obs;
+  bool quick = false;          ///< Smaller workload for CI smoke runs.
+  std::string headline_out;    ///< bench_headline JSON path override.
+};
+
+inline BenchOptions strip_bench_options(int& argc, char** argv) {
+  BenchOptions out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--trace-out=")) out.obs.trace_out = v;
+    else if (const char* v = value("--metrics-out=")) out.obs.metrics_out = v;
+    else if (const char* v = value("--log-level=")) out.obs.log_level = v;
+    else if (const char* v = value("--headline-out=")) out.headline_out = v;
+    else if (!std::strcmp(arg, "--quick")) out.quick = true;
+    else argv[kept++] = argv[i];
+  }
+  argc = kept;
+  return out;
+}
 
 /// The standard evaluation workload: an OoC eigensolver I/O pattern —
 /// sequential tile sweeps over the dataset with a small Psi checkpoint
@@ -31,6 +62,21 @@ inline const Trace& standard_trace() {
     params.dataset_bytes = 256 * MiB;
     params.tile_bytes = 8 * MiB;
     params.sweeps = 2;
+    params.checkpoint_bytes = 2 * MiB;
+    return synthesize_ooc_trace(params);
+  }();
+  return trace;
+}
+
+/// A quarter-size single-sweep variant of standard_trace() for --quick
+/// runs (CI smoke tests): same tile shape, same access pattern, ~8x less
+/// simulated I/O.
+inline const Trace& quick_trace() {
+  static const Trace trace = [] {
+    SyntheticWorkloadParams params;
+    params.dataset_bytes = 64 * MiB;
+    params.tile_bytes = 8 * MiB;
+    params.sweeps = 1;
     params.checkpoint_bytes = 2 * MiB;
     return synthesize_ooc_trace(params);
   }();

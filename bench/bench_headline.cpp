@@ -3,13 +3,19 @@
 //   * software-optimised (UFS) adds +52% on the CNL baseline,
 //   * hardware-optimised adds +250% on the CNL baseline,
 //   * overall relative improvement 10.3x (16x for PCM, 8x for TLC).
-// This bench recomputes each claim from the simulator and prints
-// paper-vs-measured.
+// This bench recomputes each claim from the simulator, prints
+// paper-vs-measured, and writes the machine-readable BENCH_headline.json
+// (the checked-in copy CI diffs against; see EXPERIMENTS.md).
+//
+// Extra flags (before any --benchmark_* ones): --quick for the CI-sized
+// workload, --headline-out=FILE, --trace-out/--metrics-out/--log-level.
 #include <cmath>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
 #include "fs/presets.hpp"
+#include "obs/json.hpp"
 
 namespace {
 
@@ -31,16 +37,78 @@ double mean_ratio(const std::vector<NvmType>& media_list, const char* numerator,
   return std::exp(log_sum / static_cast<double>(media_list.size()));
 }
 
+struct Claim {
+  std::string name;
+  std::string paper;
+  std::string measured;
+  double value = 0.0;  ///< The measured ratio/gain as a bare number.
+};
+
+bool write_headline_json(const std::string& path, const std::string& workload,
+                         const std::vector<Claim>& claims,
+                         const std::vector<NvmType>& media_list) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", std::uint64_t{1});
+  w.field("bench", "headline");
+  w.field("workload", workload);
+
+  w.key("claims");
+  w.begin_array();
+  for (const Claim& claim : claims) {
+    w.begin_object();
+    w.field("claim", claim.name);
+    w.field("paper", claim.paper);
+    w.field("measured", claim.measured);
+    w.field("value", claim.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  // The full config x media grid the claims were derived from, so a
+  // regression in any single cell is attributable without rerunning.
+  w.key("results");
+  w.begin_object();
+  for (NvmType media : media_list) {
+    for (const ExperimentConfig& config : all_configs(media)) {
+      const ExperimentResult* r = board().find(config.name, media);
+      if (r == nullptr) continue;
+      w.key(ResultBoard::key(config.name, media));
+      w.begin_object();
+      w.field("achieved_mbps", r->achieved_mbps);
+      w.field("makespan_ms", static_cast<double>(r->makespan) / kMillisecond);
+      w.field("channel_utilization", r->channel_utilization);
+      w.field("read_latency_p99_us", r->read_latency_p99_us);
+      w.end_object();
+    }
+  }
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for headline output\n", path.c_str());
+    return false;
+  }
+  out << w.str() << '\n';
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchOptions options = strip_bench_options(argc, argv);
+  if (!obs::apply_log_level(options.obs.log_level)) return 1;
   benchmark::Initialize(&argc, argv);
-  register_sweep(&all_configs, all_media(), standard_trace());
+  const std::unique_ptr<obs::ObsSession> session = obs::make_session(options.obs);
+  const Trace& trace = options.quick ? quick_trace() : standard_trace();
+  register_sweep(&all_configs, all_media(), trace);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
   const std::vector<NvmType> nand = {NvmType::kTlc, NvmType::kMlc, NvmType::kSlc};
   const std::vector<NvmType> media = all_media();
+  std::vector<Claim> claims;
 
   // Worst traditional CNL FS per medium == "base-line compute-local SSD".
   auto worst_cnl = [&](NvmType m) {
@@ -56,9 +124,6 @@ int main(int argc, char** argv) {
     return std::make_pair(worst, name);
   };
 
-  std::printf("\n== Headline claims: paper vs this reproduction ==\n");
-  Table table({"Claim", "Paper", "Measured"});
-
   {
     // Worst-CNL over ION-GPFS, per NAND type.
     const char* paper[] = {"+7%", "+78%", "+108%"};
@@ -66,9 +131,9 @@ int main(int argc, char** argv) {
     for (NvmType m : nand) {
       const auto [worst, name] = worst_cnl(m);
       const double gain = 100.0 * (worst / get("ION-GPFS", m) - 1.0);
-      table.add_row({format("worst CNL FS (%s) vs ION-GPFS on %s", name.c_str(),
-                            std::string(to_string(m)).c_str()),
-                     paper[i++], format("%+.0f%%", gain)});
+      claims.push_back({format("worst CNL FS (%s) vs ION-GPFS on %s", name.c_str(),
+                               std::string(to_string(m)).c_str()),
+                        paper[i++], format("%+.0f%%", gain), gain});
     }
   }
   {
@@ -83,9 +148,9 @@ int main(int argc, char** argv) {
       }
       log_sum += std::log((sum / n) / get("ION-GPFS", m));
     }
-    const double avg = std::exp(log_sum / media.size());
-    table.add_row({"CNL SSD vs client-remote SSD (average)", "+108%",
-                   format("%+.0f%%", 100.0 * (avg - 1.0))});
+    const double gain = 100.0 * (std::exp(log_sum / media.size()) - 1.0);
+    claims.push_back({"CNL SSD vs client-remote SSD (average)", "+108%",
+                      format("%+.0f%%", gain), gain});
   }
   {
     // Software optimisation: UFS over the mean traditional CNL FS.
@@ -99,25 +164,39 @@ int main(int argc, char** argv) {
       }
       log_sum += std::log(get("CNL-UFS", m) / (sum / n));
     }
-    const double gain = std::exp(log_sum / media.size());
-    table.add_row({"UFS over CNL baseline (software)", "+52%",
-                   format("%+.0f%%", 100.0 * (gain - 1.0))});
+    const double gain = 100.0 * (std::exp(log_sum / media.size()) - 1.0);
+    claims.push_back({"UFS over CNL baseline (software)", "+52%",
+                      format("%+.0f%%", gain), gain});
   }
   {
     const double hw = mean_ratio(media, "CNL-NATIVE-16", "CNL-UFS");
-    table.add_row({"NATIVE-16 over CNL-UFS (hardware)", "+250%",
-                   format("%+.0f%%", 100.0 * (hw - 1.0))});
+    claims.push_back({"NATIVE-16 over CNL-UFS (hardware)", "+250%",
+                      format("%+.0f%%", 100.0 * (hw - 1.0)), 100.0 * (hw - 1.0)});
   }
   {
     const double overall = mean_ratio(media, "CNL-NATIVE-16", "ION-GPFS");
-    table.add_row({"overall NATIVE-16 vs ION-GPFS", "10.3x", format("%.1fx", overall)});
-    table.add_row({"PCM NATIVE-16 vs ION-GPFS", "16x",
-                   format("%.1fx", get("CNL-NATIVE-16", NvmType::kPcm) /
-                                       get("ION-GPFS", NvmType::kPcm))});
-    table.add_row({"TLC NATIVE-16 vs ION-GPFS", "8x",
-                   format("%.1fx", get("CNL-NATIVE-16", NvmType::kTlc) /
-                                       get("ION-GPFS", NvmType::kTlc))});
+    claims.push_back({"overall NATIVE-16 vs ION-GPFS", "10.3x",
+                      format("%.1fx", overall), overall});
+    const double pcm = get("CNL-NATIVE-16", NvmType::kPcm) / get("ION-GPFS", NvmType::kPcm);
+    claims.push_back({"PCM NATIVE-16 vs ION-GPFS", "16x", format("%.1fx", pcm), pcm});
+    const double tlc = get("CNL-NATIVE-16", NvmType::kTlc) / get("ION-GPFS", NvmType::kTlc);
+    claims.push_back({"TLC NATIVE-16 vs ION-GPFS", "8x", format("%.1fx", tlc), tlc});
+  }
+
+  std::printf("\n== Headline claims: paper vs this reproduction ==\n");
+  Table table({"Claim", "Paper", "Measured"});
+  for (const Claim& claim : claims) {
+    table.add_row({claim.name, claim.paper, claim.measured});
   }
   table.print();
+
+  const std::string headline_path =
+      options.headline_out.empty() ? "BENCH_headline.json" : options.headline_out;
+  if (!write_headline_json(headline_path, options.quick ? "quick" : "standard",
+                           claims, media)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", headline_path.c_str());
+  if (!obs::write_outputs(session.get(), options.obs)) return 1;
   return 0;
 }

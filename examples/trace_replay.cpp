@@ -6,12 +6,14 @@
 //        [--faults=SCENARIO]
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "common/random.hpp"
 #include "fs/presets.hpp"
+#include "obs/cli.hpp"
 #include "trace/scenario.hpp"
 #include "trace/synthetic.hpp"
 
@@ -23,6 +25,8 @@ const char* kUsage =
     "usage: trace_replay [--config=NAME] [--media=slc|mlc|tlc|pcm]\n"
     "                    [--trace=FILE | --pattern=seq|rand|strided]\n"
     "                    [--size-mib=N] [--request-kib=N] [--faults=SCENARIO]\n"
+    "                    [--trace-out=FILE] [--metrics-out=FILE]\n"
+    "                    [--result-out=FILE] [--log-level=debug|info|warn|error|off]\n"
     "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
     "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
     "         cnl-native-8, cnl-native-16\n";
@@ -76,6 +80,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::CliOptions obs_options;
+  obs_options.trace_out = option(argc, argv, "trace-out", "");
+  obs_options.metrics_out = option(argc, argv, "metrics-out", "");
+  obs_options.log_level = option(argc, argv, "log-level", "");
+  const std::string result_out = option(argc, argv, "result-out", "");
+  if (!obs::apply_log_level(obs_options.log_level)) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+
   const std::string fault_path = option(argc, argv, "faults", "");
   if (!fault_path.empty()) {
     try {
@@ -106,7 +120,18 @@ int main(int argc, char** argv) {
               trace.size(), static_cast<double>(stats.total_bytes) / MiB,
               stats.sequentiality, 100.0 * stats.read_fraction);
 
+  const std::unique_ptr<obs::ObsSession> session = obs::make_session(obs_options);
   const ExperimentResult result = run_experiment(config, trace);
+  if (!obs::write_outputs(session.get(), obs_options)) return 1;
+  if (!result_out.empty()) {
+    std::ofstream out(result_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for result output\n", result_out.c_str());
+      return 1;
+    }
+    out << result.to_json() << '\n';
+  }
+
   std::printf("%s on %s:\n", result.name.c_str(), std::string(to_string(media)).c_str());
   std::printf("  throughput     %.0f MB/s over %.2f ms\n", result.achieved_mbps,
               static_cast<double>(result.makespan) / kMillisecond);

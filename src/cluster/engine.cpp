@@ -1,11 +1,52 @@
 #include "cluster/engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/window.hpp"
+#include "obs/obs.hpp"
 
 namespace nvmooc {
+
+namespace {
+
+/// Assigns each in-flight request a "lane" so its span lands on a track
+/// where spans never overlap — Perfetto renders same-track spans as a
+/// nesting stack, so concurrent requests must ride separate lanes. Lane
+/// count is naturally bounded by the flow-control window's depth.
+class LaneAllocator {
+ public:
+  explicit LaneAllocator(obs::TraceRecorder& recorder) : recorder_(recorder) {}
+
+  /// Track id of a lane free over [start, end).
+  std::uint32_t acquire(Time start, Time end) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].free_at <= start) {
+        lanes_[i].free_at = end;
+        return lanes_[i].track;
+      }
+    }
+    Lane lane;
+    lane.free_at = end;
+    lane.track = recorder_.track("io.lane" + std::to_string(lanes_.size()));
+    lanes_.push_back(lane);
+    return lane.track;
+  }
+
+ private:
+  struct Lane {
+    Time free_at = 0;
+    std::uint32_t track = 0;
+  };
+  obs::TraceRecorder& recorder_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace
 
 ReplayEngine::ReplayEngine(const ExperimentConfig& config) : config_(config) {
   SsdConfig ssd_config;
@@ -28,15 +69,18 @@ ReplayEngine::ReplayEngine(const ExperimentConfig& config) : config_(config) {
   }
 
   host_dma_ = std::make_unique<DmaEngine>(config_.host_link);
+  host_dma_->set_trace_label("link.host");
   if (config_.location == StorageLocation::kIonLocal) {
     LinkConfig wire = config_.network.wire;
     // The parallel-FS RPC software cost rides on every network transfer.
     wire.request_latency += config_.network.rpc_overhead;
     network_dma_ = std::make_unique<DmaEngine>(wire);
+    network_dma_->set_trace_label("link.net");
   } else if (config_.fault.enabled) {
     LinkConfig wire = config_.network.wire;
     wire.request_latency += config_.network.rpc_overhead;
     degraded_dma_ = std::make_unique<DmaEngine>(wire);
+    degraded_dma_->set_trace_label("link.degraded");
   }
 }
 
@@ -74,6 +118,23 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   Histogram read_latency_us(0.0, 50'000.0, 4096);
   RunningStats read_latency_stats;
 
+  // Observability: both pointers are null unless an obs::ObsSession is
+  // installed on this thread, in which case spans/metrics flow; the
+  // simulation arithmetic below never depends on either.
+  obs::TraceRecorder* recorder = obs::tracer();
+  obs::MetricsRegistry* registry = obs::metrics();
+  std::unique_ptr<LaneAllocator> lanes;
+  std::uint32_t window_track = 0;
+  if (recorder) {
+    lanes = std::make_unique<LaneAllocator>(*recorder);
+    window_track = recorder->track("engine.window");
+  }
+  // Per-request phase-wait distributions (µs) and the outstanding-bytes
+  // outline ride in every result (they are derived accounting, like the
+  // latency histogram above, not optional instrumentation).
+  std::array<obs::LogHistogram, kPhaseCount> phase_wait;
+  obs::TimeSeries queue_depth_series;
+
   // Degraded-mode accounting (only moves under fault injection).
   std::uint64_t degraded_requests = 0;
   Bytes degraded_bytes = 0;
@@ -97,13 +158,15 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
 
       Time completion = 0;
       Time media_done = 0;
+      Time write_link_end = 0;
+      RequestResult media;
       if (device_request.op == NvmOp::kRead) {
         // Media first; the outbound DMA streams chunk-by-chunk as pages
         // complete, so the link occupancy starts with the media and the
         // request is done when both the media and the wire have finished.
         Time media_arrival = issue;
         if (network_dma_) media_arrival = rpc_window.admit(issue, device_request.size);
-        const RequestResult media = ssd_->submit(device_request, media_arrival);
+        media = ssd_->submit(device_request, media_arrival);
         media_done = media.media_end;
         const Reservation dma = host_dma_->transfer(media.media_begin, device_request.size);
         completion = std::max(media.media_end, dma.end);
@@ -129,6 +192,14 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             completion = std::max(completion, replica.end);
             ++degraded_requests;
             degraded_bytes += media.uncorrectable_bytes;
+            if (recorder) {
+              recorder->span(
+                  recorder->track("engine.degraded"), "reliability",
+                  "degraded_refetch", media.media_end, 0,
+                  {obs::SpanArg::integer(
+                      "bytes", static_cast<std::int64_t>(media.uncorrectable_bytes))});
+            }
+            if (registry) registry->counter("engine.degraded_requests").add();
           } else {
             // ION-local storage *is* the resilience tier — an
             // uncorrectable read there has nowhere to fall back to.
@@ -146,24 +217,72 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
           at_device = net.end;
         }
         const Reservation dma = host_dma_->transfer(at_device, device_request.size);
-        const RequestResult media = ssd_->submit(device_request, dma.end);
+        media = ssd_->submit(device_request, dma.end);
         completion = media.media_end;
         media_done = media.media_end;
-        // For writes the data movement precedes the media: the inbound
-        // link time that the media could not overlap is the gap between
-        // issue and when programming could begin.
-        non_overlapped_dma += std::max<Time>(0, dma.end - issue);
+        write_link_end = dma.end;
         if (network_dma_) rpc_window.launch(completion, device_request.size);
       }
 
-      if (device_request.op == NvmOp::kRead) {
-        non_overlapped_dma += std::max<Time>(0, completion - media_done);
+      const bool is_read = device_request.op == NvmOp::kRead;
+      // For writes the data movement precedes the media: the inbound link
+      // time that the media could not overlap is the gap between issue and
+      // when programming could begin. For reads it is the tail past the
+      // media (host DMA, network, degraded re-fetch).
+      const Time request_nod =
+          is_read ? std::max<Time>(0, completion - media_done)
+                  : std::max<Time>(0, write_link_end - issue);
+      non_overlapped_dma += request_nod;
+      if (is_read) {
         const double latency_us =
             static_cast<double>(completion - admit) / kMicrosecond;
         read_latency_us.add(latency_us);
         read_latency_stats.add(latency_us);
+        if (registry) registry->histogram("engine.read_latency_us").record(latency_us);
       }
+
+      phase_wait[static_cast<int>(Phase::kNonOverlappedDma)].record(
+          static_cast<double>(request_nod) / kMicrosecond);
+      for (int p = 1; p < kPhaseCount; ++p) {
+        phase_wait[p].record(static_cast<double>(media.phase_time[p]) / kMicrosecond);
+      }
+
+      if (recorder) {
+        const std::uint32_t lane = lanes->acquire(ready, completion);
+        std::vector<obs::SpanArg> args;
+        args.push_back(obs::SpanArg::integer(
+            "bytes", static_cast<std::int64_t>(device_request.size)));
+        if (device_request.internal) args.push_back(obs::SpanArg::text("class", "internal"));
+        recorder->span(lane, "request", is_read ? "read" : "write", ready,
+                       completion - ready, std::move(args));
+        if (admit > ready) {
+          recorder->span(lane, "phase", "window_wait", ready, admit - ready);
+        }
+        if (media.media_end > media.media_begin) {
+          std::vector<obs::SpanArg> margs;
+          margs.push_back(obs::SpanArg::text("pal", to_string(media.pal)));
+          if (media.retries > 0) {
+            margs.push_back(obs::SpanArg::integer("ecc_retries", media.retries));
+          }
+          recorder->span(lane, "device", "media", media.media_begin,
+                         media.media_end - media.media_begin, std::move(margs));
+        }
+        if (request_nod > 0) {
+          recorder->span(lane, "phase", "non_overlapped_dma",
+                         is_read ? media_done : issue, request_nod);
+        }
+        recorder->counter(
+            window_track, "engine", "outstanding_bytes", admit,
+            static_cast<double>(device_window.outstanding() + device_request.size));
+      }
+      if (registry) {
+        registry->counter("engine.requests").add();
+        registry->counter(is_read ? "engine.read_bytes" : "engine.write_bytes")
+            .add(device_request.size);
+      }
+
       device_window.launch(completion, device_request.size);
+      queue_depth_series.sample(admit, static_cast<double>(device_window.outstanding()));
       all_done = std::max(all_done, completion);
       if (device_request.barrier) barrier_gate = completion;
       if (aborted) break;  // Replay stops; diagnostics ride in the result.
@@ -197,8 +316,14 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   result.channel_utilization = device.channel_utilization;
   result.package_utilization = device.package_utilization;
 
-  result.read_latency_p50_us = read_latency_us.quantile(0.5);
-  result.read_latency_p99_us = read_latency_us.quantile(0.99);
+  // Write-only replays have no read samples; skip the quantile calls so
+  // the empty-histogram warning (common/stats.cpp) stays meaningful.
+  if (read_latency_us.total() > 0) {
+    result.read_latency_p50_us = read_latency_us.quantile(0.5);
+    result.read_latency_p95_us = read_latency_us.quantile(0.95);
+    result.read_latency_p99_us = read_latency_us.quantile(0.99);
+  }
+  result.read_latency_max_us = read_latency_stats.max();
   result.read_latency_mean_us = read_latency_stats.mean();
 
   std::array<double, kPhaseCount> phase_times{};
@@ -244,6 +369,14 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     const Bytes device_served =
         completed_payload - std::min(degraded_bytes, completed_payload);
     result.reliability.effective_mbps = bandwidth_mbps(device_served, result.makespan);
+  }
+
+  for (int p = 0; p < kPhaseCount; ++p) result.phase_wait[p] = phase_wait[p].summary();
+  result.queue_depth = queue_depth_series.points();
+  if (registry) {
+    registry->gauge("engine.makespan_ms").set(static_cast<double>(result.makespan) / kMillisecond);
+    registry->gauge("engine.achieved_mbps").set(result.achieved_mbps);
+    result.metrics = registry->snapshot();
   }
   return result;
 }

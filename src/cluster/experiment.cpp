@@ -1,4 +1,143 @@
 #include "cluster/experiment.hpp"
 
-// Configuration and result types are header-only aggregates; this
-// translation unit anchors the library and hosts nothing further.
+#include "obs/json.hpp"
+
+namespace nvmooc {
+
+namespace {
+
+void write_histogram_summary(obs::JsonWriter& w, const obs::HistogramSummary& s) {
+  w.begin_object();
+  w.field("count", s.count);
+  w.field("mean", s.mean);
+  w.field("min", s.min);
+  w.field("p50", s.p50);
+  w.field("p90", s.p90);
+  w.field("p95", s.p95);
+  w.field("p99", s.p99);
+  w.field("max", s.max);
+  w.end_object();
+}
+
+void write_points(obs::JsonWriter& w,
+                  const std::vector<std::pair<Time, double>>& points) {
+  w.begin_array();
+  for (const auto& [t, v] : points) {
+    w.begin_array();
+    w.value(static_cast<double>(t) / kMillisecond);
+    w.value(v);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string ExperimentResult::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", std::uint64_t{1});
+  w.field("name", name);
+  w.field("media", std::string(to_string(media)));
+
+  w.field("makespan_ps", static_cast<std::int64_t>(makespan));
+  w.field("makespan_ms", static_cast<double>(makespan) / kMillisecond);
+  w.field("payload_bytes", static_cast<std::uint64_t>(payload_bytes));
+  w.field("internal_bytes", static_cast<std::uint64_t>(internal_bytes));
+  w.field("device_requests", device_requests);
+  w.field("transactions", transactions);
+
+  w.field("achieved_mbps", achieved_mbps);
+  w.field("remaining_mbps", remaining_mbps);
+  w.field("channel_utilization", channel_utilization);
+  w.field("package_utilization", package_utilization);
+
+  w.key("read_latency_us");
+  w.begin_object();
+  w.field("p50", read_latency_p50_us);
+  w.field("p95", read_latency_p95_us);
+  w.field("p99", read_latency_p99_us);
+  w.field("max", read_latency_max_us);
+  w.field("mean", read_latency_mean_us);
+  w.end_object();
+
+  w.key("phase_fraction");
+  w.begin_object();
+  for (int p = 0; p < kPhaseCount; ++p) {
+    w.field(phase_key(static_cast<Phase>(p)), phase_fraction[p]);
+  }
+  w.end_object();
+
+  w.key("phase_wait_us");
+  w.begin_object();
+  for (int p = 0; p < kPhaseCount; ++p) {
+    w.key(phase_key(static_cast<Phase>(p)));
+    write_histogram_summary(w, phase_wait[p]);
+  }
+  w.end_object();
+
+  w.key("pal_fraction");
+  w.begin_object();
+  for (int level = 0; level < 4; ++level) {
+    w.field(to_string(static_cast<ParallelismLevel>(level)), pal_fraction[level]);
+  }
+  w.end_object();
+
+  w.key("queue_depth_bytes");
+  write_points(w, queue_depth);
+
+  w.key("wear");
+  w.begin_object();
+  w.field("total_erases", wear.total_erases);
+  w.field("total_writes", wear.total_writes);
+  w.field("touched_units", wear.touched_units);
+  w.field("max_unit_erases", wear.max_unit_erases);
+  w.field("imbalance", wear.imbalance);
+  w.end_object();
+
+  w.key("reliability");
+  w.begin_object();
+  w.field("corrected_reads", reliability.corrected_reads);
+  w.field("read_retries", reliability.read_retries);
+  w.field("uncorrectable_reads", reliability.uncorrectable_reads);
+  w.field("die_stuck_reads", reliability.die_stuck_reads);
+  w.field("channel_stalls", reliability.channel_stalls);
+  w.field("retry_time_us",
+          static_cast<double>(reliability.retry_time) / kMicrosecond);
+  w.field("remapped_blocks", reliability.remapped_blocks);
+  w.field("remap_relocations", reliability.remap_relocations);
+  w.field("spare_blocks_used", reliability.spare_blocks_used);
+  w.field("capacity_lost_bytes",
+          static_cast<std::uint64_t>(reliability.capacity_lost));
+  w.field("degraded_requests", reliability.degraded_requests);
+  w.field("degraded_bytes", static_cast<std::uint64_t>(reliability.degraded_bytes));
+  w.field("hard_failure", reliability.hard_failure);
+  w.field("aborted", reliability.aborted);
+  w.field("abort_reason", reliability.abort_reason);
+  w.field("effective_mbps", reliability.effective_mbps);
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_array();
+  for (const obs::MetricSnapshot& m : metrics) {
+    w.begin_object();
+    w.field("name", m.name);
+    w.field("kind", m.kind);
+    if (m.kind == "histogram") {
+      w.key("summary");
+      write_histogram_summary(w, m.histogram);
+    } else if (m.kind == "series") {
+      w.key("points");
+      write_points(w, m.series);
+    } else {
+      w.field("value", m.value);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace nvmooc

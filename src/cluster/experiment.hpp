@@ -4,12 +4,14 @@
 
 #include <array>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fs/filesystem.hpp"
 #include "interconnect/network.hpp"
 #include "interconnect/pcie.hpp"
 #include "nvm/bus.hpp"
+#include "obs/metrics.hpp"
 #include "ssd/ssd.hpp"
 
 namespace nvmooc {
@@ -58,7 +60,9 @@ struct ExperimentResult {
 
   /// Application-observed read latency (ready-to-completion), µs.
   double read_latency_p50_us = 0.0;
+  double read_latency_p95_us = 0.0;
   double read_latency_p99_us = 0.0;
+  double read_latency_max_us = 0.0;
   double read_latency_mean_us = 0.0;
 
   /// Figure 10a/10c: fractions over the six phases, summing to 1.
@@ -75,6 +79,21 @@ struct ExperimentResult {
   /// controller, bad-block totals from the FTL, degraded-mode recovery
   /// from the engine. All zero when fault injection is off.
   ReliabilityStats reliability;
+
+  /// Per-request distribution of each Figure-10 phase's critical-path
+  /// time, in µs (e.g. phase_wait[kChannelContention] answers "how long
+  /// did a request typically sit in channel queues").
+  std::array<obs::HistogramSummary, kPhaseCount> phase_wait{};
+  /// Outstanding device-window bytes over sim time: one sample per
+  /// request admission, decimated to a bounded outline.
+  std::vector<std::pair<Time, double>> queue_depth;
+  /// Snapshot of the active metrics registry at the end of the replay;
+  /// empty unless an obs::ObsSession with metrics was installed.
+  std::vector<obs::MetricSnapshot> metrics;
+
+  /// Machine-readable export of everything above (schema documented in
+  /// docs/OBSERVABILITY.md; stable field names, versioned).
+  std::string to_json() const;
 };
 
 }  // namespace nvmooc

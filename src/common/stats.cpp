@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/logging.hpp"
+
 namespace nvmooc {
 
 void RunningStats::add(double x) {
@@ -42,8 +44,18 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
-      counts_(buckets, 0) {}
+    : lo_(lo), hi_(hi),
+      // Guard the degenerate shapes (0 buckets / inverted range) that
+      // would otherwise make add() index out of bounds or divide by an
+      // infinite width: fall back to a single all-absorbing bucket.
+      width_(buckets > 0 && hi > lo ? (hi - lo) / static_cast<double>(buckets) : 1.0),
+      counts_(std::max<std::size_t>(buckets, 1), 0) {
+  if (buckets == 0 || hi <= lo) {
+    NVMOOC_LOG_WARN("Histogram([%g, %g), %zu buckets) is degenerate; "
+                    "clamped to one bucket",
+                    lo, hi, buckets);
+  }
+}
 
 void Histogram::add(double x, std::uint64_t weight) {
   std::size_t index;
@@ -63,7 +75,10 @@ double Histogram::bucket_lo(std::size_t i) const { return lo_ + width_ * static_
 double Histogram::bucket_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
 
 double Histogram::quantile(double q) const {
-  if (total_ == 0) return lo_;
+  if (total_ == 0) {
+    NVMOOC_LOG_WARN("Histogram::quantile on an empty histogram; returning 0");
+    return 0.0;
+  }
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double cumulative = 0.0;

@@ -48,8 +48,9 @@ class Histogram {
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
 
-  /// Linear-interpolated quantile in [0, 1]. Returns lo for an empty
-  /// histogram.
+  /// Linear-interpolated quantile in [0, 1]. An empty histogram yields 0
+  /// with a warning (a percentile of nothing is a caller bug, not UB —
+  /// check total() first when empty is expected).
   double quantile(double q) const;
 
   /// One-line text rendering, e.g. for debug dumps.

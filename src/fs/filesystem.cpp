@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace nvmooc {
 namespace {
 
@@ -168,6 +170,17 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
       commit.internal = true;
       out.push_back(commit);
       journal_cursor_ = (journal_cursor_ + behavior_.journal_size) % journal_span_;
+    }
+  }
+
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("fs.requests_in").add();
+    m->counter("fs.requests_out").add(out.size());
+    for (const BlockRequest& r : out) {
+      if (r.internal) {
+        m->counter("fs.internal_requests").add();
+        m->counter("fs.internal_bytes").add(r.size);
+      }
     }
   }
   return out;

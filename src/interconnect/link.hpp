@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -53,6 +54,10 @@ class DmaEngine {
   const LinkConfig& config() const { return config_; }
   const BusyTracker& busy() const { return link_.busy(); }
   Bytes bytes_moved() const { return bytes_moved_; }
+
+  /// Names the link's occupancy track in traces ("link.host", ...);
+  /// unnamed links stay silent even when a tracer is installed.
+  void set_trace_label(std::string label) { link_.set_trace_label(std::move(label)); }
 
  private:
   LinkConfig config_;

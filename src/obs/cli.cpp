@@ -1,0 +1,65 @@
+#include "obs/cli.hpp"
+
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace nvmooc::obs {
+
+bool apply_log_level(const std::string& name) {
+  if (name.empty()) return true;
+  LogLevel level;
+  if (name == "debug") level = LogLevel::kDebug;
+  else if (name == "info") level = LogLevel::kInfo;
+  else if (name == "warn") level = LogLevel::kWarn;
+  else if (name == "error") level = LogLevel::kError;
+  else if (name == "off") level = LogLevel::kOff;
+  else {
+    NVMOOC_LOG_ERROR("unknown --log-level '%s' (want debug|info|warn|error|off)",
+                     name.c_str());
+    return false;
+  }
+  set_log_level(level);
+  return true;
+}
+
+std::unique_ptr<ObsSession> make_session(const CliOptions& options) {
+  ObsSession::Options session;
+  session.trace = !options.trace_out.empty();
+  session.metrics = !options.metrics_out.empty();
+  if (!session.trace && !session.metrics) return nullptr;
+  return std::make_unique<ObsSession>(session);
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& what,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    NVMOOC_LOG_ERROR("cannot open %s for %s output", path.c_str(), what.c_str());
+    return false;
+  }
+  out << content << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool write_outputs(ObsSession* session, const CliOptions& options) {
+  if (session == nullptr) return true;
+  bool ok = true;
+  if (!options.trace_out.empty() && session->trace()) {
+    ok &= write_file(options.trace_out, "trace", session->trace()->chrome_json());
+    if (session->trace()->dropped() > 0) {
+      NVMOOC_LOG_WARN("trace buffer overflowed: %llu events dropped",
+                      static_cast<unsigned long long>(session->trace()->dropped()));
+    }
+  }
+  if (!options.metrics_out.empty() && session->metrics()) {
+    ok &= write_file(options.metrics_out, "metrics", session->metrics()->json());
+  }
+  return ok;
+}
+
+}  // namespace nvmooc::obs

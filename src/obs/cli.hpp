@@ -1,0 +1,32 @@
+// Shared command-line surface for observability: every binary that
+// accepts --trace-out / --metrics-out / --log-level funnels through
+// these helpers so the flags behave identically everywhere.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace nvmooc::obs {
+
+struct CliOptions {
+  std::string trace_out;    ///< Chrome trace_event JSON path ("" = off).
+  std::string metrics_out;  ///< Metrics registry JSON path ("" = off).
+  std::string log_level;    ///< debug|info|warn|error|off ("" = leave as is).
+};
+
+/// Applies `--log-level`; returns false (and logs) on an unknown name.
+bool apply_log_level(const std::string& name);
+
+/// Builds an ObsSession matching the options: tracing on when trace_out
+/// is set, metrics on when metrics_out is set, null when neither is.
+/// The session installs itself on the calling thread.
+std::unique_ptr<ObsSession> make_session(const CliOptions& options);
+
+/// Writes whatever the session collected to the requested paths.
+/// Returns false (and logs) if any file could not be written. Safe to
+/// call with a null session (no-op, returns true).
+bool write_outputs(ObsSession* session, const CliOptions& options);
+
+}  // namespace nvmooc::obs

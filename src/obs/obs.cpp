@@ -1,0 +1,21 @@
+#include "obs/obs.hpp"
+
+namespace nvmooc::obs {
+
+ObsSession::ObsSession(Options options) {
+  if (options.trace) {
+    trace_ = std::make_unique<TraceRecorder>(options.max_trace_events);
+  }
+  if (options.metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+  }
+  context_.trace = trace_.get();
+  context_.metrics = metrics_.get();
+  if (trace_ || metrics_) {
+    installed_ = std::make_unique<ScopedObsContext>(&context_);
+  }
+}
+
+ObsSession::~ObsSession() = default;
+
+}  // namespace nvmooc::obs

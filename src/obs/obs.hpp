@@ -1,0 +1,101 @@
+// Observability context: how instrumentation sites find the active
+// tracer and metrics registry, and how a session turns them on.
+//
+// Design constraints, in order:
+//  1. Zero overhead when disabled (the default): every site reduces to a
+//     thread-local pointer load and a branch. No allocation, no atomics
+//     on the hot path, no change to simulation arithmetic ever.
+//  2. Per-experiment isolation: MultiEngine replays configurations on
+//     concurrent threads; a *thread-local* context keeps each replay's
+//     spans and metrics separate. Worker threads an instrumented
+//     component spawns itself (the DOoC prefetcher) inherit the
+//     spawning thread's context explicitly via ScopedObsContext.
+//  3. Instrumentation never throws and never mutates simulation state.
+//
+// Typical site:
+//   if (obs::TraceRecorder* tr = obs::tracer()) {
+//     tr->span(tr->track("ssd.ch0"), "phase", "cell_activation", start, dur);
+//   }
+//   if (obs::MetricsRegistry* m = obs::metrics()) {
+//     m->counter("fs.requests_out").add();
+//   }
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace nvmooc::obs {
+
+struct ObsContext {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+namespace detail {
+inline thread_local const ObsContext* tls_context = nullptr;
+}
+
+/// The calling thread's active context; null when observability is off.
+inline const ObsContext* context() { return detail::tls_context; }
+
+/// Active tracer, or null. The null test *is* the enable check.
+inline TraceRecorder* tracer() {
+  const ObsContext* ctx = detail::tls_context;
+  return ctx ? ctx->trace : nullptr;
+}
+
+/// Active metrics registry, or null.
+inline MetricsRegistry* metrics() {
+  const ObsContext* ctx = detail::tls_context;
+  return ctx ? ctx->metrics : nullptr;
+}
+
+/// Installs `ctx` on the current thread for the scope's lifetime.
+/// Components that spawn threads capture obs::context() at construction
+/// and install it in the worker with this.
+class ScopedObsContext {
+ public:
+  explicit ScopedObsContext(const ObsContext* ctx)
+      : previous_(detail::tls_context) {
+    detail::tls_context = ctx;
+  }
+  ~ScopedObsContext() { detail::tls_context = previous_; }
+
+  ScopedObsContext(const ScopedObsContext&) = delete;
+  ScopedObsContext& operator=(const ScopedObsContext&) = delete;
+
+ private:
+  const ObsContext* previous_;
+};
+
+/// Owns a recorder and/or registry and installs them on the constructing
+/// thread. The CLI surface (--trace-out / --metrics-out) builds one of
+/// these around a replay and writes the exports afterwards.
+class ObsSession {
+ public:
+  struct Options {
+    bool trace = false;
+    bool metrics = false;
+    std::size_t max_trace_events = 2'000'000;
+  };
+
+  explicit ObsSession(Options options);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  TraceRecorder* trace() { return trace_.get(); }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const ObsContext& obs_context() const { return context_; }
+
+ private:
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  ObsContext context_;
+  std::unique_ptr<ScopedObsContext> installed_;
+};
+
+}  // namespace nvmooc::obs

@@ -1,0 +1,238 @@
+#include "obs/trace_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nvmooc::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache: this thread's buffer in the recorder it last used,
+/// plus its private mirror of the track-name table. Keyed by recorder id
+/// (ids are never reused, so a stale entry can never match a live
+/// recorder).
+struct TlsCache {
+  std::uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+  std::unordered_map<std::string, std::uint32_t> tracks;
+};
+
+thread_local TlsCache tls_cache;
+
+}  // namespace
+
+SpanArg SpanArg::number(std::string key, double v) {
+  return {std::move(key), json_number(v)};
+}
+
+SpanArg SpanArg::integer(std::string key, std::int64_t v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+SpanArg SpanArg::text(std::string key, const std::string& v) {
+  return {std::move(key), "\"" + json_escape(v) + "\""};
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events), id_(next_recorder_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Buffer* TraceRecorder::local_buffer() {
+  if (tls_cache.recorder_id == id_) {
+    return static_cast<Buffer*>(tls_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  tls_cache.recorder_id = id_;
+  tls_cache.buffer = buffers_.back().get();
+  tls_cache.tracks.clear();
+  return buffers_.back().get();
+}
+
+std::uint32_t TraceRecorder::track(const std::string& name) {
+  // Warm the buffer first so the TLS cache is bound to this recorder.
+  local_buffer();
+  const auto cached = tls_cache.tracks.find(name);
+  if (cached != tls_cache.tracks.end()) return cached->second;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = track_ids_.try_emplace(
+      name, static_cast<std::uint32_t>(tracks_.size()));
+  if (inserted) tracks_.push_back(name);
+  tls_cache.tracks.emplace(name, it->second);
+  return it->second;
+}
+
+void TraceRecorder::emit(SpanEvent event) {
+  if (event_count_.load(std::memory_order_relaxed) >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event_count_.fetch_add(1, std::memory_order_relaxed);
+  local_buffer()->events.push_back(std::move(event));
+}
+
+void TraceRecorder::span(std::uint32_t track, const char* category, std::string name,
+                         Time ts, Time dur, std::vector<SpanArg> args,
+                         TraceClock clock) {
+  SpanEvent event;
+  event.track = track;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.dur = dur;
+  event.clock = clock;
+  event.args = std::move(args);
+  emit(std::move(event));
+}
+
+void TraceRecorder::counter(std::uint32_t track, const char* category,
+                            std::string name, Time ts, double value,
+                            TraceClock clock) {
+  SpanEvent event;
+  event.track = track;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.clock = clock;
+  event.counter = true;
+  event.value = value;
+  emit(std::move(event));
+}
+
+Time TraceRecorder::wall_now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::size_t TraceRecorder::event_count() const {
+  return event_count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  // Snapshot under the lock; recording normally has quiesced by now.
+  std::vector<const SpanEvent*> events;
+  std::vector<std::string> tracks;
+  std::uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      for (const SpanEvent& event : buffer->events) events.push_back(&event);
+    }
+    tracks = tracks_;
+    dropped = dropped_.load(std::memory_order_relaxed);
+  }
+  // Stable order: clock, then track, then time — Perfetto sorts anyway,
+  // but deterministic output makes the export diffable and testable.
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent* a, const SpanEvent* b) {
+              if (a->clock != b->clock) return a->clock < b->clock;
+              if (a->track != b->track) return a->track < b->track;
+              if (a->ts != b->ts) return a->ts < b->ts;
+              return a->dur > b->dur;  // Parents before their children.
+            });
+
+  // Sim timestamps are picoseconds and wall timestamps nanoseconds; the
+  // trace_event `ts` field is microseconds (fractional allowed).
+  const auto to_us = [](Time t, TraceClock clock) {
+    return clock == TraceClock::kSim ? static_cast<double>(t) / kMicrosecond
+                                     : static_cast<double>(t) / 1e3;
+  };
+  const auto pid_of = [](TraceClock clock) {
+    return clock == TraceClock::kSim ? 1 : 2;
+  };
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // Process/thread name metadata so Perfetto shows readable track names.
+  for (const int pid : {1, 2}) {
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", "process_name");
+    w.field("pid", std::int64_t{pid});
+    w.key("args");
+    w.begin_object();
+    w.field("name", pid == 1 ? "sim-time" : "wall-time");
+    w.end_object();
+    w.end_object();
+  }
+  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+    for (const int pid : {1, 2}) {
+      w.begin_object();
+      w.field("ph", "M");
+      w.field("name", "thread_name");
+      w.field("pid", std::int64_t{pid});
+      w.field("tid", static_cast<std::int64_t>(tid));
+      w.key("args");
+      w.begin_object();
+      w.field("name", tracks[tid]);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  for (const SpanEvent* event : events) {
+    w.begin_object();
+    w.field("name", event->name);
+    w.field("cat", event->category);
+    w.field("pid", static_cast<std::int64_t>(pid_of(event->clock)));
+    w.field("tid", static_cast<std::int64_t>(event->track));
+    w.field("ts", to_us(event->ts, event->clock));
+    if (event->counter) {
+      w.field("ph", "C");
+      w.key("args");
+      w.begin_object();
+      w.field("value", event->value);
+      w.end_object();
+    } else if (event->dur > 0) {
+      w.field("ph", "X");
+      w.field("dur", to_us(event->dur, event->clock));
+      if (!event->args.empty()) {
+        w.key("args");
+        w.begin_object();
+        for (const SpanArg& arg : event->args) {
+          w.key(arg.key);
+          w.raw(arg.literal);
+        }
+        w.end_object();
+      }
+    } else {
+      w.field("ph", "i");
+      w.field("s", "t");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.field("generator", "nvmooc");
+  w.field("dropped_events", static_cast<std::uint64_t>(dropped));
+  w.end_object();
+  w.end_object();
+  out << w.str();
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+}  // namespace nvmooc::obs

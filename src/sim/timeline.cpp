@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace nvmooc {
+
+void Timeline::emit_span(const Reservation& grant, Time earliest,
+                         Time duration) const {
+  obs::TraceRecorder* recorder = obs::tracer();
+  if (recorder == nullptr) return;
+  std::vector<obs::SpanArg> args;
+  if (grant.waited > 0) {
+    args.push_back(obs::SpanArg::number(
+        "waited_us", static_cast<double>(grant.waited) / kMicrosecond));
+  }
+  recorder->span(recorder->track(trace_label_), "timeline", "reserve", grant.start,
+                 duration, std::move(args));
+  (void)earliest;
+}
 
 Timeline::Timeline(bool backfill, std::size_t max_gaps)
     : backfill_(backfill), max_gaps_(max_gaps) {}
@@ -30,6 +46,7 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
         gaps_.erase(gaps_.begin() + static_cast<std::ptrdiff_t>(i));
         if (old.start < grant.start) gaps_.push_back({old.start, grant.start});
         if (grant.end < old.end) gaps_.push_back({grant.end, old.end});
+        if (!trace_label_.empty()) emit_span(grant, earliest, duration);
         return grant;
       }
     }
@@ -54,6 +71,7 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
     }
   }
   next_free_ = std::max(next_free_, grant.end);
+  if (!trace_label_.empty()) emit_span(grant, earliest, duration);
   return grant;
 }
 

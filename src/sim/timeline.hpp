@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -43,6 +44,14 @@ class Timeline {
   const BusyTracker& busy() const { return busy_; }
   std::uint64_t reservation_count() const { return reservation_count_; }
 
+  /// Names this resource for span tracing: when a label is set and a
+  /// trace recorder is active (obs::tracer()), every reserve() emits its
+  /// granted interval as a span on the track of that name, with the
+  /// queueing wait attached as an arg. Empty label (the default) means
+  /// no instrumentation — reserve() stays branch-plus-nothing.
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  const std::string& trace_label() const { return trace_label_; }
+
   void reset();
 
  private:
@@ -51,12 +60,15 @@ class Timeline {
     Time end;
   };
 
+  void emit_span(const Reservation& grant, Time earliest, Time duration) const;
+
   bool backfill_;
   std::size_t max_gaps_;
   Time next_free_ = 0;
   std::vector<Gap> gaps_;
   BusyTracker busy_;
   std::uint64_t reservation_count_ = 0;
+  std::string trace_label_;
 };
 
 }  // namespace nvmooc

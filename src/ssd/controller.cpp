@@ -3,8 +3,62 @@
 #include <algorithm>
 #include <bit>
 #include <map>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace nvmooc {
+
+namespace {
+
+/// Span emission for one transaction's resource occupancy: busy
+/// intervals go on per-resource tracks (they are timeline grants, so
+/// they never overlap within a track), waits go on sibling ".wait<k>"
+/// lanes — several transactions can wait on one resource at once, and
+/// same-track spans must never overlap, so each wait takes the first
+/// lane free at its start. Only constructed when a trace recorder is
+/// active.
+struct TxnTracer {
+  obs::TraceRecorder* recorder;
+  std::unordered_map<std::string, std::vector<Time>>* wait_lanes;
+  std::string channel_track;
+  std::string port_track;
+  std::string plane_track;
+
+  TxnTracer(obs::TraceRecorder* recorder,
+            std::unordered_map<std::string, std::vector<Time>>* wait_lanes,
+            const PhysicalAddress& address)
+      : recorder(recorder), wait_lanes(wait_lanes),
+        channel_track("ssd.ch" + std::to_string(address.channel)),
+        port_track(channel_track + ".pkg" + std::to_string(address.package) +
+                   ".port"),
+        plane_track(channel_track + ".pkg" + std::to_string(address.package) +
+                    ".die" + std::to_string(address.die) + ".pl" +
+                    std::to_string(address.plane)) {}
+
+  void busy(const std::string& track, const char* category, const char* name,
+            Time start, Time end, std::vector<obs::SpanArg> args = {}) const {
+    if (end <= start) return;
+    recorder->span(recorder->track(track), category, name, start, end - start,
+                   std::move(args));
+  }
+
+  void wait(const std::string& track, const char* name, Time start, Time end) const {
+    if (end <= start) return;
+    // First wait lane free at `start`; every lane holds disjoint spans
+    // because a lane's recorded time only moves forward.
+    std::vector<Time>& lanes = (*wait_lanes)[track];
+    std::size_t lane = 0;
+    while (lane < lanes.size() && lanes[lane] > start) ++lane;
+    if (lane == lanes.size()) lanes.push_back(0);
+    lanes[lane] = end;
+    std::string wait_track = track + ".wait";
+    if (lane > 0) wait_track += std::to_string(lane);
+    recorder->span(recorder->track(wait_track), "phase", name, start, end - start);
+  }
+};
+
+}  // namespace
 
 SsdHardware::SsdHardware(const SsdGeometry& geometry, const NvmTiming& timing,
                          const BusConfig& bus, bool backfill)
@@ -99,6 +153,12 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
   txn.bytes = spec.bytes;
   txn.issue = arrival;
 
+  obs::TraceRecorder* recorder = obs::tracer();
+  std::unique_ptr<TxnTracer> tracer;
+  if (recorder != nullptr) {
+    tracer = std::make_unique<TxnTracer>(recorder, &trace_wait_lanes_, address);
+  }
+
   // An injected channel stall pushes the whole transaction back; the
   // delay books as channel contention like any other bus wait.
   Time start = arrival;
@@ -108,6 +168,7 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
     if (stalled) {
       ++stats_.reliability.channel_stalls;
       txn.channel_wait += start - arrival;
+      if (tracer) tracer->wait(tracer->channel_track, "channel_stall", arrival, start);
     }
   }
 
@@ -115,6 +176,11 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
   const Reservation cmd = channel.reserve(start, timing.command_time);
   txn.command = timing.command_time;
   txn.channel_wait += cmd.waited;
+  if (tracer) {
+    tracer->wait(tracer->channel_track, "channel_contention", start, cmd.start);
+    tracer->busy(tracer->channel_track, "phase", "channel_activation", cmd.start,
+                 cmd.end);
+  }
 
   const Time data_time = package.flash_bus_time(spec.bytes);
 
@@ -169,6 +235,26 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
         const Reservation out = channel.reserve(fb.end, data_time);
         txn.channel_bus += out.end - out.start;
         txn.channel_wait += out.waited;
+        if (tracer) {
+          tracer->wait(tracer->plane_track, "cell_contention", cursor, cell.start);
+          if (attempt == 0) {
+            tracer->busy(tracer->plane_track, "phase", "cell_activation",
+                         cell.start, cell.end);
+          } else {
+            // A retry ladder step: the re-sense itself, flagged so fault
+            // runs are visually (and programmatically) distinguishable.
+            tracer->busy(tracer->plane_track, "ecc", "ecc_retry", cell.start,
+                         cell.end,
+                         {obs::SpanArg::integer("attempt", attempt)});
+          }
+          tracer->wait(tracer->port_track, "channel_contention", cell.end, fb.start);
+          tracer->busy(tracer->port_track, "phase", "flash_bus_activation",
+                       fb.start, fb.end);
+          tracer->wait(tracer->channel_track, "channel_contention", fb.end,
+                       out.start);
+          tracer->busy(tracer->channel_track, "phase", "channel_activation",
+                       out.start, out.end);
+        }
         cursor = out.end;
         if (attempt == 0) first_end = cursor;
       }
@@ -189,6 +275,17 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
       txn.cell = cell.end - cell.start;
       txn.cell_wait = cell.waited;
       txn.complete = cell.end;
+      if (tracer) {
+        tracer->wait(tracer->channel_track, "channel_contention", cmd.end, in.start);
+        tracer->busy(tracer->channel_track, "phase", "channel_activation", in.start,
+                     in.end);
+        tracer->wait(tracer->port_track, "channel_contention", in.end, fb.start);
+        tracer->busy(tracer->port_track, "phase", "flash_bus_activation", fb.start,
+                     fb.end);
+        tracer->wait(tracer->plane_track, "cell_contention", fb.end, cell.start);
+        tracer->busy(tracer->plane_track, "phase", "cell_activation", cell.start,
+                     cell.end);
+      }
       break;
     }
     case NvmOp::kErase: {
@@ -197,6 +294,12 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
       txn.cell = cell.end - cell.start;
       txn.cell_wait = cell.waited;
       txn.complete = cell.end;
+      if (tracer) {
+        tracer->wait(tracer->plane_track, "cell_contention", cmd.end, cell.start);
+        tracer->busy(tracer->plane_track, "phase", "cell_activation", cell.start,
+                     cell.end,
+                     {obs::SpanArg::text("op", "erase")});
+      }
       break;
     }
   }
@@ -351,16 +454,17 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
   // per resource chain (it queues behind at most a dispatch window of
   // peers); anything beyond that is host-side pipelining, not device
   // time.
-  stats_.phase_time[static_cast<int>(Phase::kCellActivation)] +=
+  result.phase_time[static_cast<int>(Phase::kCellActivation)] =
       std::min(worst_plane.cell, device_wall);
-  stats_.phase_time[static_cast<int>(Phase::kCellContention)] +=
+  result.phase_time[static_cast<int>(Phase::kCellContention)] =
       std::min(worst_plane.wait, std::min(worst_plane.cell, device_wall));
-  stats_.phase_time[static_cast<int>(Phase::kChannelActivation)] +=
+  result.phase_time[static_cast<int>(Phase::kChannelActivation)] =
       std::min(worst_channel.active, device_wall);
-  stats_.phase_time[static_cast<int>(Phase::kChannelContention)] +=
+  result.phase_time[static_cast<int>(Phase::kChannelContention)] =
       std::min(worst_channel.wait, std::min(worst_channel.active, device_wall));
-  stats_.phase_time[static_cast<int>(Phase::kFlashBusActivation)] +=
+  result.phase_time[static_cast<int>(Phase::kFlashBusActivation)] =
       std::min(worst_fb, device_wall);
+  for (int p = 0; p < kPhaseCount; ++p) stats_.phase_time[p] += result.phase_time[p];
 
   // Write-back caching: a write request acknowledges once its bytes are
   // in controller DRAM, provided the dirty set fits; the cell programs
@@ -412,6 +516,17 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
   ++stats_.pal_requests[static_cast<int>(result.pal)];
   if (stats_.first_activity < 0) stats_.first_activity = arrival;
   stats_.last_completion = std::max(stats_.last_completion, result.media_end);
+
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("ssd.requests").add();
+    metrics->counter("ssd.transactions").add(result.transactions);
+    metrics->histogram("ssd.request_media_us")
+        .record(static_cast<double>(result.media_end - arrival) / kMicrosecond);
+    if (result.retries > 0) metrics->counter("ssd.ecc_retries").add(result.retries);
+    if (result.uncorrectable_units > 0) {
+      metrics->counter("ssd.uncorrectable_units").add(result.uncorrectable_units);
+    }
+  }
   return result;
 }
 

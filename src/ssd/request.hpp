@@ -3,6 +3,7 @@
 // Section 4.5.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/units.hpp"
@@ -46,6 +47,20 @@ inline const char* to_string(Phase phase) {
     case Phase::kCellContention: return "Cell contention";
     case Phase::kChannelContention: return "Channel contention";
     case Phase::kCellActivation: return "Cell activation";
+  }
+  return "?";
+}
+
+/// Machine-readable spelling of the same phases — JSON keys and trace
+/// span names (docs/OBSERVABILITY.md).
+inline const char* phase_key(Phase phase) {
+  switch (phase) {
+    case Phase::kNonOverlappedDma: return "non_overlapped_dma";
+    case Phase::kFlashBusActivation: return "flash_bus_activation";
+    case Phase::kChannelActivation: return "channel_activation";
+    case Phase::kCellContention: return "cell_contention";
+    case Phase::kChannelContention: return "channel_contention";
+    case Phase::kCellActivation: return "cell_activation";
   }
   return "?";
 }
@@ -98,6 +113,13 @@ struct RequestResult {
   Bytes bytes = 0;
   std::uint32_t transactions = 0;
   ParallelismLevel pal = ParallelismLevel::kPal1;
+
+  /// This request's critical-path contribution to each Figure-10 phase —
+  /// the same capped quantities the controller folds into
+  /// ControllerStats::phase_time, returned per request so callers can
+  /// build per-request wait distributions (kNonOverlappedDma stays 0
+  /// here; the engine owns that phase).
+  std::array<Time, kPhaseCount> phase_time{};
 
   // Reliability outcome (all zero/false when fault injection is off).
   std::uint32_t retries = 0;            ///< Read-retry steps across all transactions.

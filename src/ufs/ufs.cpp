@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace nvmooc {
 
 UnifiedFileSystem::UnifiedFileSystem(UfsConfig config)
@@ -37,6 +39,12 @@ std::vector<BlockRequest> UnifiedFileSystem::submit_object(ObjectId id,
     // journal to order through, so the drain happens at the device queue.
     device.barrier = request.barrier;
     out.push_back(device);
+  }
+
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("ufs.requests_in").add();
+    m->counter("ufs.requests_out").add(out.size());
+    if (out.size() > 1) m->counter("ufs.extent_splits").add(out.size() - 1);
   }
   return out;
 }

@@ -188,9 +188,24 @@ TEST(Histogram, QuantileInterpolates) {
   EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
 }
 
-TEST(Histogram, EmptyQuantileIsLo) {
+TEST(Histogram, EmptyQuantileIsZeroWithWarning) {
   Histogram h(5.0, 10.0, 5);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  // Empty percentile is defined (0, with a warning) rather than lo or UB.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, DegenerateShapesClampToOneBucket) {
+  // Zero buckets / inverted range used to underflow counts_.size() - 1
+  // in add(); both now clamp to a single absorbing bucket.
+  Histogram zero(0.0, 10.0, 0);
+  zero.add(3.0);
+  EXPECT_EQ(zero.total(), 1u);
+  EXPECT_EQ(zero.bucket_count(), 1u);
+  Histogram inverted(10.0, 0.0, 4);
+  inverted.add(3.0);
+  inverted.add(100.0);
+  EXPECT_EQ(inverted.total(), 2u);
 }
 
 // ---------- busy tracker -------------------------------------------------

@@ -1,0 +1,448 @@
+// Observability layer tests: JSON writer/parser round-trips, the metrics
+// registry, trace recording, the ExperimentResult::to_json golden file,
+// and a Perfetto-format smoke test over a fault-injected replay.
+//
+// Regenerate the golden file after an intentional schema change with:
+//   NVMOOC_REGEN_GOLDEN=1 ./build/tests/test_obs --gtest_filter='*Golden*'
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/configs.hpp"
+#include "cluster/engine.hpp"
+#include "obs/cli.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_recorder.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmooc {
+namespace {
+
+// ---------- JSON ---------------------------------------------------------
+
+TEST(Json, WriterProducesParseableNesting) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("name", "CNL \"UFS\"\n");
+  w.field("count", std::uint64_t{42});
+  w.field("ratio", 0.25);
+  w.field("flag", true);
+  w.key("list");
+  w.begin_array();
+  w.value(std::int64_t{-3});
+  w.null_value();
+  w.begin_object();
+  w.field("inner", "x");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  const obs::JsonValue v = obs::parse_json(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->string, "CNL \"UFS\"\n");
+  EXPECT_DOUBLE_EQ(v.find("count")->number, 42.0);
+  EXPECT_DOUBLE_EQ(v.find("ratio")->number, 0.25);
+  EXPECT_TRUE(v.find("flag")->boolean);
+  const obs::JsonValue& list = *v.find("list");
+  ASSERT_EQ(list.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(list.array[0].number, -3.0);
+  EXPECT_EQ(list.array[1].kind, obs::JsonValue::Kind::kNull);
+  EXPECT_EQ(list.array[2].find("inner")->string, "x");
+}
+
+TEST(Json, EscapesControlCharactersAndRejectsGarbage) {
+  EXPECT_EQ(obs::json_escape(std::string("a\tb\x01")), "a\\tb\\u0001");
+  EXPECT_THROW(obs::parse_json("{\"unterminated\": "), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json(""), std::runtime_error);
+}
+
+TEST(Json, NumbersStayFinite) {
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(obs::json_number(std::nan("")), "0");
+  const obs::JsonValue v = obs::parse_json("[1e3, -2.5, 0]");
+  EXPECT_DOUBLE_EQ(v.array[0].number, 1000.0);
+  EXPECT_DOUBLE_EQ(v.array[1].number, -2.5);
+}
+
+// ---------- metrics ------------------------------------------------------
+
+TEST(Metrics, LogHistogramQuantilesTrackSamples) {
+  obs::LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  // Log-bucketed: relative error within one sub-bucket (~6%).
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.07);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(Metrics, EmptyLogHistogramQuantileIsZero) {
+  obs::LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  const obs::HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Metrics, LogHistogramHandlesZeroAndNegative) {
+  obs::LogHistogram h;
+  h.record(0.0);
+  h.record(-5.0);  // Clamped to 0.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, TimeSeriesDecimatesButKeepsOutline) {
+  obs::TimeSeries series(64);
+  for (int i = 0; i < 10'000; ++i) {
+    series.sample(static_cast<Time>(i) * kMicrosecond, static_cast<double>(i));
+  }
+  EXPECT_EQ(series.total_samples(), 10'000u);
+  EXPECT_LT(series.points().size(), 64u);
+  EXPECT_GE(series.points().size(), 16u);
+  // Points stay in time order and span the full range.
+  const auto& points = series.points();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].first, points[i].first);
+  }
+  EXPECT_EQ(points.front().first, 0);
+}
+
+TEST(Metrics, RegistrySnapshotCoversAllKinds) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(1.5);
+  registry.histogram("c.hist").record(10.0);
+  registry.series("d.series").sample(kMillisecond, 2.0);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  std::map<std::string, std::string> kinds;
+  for (const auto& m : snapshot) kinds[m.name] = m.kind;
+  EXPECT_EQ(kinds["a.count"], "counter");
+  EXPECT_EQ(kinds["b.gauge"], "gauge");
+  EXPECT_EQ(kinds["c.hist"], "histogram");
+  EXPECT_EQ(kinds["d.series"], "series");
+  // The JSON dump parses.
+  EXPECT_NO_THROW(obs::parse_json(registry.json()));
+}
+
+// ---------- trace recorder ----------------------------------------------
+
+TEST(TraceRecorder, ExportsParseableChromeJson) {
+  obs::TraceRecorder recorder;
+  const std::uint32_t track = recorder.track("unit.track");
+  recorder.span(track, "test", "parent", 100 * kMicrosecond, 50 * kMicrosecond);
+  recorder.span(track, "test", "child", 110 * kMicrosecond, 10 * kMicrosecond,
+                {obs::SpanArg::integer("bytes", 4096)});
+  recorder.counter(recorder.track("unit.counter"), "test", "depth",
+                   100 * kMicrosecond, 3.0);
+  const obs::JsonValue v = obs::parse_json(recorder.chrome_json());
+  const obs::JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_parent = false, saw_child = false, saw_counter = false, saw_meta = false;
+  for (const obs::JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    const std::string name = e.find("name")->string;
+    if (name == "parent" && ph == "X") saw_parent = true;
+    if (name == "child" && ph == "X") {
+      saw_child = true;
+      EXPECT_DOUBLE_EQ(e.find("args")->find("bytes")->number, 4096.0);
+    }
+    if (name == "depth" && ph == "C") saw_counter = true;
+    if (ph == "M") saw_meta = true;
+  }
+  EXPECT_TRUE(saw_parent);
+  EXPECT_TRUE(saw_child);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_meta);
+}
+
+TEST(TraceRecorder, DropsBeyondCapAndCounts) {
+  obs::TraceRecorder recorder(/*max_events=*/10);
+  const std::uint32_t track = recorder.track("t");
+  for (int i = 0; i < 25; ++i) {
+    recorder.span(track, "test", "s", i * kMicrosecond, kMicrosecond);
+  }
+  EXPECT_EQ(recorder.event_count(), 10u);
+  EXPECT_EQ(recorder.dropped(), 15u);
+  EXPECT_NO_THROW(obs::parse_json(recorder.chrome_json()));
+}
+
+TEST(TraceRecorder, WorkerThreadSpansLandInSameRecorder) {
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  obs::ObsContext context{&recorder, &registry};
+  const obs::ScopedObsContext scope(&context);
+  ASSERT_EQ(obs::tracer(), &recorder);
+
+  std::thread worker([captured = obs::context()] {
+    EXPECT_EQ(obs::tracer(), nullptr);  // Fresh thread: no context.
+    const obs::ScopedObsContext inherit(captured);
+    obs::TraceRecorder* r = obs::tracer();
+    ASSERT_NE(r, nullptr);
+    r->span(r->track("worker"), "test", "from_worker", 0, kMicrosecond);
+    obs::metrics()->counter("worker.events").add();
+  });
+  worker.join();
+  EXPECT_EQ(recorder.event_count(), 1u);
+  EXPECT_EQ(registry.counter("worker.events").value(), 1u);
+}
+
+// ---------- ExperimentResult::to_json golden ----------------------------
+
+/// A fully hand-filled result so the golden file exercises every section
+/// deterministically (no simulator run involved).
+ExperimentResult golden_fixture() {
+  ExperimentResult r;
+  r.name = "CNL-UFS";
+  r.media = NvmType::kTlc;
+  r.makespan = 21 * kMillisecond + 360 * kMicrosecond;
+  r.payload_bytes = 64 * MiB;
+  r.internal_bytes = 2 * MiB;
+  r.device_requests = 8;
+  r.transactions = 8192;
+  r.achieved_mbps = 3142.0;
+  r.remaining_mbps = 58.5;
+  r.channel_utilization = 0.995;
+  r.package_utilization = 0.345;
+  r.read_latency_p50_us = 2100.5;
+  r.read_latency_p95_us = 2650.25;
+  r.read_latency_p99_us = 2700.75;
+  r.read_latency_max_us = 2800.0;
+  r.read_latency_mean_us = 2205.125;
+  r.phase_fraction = {0.0, 0.04, 0.36, 0.12, 0.36, 0.12};
+  r.pal_fraction = {0.0, 0.0, 0.0, 1.0};
+  r.phase_wait[static_cast<int>(Phase::kChannelContention)] = {8, 120.0, 10.0,
+                                                              100.0, 200.0,
+                                                              220.0, 240.0,
+                                                              250.0};
+  r.queue_depth = {{0, 0.0}, {kMillisecond, 16.0 * MiB}, {2 * kMillisecond, 8.0 * MiB}};
+  r.wear.total_erases = 10;
+  r.wear.total_writes = 100;
+  r.wear.touched_units = 5;
+  r.wear.max_unit_erases = 3;
+  r.wear.imbalance = 1.5;
+  r.reliability.corrected_reads = 7;
+  r.reliability.read_retries = 3;
+  r.reliability.retry_time = 5 * kMicrosecond;
+  r.reliability.effective_mbps = 3000.0;
+  obs::MetricSnapshot counter;
+  counter.name = "engine.requests";
+  counter.kind = "counter";
+  counter.value = 8.0;
+  r.metrics.push_back(counter);
+  obs::MetricSnapshot hist;
+  hist.name = "engine.read_latency_us";
+  hist.kind = "histogram";
+  hist.histogram = {8, 2205.125, 2000.0, 2100.5, 2600.0, 2650.25, 2700.75, 2800.0};
+  r.metrics.push_back(hist);
+  return r;
+}
+
+std::string golden_path() {
+  return std::string(NVMOOC_TEST_DATA_DIR) + "/golden/experiment_result.json";
+}
+
+TEST(ExperimentResultJson, MatchesGoldenFile) {
+  const std::string actual = golden_fixture().to_json();
+  if (std::getenv("NVMOOC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << actual << '\n';
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path();
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string expected = buffer.str();
+  while (!expected.empty() && (expected.back() == '\n' || expected.back() == '\r')) {
+    expected.pop_back();
+  }
+  EXPECT_EQ(actual, expected)
+      << "ExperimentResult::to_json diverged from the golden file; if the "
+         "schema change is intentional, regenerate with NVMOOC_REGEN_GOLDEN=1 "
+         "and bump schema_version";
+}
+
+TEST(ExperimentResultJson, RoundTripsThroughParser) {
+  const obs::JsonValue v = obs::parse_json(golden_fixture().to_json());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("schema_version")->number, 1.0);
+  EXPECT_EQ(v.find("name")->string, "CNL-UFS");
+  EXPECT_EQ(v.find("media")->string, "TLC");
+  EXPECT_DOUBLE_EQ(v.find("makespan_ps")->number, 21.36e9);
+  EXPECT_DOUBLE_EQ(v.find("read_latency_us")->find("p95")->number, 2650.25);
+  EXPECT_DOUBLE_EQ(v.find("phase_fraction")->find("channel_activation")->number, 0.36);
+  EXPECT_DOUBLE_EQ(
+      v.find("phase_wait_us")->find("channel_contention")->find("p95")->number,
+      220.0);
+  EXPECT_EQ(v.find("queue_depth_bytes")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("pal_fraction")->find("PAL4")->number, 1.0);
+  EXPECT_DOUBLE_EQ(v.find("reliability")->find("read_retries")->number, 3.0);
+  ASSERT_EQ(v.find("metrics")->array.size(), 2u);
+  EXPECT_EQ(v.find("metrics")->array[1].find("kind")->string, "histogram");
+}
+
+// ---------- Perfetto smoke test over a real replay ----------------------
+
+struct SpanRecord {
+  double ts = 0.0;
+  double dur = 0.0;
+  std::string name;
+};
+
+/// Validates that 'X' spans on every (pid, tid) track form a proper
+/// forest: at each stack level a new span either nests inside the
+/// enclosing one or begins after it ended. This is exactly what Perfetto
+/// requires to render a track without dropping events.
+void expect_spans_nest(const std::map<std::pair<double, double>,
+                                      std::vector<SpanRecord>>& tracks) {
+  for (const auto& [track, spans_in] : tracks) {
+    std::vector<SpanRecord> spans = spans_in;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanRecord& a, const SpanRecord& b) {
+                       if (a.ts != b.ts) return a.ts < b.ts;
+                       return a.dur > b.dur;  // Parents before children.
+                     });
+    std::vector<SpanRecord> stack;
+    for (const SpanRecord& span : spans) {
+      while (!stack.empty() && span.ts >= stack.back().ts + stack.back().dur - 1e-9) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        EXPECT_LE(span.ts + span.dur, stack.back().ts + stack.back().dur + 1e-9)
+            << "span '" << span.name << "' [" << span.ts << ", +" << span.dur
+            << ") straddles '" << stack.back().name << "' on track pid="
+            << track.first << " tid=" << track.second;
+      }
+      stack.push_back(span);
+    }
+  }
+}
+
+struct ReplaySummary {
+  ExperimentResult result;
+  std::map<std::string, int> name_counts;
+};
+
+/// Runs one replay under its own observability session and validates the
+/// produced trace is a well-formed Perfetto document: it parses, carries
+/// both clock-domain process labels, and every track's spans nest.
+ReplaySummary traced_replay(const ExperimentConfig& config, const Trace& trace) {
+  obs::ObsSession session({/*trace=*/true, /*metrics=*/true});
+  ReplaySummary out;
+  out.result = run_experiment(config, trace);
+
+  const obs::JsonValue v = obs::parse_json(session.trace()->chrome_json());
+  const obs::JsonValue* events = v.find("traceEvents");
+  if (events == nullptr) {
+    ADD_FAILURE() << "trace JSON has no traceEvents array";
+    return out;
+  }
+
+  std::map<std::pair<double, double>, std::vector<SpanRecord>> tracks;
+  bool saw_sim_process = false, saw_wall_process = false;
+  for (const obs::JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M") {
+      if (e.find("name")->string == "process_name") {
+        const std::string label = e.find("args")->find("name")->string;
+        saw_sim_process |= label == "sim-time";
+        saw_wall_process |= label == "wall-time";
+      }
+      continue;
+    }
+    const std::string name = e.find("name")->string;
+    ++out.name_counts[name];
+    if (ph == "X") {
+      SpanRecord span;
+      span.ts = e.find("ts")->number;
+      span.dur = e.find("dur")->number;
+      span.name = name;
+      EXPECT_GE(span.dur, 0.0);
+      tracks[{e.find("pid")->number, e.find("tid")->number}].push_back(span);
+    }
+  }
+  EXPECT_TRUE(saw_sim_process);
+  EXPECT_TRUE(saw_wall_process);
+  expect_spans_nest(tracks);
+  return out;
+}
+
+TEST(PerfettoSmoke, FaultInjectedReplayCoversAllPhases) {
+  // No single paper configuration exercises every Figure-10 phase: the
+  // ION-GPFS path is fed through a slow cluster network, so requests
+  // trickle in and never queue at a busy plane (no cell_contention),
+  // while CNL-UFS sits on a fast local link whose reads finish under the
+  // DMA window (no non_overlapped_dma). Replay one of each — each trace
+  // must independently be a valid nesting Perfetto document — and
+  // require the pair to cover all six phases.
+  const Trace trace = sequential_read_trace(32 * MiB, 8 * MiB);
+
+  ExperimentConfig ion = ion_gpfs_config(NvmType::kTlc);
+  ion.fault.enabled = true;
+  ion.fault.seed = 42;
+  ion.fault.rber = 3e-3;  // Enough raw errors to climb the retry ladder.
+  const ReplaySummary ion_run = traced_replay(ion, trace);
+  ASSERT_GT(ion_run.result.reliability.read_retries, 0u)
+      << "fixture must exercise the ECC retry ladder";
+
+  const ReplaySummary cnl_run =
+      traced_replay(cnl_ufs_config(NvmType::kTlc), trace);
+
+  auto spans = [&](const char* name) {
+    auto of = [&](const ReplaySummary& run) {
+      const auto it = run.name_counts.find(name);
+      return it == run.name_counts.end() ? 0 : it->second;
+    };
+    return of(ion_run) + of(cnl_run);
+  };
+  // All six Figure-10 phases appear as spans, plus the retry ladder.
+  for (const char* phase :
+       {"non_overlapped_dma", "flash_bus_activation", "channel_activation",
+        "cell_contention", "channel_contention", "cell_activation"}) {
+    EXPECT_GT(spans(phase), 0) << "missing phase span: " << phase;
+  }
+  EXPECT_GT(spans("ecc_retry"), 0) << "missing ECC retry spans";
+  EXPECT_GT(spans("read"), 0);
+  EXPECT_GT(spans("media"), 0);
+
+  // The metrics half of the session fed the result.
+  const ExperimentResult& result = ion_run.result;
+  EXPECT_FALSE(result.metrics.empty());
+  EXPECT_GT(result.read_latency_p95_us, 0.0);
+  EXPECT_GE(result.read_latency_max_us, result.read_latency_p95_us);
+  EXPECT_FALSE(result.queue_depth.empty());
+  EXPECT_GT(result.phase_wait[static_cast<int>(Phase::kCellActivation)].count, 0u);
+}
+
+TEST(PerfettoSmoke, TracingDoesNotPerturbTheSimulation) {
+  ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  const ExperimentResult baseline = run_experiment(config, trace);
+  Time traced_makespan = 0;
+  {
+    obs::ObsSession session({/*trace=*/true, /*metrics=*/true});
+    traced_makespan = run_experiment(config, trace).makespan;
+  }
+  EXPECT_EQ(baseline.makespan, traced_makespan)
+      << "enabling observability changed the simulated timeline";
+}
+
+}  // namespace
+}  // namespace nvmooc

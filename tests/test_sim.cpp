@@ -2,7 +2,10 @@
 // clock semantics, and the reservation timeline (incl. backfill).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -168,6 +171,51 @@ TEST(Timeline, PropertyDenseStreamIsContiguous) {
     expected_start = r.end;
   }
   EXPECT_EQ(timeline.busy().busy_time(), 7000);
+}
+
+// Property: over a pseudo-random request stream — with and without
+// backfill — every grant satisfies the reservation invariants:
+//   * start >= earliest (never scheduled before the request is ready),
+//   * waited == start - earliest (the wait accounting is exact),
+//   * end == start + duration,
+//   * no two granted intervals overlap (one resource, one user at a time).
+TEST(Timeline, PropertyGrantedIntervalsHoldInvariants) {
+  for (const bool backfill : {false, true}) {
+    Timeline timeline(backfill);
+    // Deterministic splitmix64-style stream: arrival jitter + mixed sizes.
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    const auto next = [&state] {
+      state += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+
+    std::vector<std::pair<Time, Time>> granted;
+    Time arrival = 0;
+    for (int i = 0; i < 2000; ++i) {
+      arrival += static_cast<Time>(next() % 50);
+      const Time duration = 1 + static_cast<Time>(next() % 40);
+      const Time peeked = timeline.peek(arrival, duration);
+      const Reservation r = timeline.reserve(arrival, duration);
+      ASSERT_GE(r.start, arrival) << "granted before ready (i=" << i << ")";
+      ASSERT_EQ(r.waited, r.start - arrival);
+      ASSERT_EQ(r.end, r.start + duration);
+      // peek() promised a slot no later than what reserve() granted.
+      ASSERT_LE(peeked, r.start);
+      granted.emplace_back(r.start, r.end);
+    }
+
+    std::sort(granted.begin(), granted.end());
+    for (std::size_t i = 1; i < granted.size(); ++i) {
+      ASSERT_LE(granted[i - 1].second, granted[i].first)
+          << "overlapping grants [" << granted[i - 1].first << ", "
+          << granted[i - 1].second << ") and [" << granted[i].first << ", "
+          << granted[i].second << ") with backfill=" << backfill;
+    }
+    EXPECT_EQ(timeline.reservation_count(), 2000u);
+  }
 }
 
 }  // namespace
