@@ -18,7 +18,7 @@ const AllocationPolicy kPolicies[] = {AllocationPolicy::kChannelPlaneDie,
 const Bytes kSizes[] = {16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB};
 
 std::string config_name(AllocationPolicy policy, Bytes size) {
-  return std::string(to_string(policy)) + "@" + std::string(human_bytes(size));
+  return std::string(to_string(policy)) + "@" + std::string(human_bytes(size.value()));
 }
 
 ExperimentConfig make_config(AllocationPolicy policy, Bytes request) {
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n== Ablation: allocation policy x request size, TLC (MB/s | dominant PAL) ==\n");
   std::vector<std::string> header = {"Policy"};
-  for (Bytes size : kSizes) header.emplace_back(human_bytes(size));
+  for (Bytes size : kSizes) header.emplace_back(human_bytes(size.value()));
   Table table(header);
   for (AllocationPolicy policy : kPolicies) {
     std::vector<std::string> row = {std::string(to_string(policy))};

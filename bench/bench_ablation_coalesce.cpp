@@ -18,8 +18,8 @@ ExperimentConfig ext4_with_cap(NvmType media, Bytes cap) {
   // Hold outstanding *bytes* roughly constant (the page-cache budget the
   // kernel actually fixes) so the sweep isolates request size.
   const Bytes window = 2 * MiB;
-  fs.queue_depth = static_cast<std::uint32_t>(std::max<Bytes>(2, window / cap));
-  fs.name = "EXT4-CAP-" + std::string(human_bytes(cap));
+  fs.queue_depth = static_cast<std::uint32_t>(std::max<std::uint64_t>(2, window / cap));
+  fs.name = "EXT4-CAP-" + std::string(human_bytes(cap.value()));
   return cnl_fs_config(fs, media);
 }
 
@@ -45,13 +45,13 @@ int main(int argc, char** argv) {
   std::printf("\n== Ablation: block-layer coalescing cap on EXT4 (achieved MB/s) ==\n");
   Table table({"max_request", "TLC", "SLC", "PCM"});
   for (Bytes cap : kCaps) {
-    const std::string name = "CNL-EXT4-CAP-" + std::string(human_bytes(cap));
+    const std::string name = "CNL-EXT4-CAP-" + std::string(human_bytes(cap.value()));
     std::vector<double> row;
     for (NvmType media : {NvmType::kTlc, NvmType::kSlc, NvmType::kPcm}) {
       const ExperimentResult* result = board().find(name, media);
       row.push_back(result ? result->achieved_mbps : 0.0);
     }
-    table.add_row_numeric(std::string(human_bytes(cap)), row, 0);
+    table.add_row_numeric(std::string(human_bytes(cap.value())), row, 0);
   }
   table.print();
   std::printf(

@@ -22,7 +22,7 @@ Trace fault_trace() {
   params.dataset_bytes = 64 * MiB;
   params.tile_bytes = 8 * MiB;
   params.sweeps = 2;
-  params.checkpoint_bytes = 0;
+  params.checkpoint_bytes = Bytes{};
   return synthesize_ooc_trace(params);
 }
 

@@ -22,7 +22,7 @@ Trace sweeps_trace(std::size_t sweeps) {
   params.dataset_bytes = kDataset;
   params.tile_bytes = 8 * MiB;
   params.sweeps = sweeps;
-  params.checkpoint_bytes = 0;
+  params.checkpoint_bytes = Bytes{};
   return synthesize_ooc_trace(params);
 }
 
@@ -36,8 +36,8 @@ Time preload_cost(NvmType media) {
   SsdConfig config;
   config.media = media;
   Ssd ssd(config);
-  Time last = 0;
-  for (Bytes offset = 0; offset < kDataset; offset += 8 * MiB) {
+  Time last;
+  for (Bytes offset; offset < kDataset; offset += 8 * MiB) {
     last = std::max(last, ssd.submit({NvmOp::kWrite, offset, 8 * MiB, false, false},
                                      last)  // Streamed, not parallel: worst case.
                               .media_end);
@@ -50,7 +50,7 @@ void BM_PreloadCost(benchmark::State& state) {
   for (auto _ : state) {
     const Time cost = preload_cost(media);
     benchmark::DoNotOptimize(cost);
-    state.counters["preload_ms"] = static_cast<double>(cost) / kMillisecond;
+    state.counters["preload_ms"] = static_cast<double>(cost) / static_cast<double>(kMillisecond);
   }
 }
 BENCHMARK(BM_PreloadCost)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -70,9 +70,9 @@ int main(int argc, char** argv) {
     const ExperimentResult ion1 = run_experiment(ion_gpfs_config(media), sweeps_trace(1));
     const ExperimentResult cnl1 = run_experiment(cnl_ufs_config(media), sweeps_trace(1));
     // Crossover: smallest k with preload + k * cnl_sweep < k * ion_sweep.
-    const double ion_ms = static_cast<double>(ion1.makespan) / kMillisecond;
-    const double cnl_ms = static_cast<double>(cnl1.makespan) / kMillisecond;
-    const double preload_ms = static_cast<double>(preload) / kMillisecond;
+    const double ion_ms = static_cast<double>(ion1.makespan) / static_cast<double>(kMillisecond);
+    const double cnl_ms = static_cast<double>(cnl1.makespan) / static_cast<double>(kMillisecond);
+    const double preload_ms = static_cast<double>(preload) / static_cast<double>(kMillisecond);
     std::string crossover = "never";
     if (ion_ms > cnl_ms) {
       crossover = format("%.1f", preload_ms / (ion_ms - cnl_ms));

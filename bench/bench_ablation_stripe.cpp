@@ -15,7 +15,7 @@ ExperimentConfig ion_with_stripe(NvmType media, Bytes stripe) {
   ExperimentConfig config = ion_gpfs_config(media);
   config.fs.stripe_size = stripe;
   config.fs.max_request = stripe;  // GPFS issues stripe-chunk requests.
-  config.name = "ION-GPFS-" + std::string(human_bytes(stripe));
+  config.name = "ION-GPFS-" + std::string(human_bytes(stripe.value()));
   return config;
 }
 
@@ -43,11 +43,11 @@ int main(int argc, char** argv) {
   std::printf("\n== Ablation: GPFS stripe size (achieved MB/s) ==\n");
   Table table({"Stripe", "TLC", "SLC", "TLC PAL4 %"});
   for (Bytes stripe : kStripes) {
-    const std::string name = "ION-GPFS-" + std::string(human_bytes(stripe));
+    const std::string name = "ION-GPFS-" + std::string(human_bytes(stripe.value()));
     const ExperimentResult* tlc = board().find(name, NvmType::kTlc);
     const ExperimentResult* slc = board().find(name, NvmType::kSlc);
     if (!tlc || !slc) continue;
-    table.add_row({std::string(human_bytes(stripe)), format("%.0f", tlc->achieved_mbps),
+    table.add_row({std::string(human_bytes(stripe.value())), format("%.0f", tlc->achieved_mbps),
                    format("%.0f", slc->achieved_mbps),
                    format("%.0f", 100.0 * tlc->pal_fraction[3])});
   }

@@ -15,7 +15,7 @@ namespace {
 using namespace nvmooc;
 using namespace nvmooc::bench;
 
-const Bytes kBuffers[] = {0, 4 * MiB, 16 * MiB, 64 * MiB};
+const Bytes kBuffers[] = {Bytes{}, 4 * MiB, 16 * MiB, 64 * MiB};
 
 Trace checkpoint_heavy_trace() {
   SyntheticWorkloadParams params;
@@ -29,12 +29,12 @@ Trace checkpoint_heavy_trace() {
 ExperimentConfig with_buffer(NvmType media, Bytes buffer) {
   ExperimentConfig config = cnl_fs_config(ext4_behavior(), media);
   config.controller.write_buffer = buffer;
-  config.name = "CNL-EXT4-WB-" + std::string(buffer ? human_bytes(buffer) : "off");
+  config.name = "CNL-EXT4-WB-" + std::string(buffer != Bytes{} ? human_bytes(buffer.value()) : "off");
   return config;
 }
 
 void BM_WriteCache(benchmark::State& state) {
-  const Bytes buffer = static_cast<Bytes>(state.range(0)) * MiB;
+  const Bytes buffer = state.range(0) * MiB;
   static const Trace trace = checkpoint_heavy_trace();
   for (auto _ : state) {
     const ExperimentResult result =
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   std::printf("\n== Ablation: controller write-back cache, checkpoint-heavy OoC (MB/s) ==\n");
   std::vector<std::string> header = {"Media"};
   for (Bytes buffer : kBuffers) {
-    header.emplace_back(buffer ? human_bytes(buffer) : "write-through");
+    header.emplace_back(buffer != Bytes{} ? human_bytes(buffer.value()) : "write-through");
   }
   Table table(header);
   for (NvmType media : all_media()) {

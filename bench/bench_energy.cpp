@@ -78,6 +78,6 @@ int main(int argc, char** argv) {
       "%.2f J for refresh+network alone — before any compute-node DRAM is counted.\n"
       "Idle-floor dominance in the slow configurations is the paper's energy story:\n"
       "finishing the I/O sooner on local NVM saves energy quadratically.\n",
-      static_cast<double>(ion.makespan) / kMillisecond, dram);
+      static_cast<double>(ion.makespan) / static_cast<double>(kMillisecond), dram);
   return 0;
 }

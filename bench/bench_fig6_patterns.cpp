@@ -60,7 +60,7 @@ void print_pattern(const char* label, const Trace& trace, std::size_t count) {
   std::printf("\n-- %s: first %zu accesses (offset MiB, size KiB) --\n", label, count);
   std::string line;
   for (std::size_t i = 0; i < std::min(count, trace.size()); ++i) {
-    line += format("%7.1f/%-5llu", static_cast<double>(trace[i].offset) / MiB,
+    line += format("%7.1f/%-5llu", static_cast<double>(trace[i].offset) / static_cast<double>(MiB),
                    static_cast<unsigned long long>(trace[i].size / KiB));
     if ((i + 1) % 6 == 0) {
       std::printf("%s\n", line.c_str());

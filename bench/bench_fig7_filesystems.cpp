@@ -14,7 +14,7 @@ void print_table2() {
   Table table({"Location-FileSystem", "Controller", "Bus", "NVM bus", "Lanes"});
   for (const ExperimentConfig& config : all_configs(NvmType::kSlc)) {
     table.add_row({config.name,
-                   config.host_link.bridge_latency > 0 ? "Bridged" : "Native",
+                   config.host_link.bridge_latency > Time{} ? "Bridged" : "Native",
                    config.host_link.gigatransfers_per_sec > 6 ? "PCIe 3.0" : "PCIe 2.0",
                    config.nvm_bus.describe(),
                    std::to_string(config.host_link.lanes)});

@@ -76,7 +76,7 @@ bool write_headline_json(const std::string& path, const std::string& workload,
       w.key(ResultBoard::key(config.name, media));
       w.begin_object();
       w.field("achieved_mbps", r->achieved_mbps);
-      w.field("makespan_ms", static_cast<double>(r->makespan) / kMillisecond);
+      w.field("makespan_ms", static_cast<double>(r->makespan) / static_cast<double>(kMillisecond));
       w.field("channel_utilization", r->channel_utilization);
       w.field("read_latency_p99_us", r->read_latency_p99_us);
       w.end_object();

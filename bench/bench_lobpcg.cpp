@@ -45,7 +45,7 @@ void BM_LobpcgSolve(benchmark::State& state) {
     const SweepPoint point = run_point(block);
     benchmark::DoNotOptimize(point.lowest);
     state.counters["iterations"] = static_cast<double>(point.iterations);
-    state.counters["io_MiB"] = static_cast<double>(point.io_bytes) / MiB;
+    state.counters["io_MiB"] = static_cast<double>(point.io_bytes) / static_cast<double>(MiB);
   }
 }
 BENCHMARK(BM_LobpcgSolve)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     const SweepPoint point = run_point(block);
     table.add_row({std::to_string(point.block_size), std::to_string(point.iterations),
                    std::to_string(point.applications),
-                   human_bytes(point.io_bytes), point.converged ? "yes" : "no",
+                   human_bytes(point.io_bytes.value()), point.converged ? "yes" : "no",
                    format("%.6f", point.lowest)});
   }
   table.print();

@@ -16,9 +16,9 @@ namespace {
 using namespace nvmooc;
 
 struct MeasuredLatencies {
-  Time read_min = 0, read_max = 0;
-  Time write_min = 0, write_max = 0;
-  Time erase = 0;
+  Time read_min, read_max;
+  Time write_min, write_max;
+  Time erase;
 };
 
 MeasuredLatencies measure(NvmType type) {
@@ -27,24 +27,24 @@ MeasuredLatencies measure(NvmType type) {
   out.read_min = out.write_min = kSecond;
   for (std::uint32_t page = 0; page < timing.pages_per_block; ++page) {
     Die die(timing, false);
-    const CellActivation read = die.activate(0, NvmOp::kRead, 0, page, 1, 0);
+    const CellActivation read = die.activate(0, NvmOp::kRead, 0, page, 1, Time{});
     out.read_min = std::min(out.read_min, read.end - read.start);
     out.read_max = std::max(out.read_max, read.end - read.start);
     Die fresh(timing, false);
-    const CellActivation write = fresh.activate(0, NvmOp::kWrite, 0, page, 1, 0);
+    const CellActivation write = fresh.activate(0, NvmOp::kWrite, 0, page, 1, Time{});
     out.write_min = std::min(out.write_min, write.end - write.start);
     out.write_max = std::max(out.write_max, write.end - write.start);
   }
   Die die(timing, false);
-  const CellActivation erase = die.activate(0, NvmOp::kErase, 0, 0, 1, 0);
+  const CellActivation erase = die.activate(0, NvmOp::kErase, 0, 0, 1, Time{});
   out.erase = erase.end - erase.start;
   return out;
 }
 
 std::string span_us(Time lo, Time hi) {
-  if (lo == hi) return format("%.3g", static_cast<double>(lo) / kMicrosecond);
-  return format("%.3g-%.3g", static_cast<double>(lo) / kMicrosecond,
-                static_cast<double>(hi) / kMicrosecond);
+  if (lo == hi) return format("%.3g", static_cast<double>(lo) / static_cast<double>(kMicrosecond));
+  return format("%.3g-%.3g", static_cast<double>(lo) / static_cast<double>(kMicrosecond),
+                static_cast<double>(hi) / static_cast<double>(kMicrosecond));
 }
 
 void BM_MeasureLatencies(benchmark::State& state) {
@@ -52,9 +52,9 @@ void BM_MeasureLatencies(benchmark::State& state) {
   for (auto _ : state) {
     const MeasuredLatencies m = measure(type);
     benchmark::DoNotOptimize(m.erase);
-    state.counters["read_us"] = static_cast<double>(m.read_min) / kMicrosecond;
-    state.counters["write_us"] = static_cast<double>(m.write_min) / kMicrosecond;
-    state.counters["erase_us"] = static_cast<double>(m.erase) / kMicrosecond;
+    state.counters["read_us"] = static_cast<double>(m.read_min) / static_cast<double>(kMicrosecond);
+    state.counters["write_us"] = static_cast<double>(m.write_min) / static_cast<double>(kMicrosecond);
+    state.counters["erase_us"] = static_cast<double>(m.erase) / static_cast<double>(kMicrosecond);
   }
 }
 BENCHMARK(BM_MeasureLatencies)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   for (NvmType type : kAllNvmTypes) {
     const NvmTiming timing = timing_for(type);
     const MeasuredLatencies m = measure(type);
-    page_row.push_back(human_bytes(timing.page_size));
+    page_row.push_back(human_bytes(timing.page_size.value()));
     read_row.push_back(span_us(m.read_min, m.read_max));
     write_row.push_back(span_us(m.write_min, m.write_max));
     erase_row.push_back(span_us(m.erase, m.erase));

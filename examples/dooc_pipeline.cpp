@@ -27,7 +27,7 @@ int main() {
   MemoryStorage storage(h.storage_bytes(0, h.rows()) + 2 * MiB);
   OocHamiltonian ooc(h, storage, 1024);
   std::printf("dataset: %.1f MiB in %zu tiles (n=%zu, nnz=%zu)\n",
-              static_cast<double>(ooc.dataset_bytes()) / MiB, ooc.tile_count(),
+              static_cast<double>(ooc.dataset_bytes()) / static_cast<double>(MiB), ooc.tile_count(),
               h.rows(), h.nnz());
 
   // --- DataCutter pipeline: reader -> squared-sum filter -> reducer. ---
@@ -42,8 +42,8 @@ int main() {
   Pipeline pipeline;
   pipeline.add_filter("read-tiles", [&] {
     for (std::size_t t = 0; t < ooc.tile_count(); ++t) {
-      auto buffer = std::make_shared<std::vector<std::uint8_t>>(ooc.tile(t).bytes);
-      storage.read(ooc.tile(t).offset, buffer->data(), buffer->size());
+      auto buffer = std::make_shared<std::vector<std::uint8_t>>(ooc.tile(t).bytes.value());
+      storage.read(ooc.tile(t).offset, buffer->data(), Bytes{buffer->size()});
       tiles.push({t, std::move(buffer)});
     }
     tiles.close();
@@ -84,7 +84,7 @@ int main() {
   // --- Data pool + LAF migration: publish a result, pre-load it back. --
   DataPool pool;
   LafContext laf(storage);
-  const ArrayId published = laf.migrate_out(pool, /*offset=*/0, 1 * MiB, /*node=*/3);
+  const ArrayId published = laf.migrate_out(pool, /*offset=*/Bytes{}, 1 * MiB, /*node=*/3);
   std::printf("published 1 MiB of results to the pool as array %llu on node %u "
               "(sealed=%d, immutable from here on)\n",
               static_cast<unsigned long long>(published), pool.node_of(published),

@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   const Trace trace = synthesize_ooc_trace(workload);
 
   std::printf("OoC replay on %s: %.0f MiB dataset, %zu requests, %.0f MiB moved\n\n",
-              std::string(to_string(media)).c_str(), static_cast<double>(dataset) / MiB,
-              trace.size(), static_cast<double>(trace.stats().total_bytes) / MiB);
+              std::string(to_string(media)).c_str(), static_cast<double>(dataset) / static_cast<double>(MiB),
+              trace.size(), static_cast<double>(trace.stats().total_bytes) / static_cast<double>(MiB));
 
   Table table({"Configuration", "MB/s", "vs ION", "chan%", "pkg%", "PAL4%",
                "device reqs"});

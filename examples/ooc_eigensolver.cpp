@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   OocHamiltonian ooc(h, traced, /*rows_per_tile=*/2048);
   (void)traced.take_trace();  // Pre-load happens before the timed window.
   std::printf("  dataset on storage: %.1f MiB in %zu tiles\n",
-              static_cast<double>(ooc.dataset_bytes()) / MiB, ooc.tile_count());
+              static_cast<double>(ooc.dataset_bytes()) / static_cast<double>(MiB), ooc.tile_count());
 
   // -- Solve with DOoC prefetching overlapping I/O and compute. ---------
   std::vector<TilePrefetcher::TileRef> tiles;
@@ -85,14 +85,14 @@ int main(int argc, char** argv) {
   const Trace trace = traced.take_trace();
   std::printf("\nCaptured %zu POSIX requests (%.1f MiB of I/O); replaying through the\n"
               "simulated stacks:\n",
-              trace.size(), static_cast<double>(trace.stats().total_bytes) / MiB);
+              trace.size(), static_cast<double>(trace.stats().total_bytes) / static_cast<double>(MiB));
   for (const auto& config :
        {ion_gpfs_config(NvmType::kMlc), cnl_fs_config(ext4_behavior(), NvmType::kMlc),
         cnl_ufs_config(NvmType::kMlc), cnl_native16_config(NvmType::kPcm)}) {
     const ExperimentResult result = run_experiment(config, trace);
     std::printf("  %-16s %-4s : %8.0f MB/s (I/O wall %.1f ms)\n", result.name.c_str(),
                 std::string(to_string(result.media)).c_str(), result.achieved_mbps,
-                static_cast<double>(result.makespan) / kMillisecond);
+                static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));
   }
   return solution.converged ? 0 : 1;
 }

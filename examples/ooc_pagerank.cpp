@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::printf("  %zu edges, %zu dangling pages, transition matrix %.1f MiB\n",
               graph.edges, graph.dangling.size(),
               static_cast<double>(graph.transition.storage_bytes(0, graph.transition.rows())) /
-                  MiB);
+                  static_cast<double>(MiB));
 
   MemoryStorage backing(graph.transition.storage_bytes(0, graph.transition.rows()) + 2 * MiB);
   TracedStorage traced(backing);
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nCaptured %zu read requests (%.1f MiB); replay through the stacks:\n",
               reads_only.size(),
-              static_cast<double>(reads_only.stats().total_bytes) / MiB);
+              static_cast<double>(reads_only.stats().total_bytes) / static_cast<double>(MiB));
   for (const auto& config : {ion_gpfs_config(NvmType::kMlc), cnl_ufs_config(NvmType::kMlc),
                              cnl_native16_config(NvmType::kPcm)}) {
     const ExperimentResult replay = run_experiment(config, reads_only);

@@ -16,7 +16,7 @@ int main() {
   //    dataset twice in 8 MiB tiles (what an OoC solver iteration does).
   Trace trace;
   for (int sweep = 0; sweep < 2; ++sweep) {
-    for (Bytes offset = 0; offset < 128 * MiB; offset += 8 * MiB) {
+    for (Bytes offset; offset < 128 * MiB; offset += 8 * MiB) {
       trace.add(NvmOp::kRead, offset, 8 * MiB);
     }
   }
@@ -30,8 +30,8 @@ int main() {
 
   std::printf("configuration : %s on %s\n", result.name.c_str(),
               std::string(to_string(result.media)).c_str());
-  std::printf("data moved    : %.0f MiB\n", static_cast<double>(result.payload_bytes) / MiB);
-  std::printf("makespan      : %.2f ms\n", static_cast<double>(result.makespan) / kMillisecond);
+  std::printf("data moved    : %.0f MiB\n", static_cast<double>(result.payload_bytes) / static_cast<double>(MiB));
+  std::printf("makespan      : %.2f ms\n", static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));
   std::printf("throughput    : %.0f MB/s\n", result.achieved_mbps);
   std::printf("channel util  : %.0f %%\n", 100.0 * result.channel_utilization);
   std::printf("package util  : %.0f %%\n", 100.0 * result.package_utilization);

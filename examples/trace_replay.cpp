@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
 
   const TraceStats stats = trace.stats();
   std::printf("trace: %zu requests, %.1f MiB, sequentiality %.2f, %.0f%% reads\n",
-              trace.size(), static_cast<double>(stats.total_bytes) / MiB,
+              trace.size(), static_cast<double>(stats.total_bytes) / static_cast<double>(MiB),
               stats.sequentiality, 100.0 * stats.read_fraction);
 
   const std::unique_ptr<obs::ObsSession> session = obs::make_session(obs_options);
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
 
   std::printf("%s on %s:\n", result.name.c_str(), std::string(to_string(media)).c_str());
   std::printf("  throughput     %.0f MB/s over %.2f ms\n", result.achieved_mbps,
-              static_cast<double>(result.makespan) / kMillisecond);
+              static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));
   std::printf("  utilisation    channel %.0f%%, package %.0f%%\n",
               100.0 * result.channel_utilization, 100.0 * result.package_utilization);
   std::printf("  parallelism    PAL1 %.0f%%  PAL2 %.0f%%  PAL3 %.0f%%  PAL4 %.0f%%\n",
@@ -161,12 +161,12 @@ int main(int argc, char** argv) {
                 "lost, %llu pages relocated\n",
                 static_cast<unsigned long long>(r.remapped_blocks),
                 static_cast<unsigned long long>(r.spare_blocks_used),
-                static_cast<double>(r.capacity_lost) / MiB,
+                static_cast<double>(r.capacity_lost) / static_cast<double>(MiB),
                 static_cast<unsigned long long>(r.remap_relocations));
     std::printf("  degraded mode  %llu requests, %.1f MiB via replica; effective "
                 "%.0f MB/s\n",
                 static_cast<unsigned long long>(r.degraded_requests),
-                static_cast<double>(r.degraded_bytes) / MiB, r.effective_mbps);
+                static_cast<double>(r.degraded_bytes) / static_cast<double>(MiB), r.effective_mbps);
     if (r.aborted) {
       std::printf("  ABORTED        %s\n", r.abort_reason.c_str());
       return 2;

@@ -26,16 +26,16 @@ EnergyReport estimate_energy(const ControllerStats& controller,
 
   report.total_joules = report.cell_joules + report.bus_joules + report.link_joules +
                         report.network_joules + report.idle_joules;
-  if (result.payload_bytes > 0) {
+  if (result.payload_bytes > Bytes{}) {
     report.mj_per_mib = report.total_joules * 1e3 /
-                        (static_cast<double>(result.payload_bytes) / MiB);
+                        (static_cast<double>(result.payload_bytes) / static_cast<double>(MiB));
   }
   return report;
 }
 
 double in_memory_alternative_joules(Bytes dataset_bytes, Bytes traffic_bytes,
                                     Time duration, const EnergyModel& model) {
-  const double resident_gib = static_cast<double>(dataset_bytes) / GiB;
+  const double resident_gib = static_cast<double>(dataset_bytes) / static_cast<double>(GiB);
   const double refresh = resident_gib * model.dram_watts_per_gib * to_seconds(duration);
   const double network =
       static_cast<double>(traffic_bytes) * model.network_joules_per_byte;

@@ -39,7 +39,7 @@ class LaneAllocator {
 
  private:
   struct Lane {
-    Time free_at = 0;
+    Time free_at;
     std::uint32_t track = 0;
   };
   obs::TraceRecorder& recorder_;
@@ -88,14 +88,14 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   const Bytes extent = trace.extent();
   ssd_->preload(extent);
   if (ufs_) {
-    ufs_->provision_dataset(std::max<Bytes>(extent, 1));
+    ufs_->provision_dataset(std::max(extent, Bytes{1}));
   } else {
     fs_->mount(extent);
   }
 
   const FsBehavior& behavior = path_->behavior();
   Window device_window(behavior.readahead, behavior.queue_depth);
-  Window rpc_window(0, config_.location == StorageLocation::kIonLocal
+  Window rpc_window(Bytes{}, config_.location == StorageLocation::kIonLocal
                            ? config_.network.max_concurrent_rpcs
                            : 0);
 
@@ -106,13 +106,13 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
                                          1500 * kNanosecond);
   const Time added_latency = behavior.per_request_overhead;
 
-  Time cpu_free = 0;
-  Time barrier_gate = 0;
-  Time all_done = 0;
+  Time cpu_free;
+  Time barrier_gate;
+  Time all_done;
   // Figure 10's first category: per-request time between the media
   // finishing and the data actually reaching the application across the
   // links (host DMA, and the network for ION configurations).
-  Time non_overlapped_dma = 0;
+  Time non_overlapped_dma;
   // Application-observed read latency distribution (ready -> data
   // delivered), in microseconds; 50 ms cap covers every configuration.
   Histogram read_latency_us(0.0, 50'000.0, 4096);
@@ -137,17 +137,17 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
 
   // Degraded-mode accounting (only moves under fault injection).
   std::uint64_t degraded_requests = 0;
-  Bytes degraded_bytes = 0;
+  Bytes degraded_bytes;
   bool aborted = false;
   std::string abort_reason;
   // Application payload actually delivered; falls short of the trace
   // total only when an abort truncates the replay.
-  Bytes completed_payload = 0;
+  Bytes completed_payload;
 
   for (const PosixRequest& posix : trace.requests()) {
     if (aborted) break;
     for (const BlockRequest& device_request : path_->submit(posix)) {
-      if (device_request.size == 0) continue;
+      if (device_request.size == Bytes{}) continue;
 
       Time ready = std::max({cpu_free, barrier_gate, posix.not_before});
       if (device_request.barrier) ready = std::max(ready, all_done);
@@ -156,9 +156,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       cpu_free = admit + cpu_serial;
       const Time issue = cpu_free + added_latency;
 
-      Time completion = 0;
-      Time media_done = 0;
-      Time write_link_end = 0;
+      Time completion;
+      Time media_done;
+      Time write_link_end;
       RequestResult media;
       if (device_request.op == NvmOp::kRead) {
         // Media first; the outbound DMA streams chunk-by-chunk as pages
@@ -195,9 +195,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             if (recorder) {
               recorder->span(
                   recorder->track("engine.degraded"), "reliability",
-                  "degraded_refetch", media.media_end, 0,
+                  "degraded_refetch", media.media_end, Time{},
                   {obs::SpanArg::integer(
-                      "bytes", static_cast<std::int64_t>(media.uncorrectable_bytes))});
+                      "bytes", (media.uncorrectable_bytes).value())});
             }
             if (registry) registry->counter("engine.degraded_requests").add();
           } else {
@@ -230,28 +230,28 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       // when programming could begin. For reads it is the tail past the
       // media (host DMA, network, degraded re-fetch).
       const Time request_nod =
-          is_read ? std::max<Time>(0, completion - media_done)
-                  : std::max<Time>(0, write_link_end - issue);
+          is_read ? std::max(Time{0}, completion - media_done)
+                  : std::max(Time{0}, write_link_end - issue);
       non_overlapped_dma += request_nod;
       if (is_read) {
         const double latency_us =
-            static_cast<double>(completion - admit) / kMicrosecond;
+            static_cast<double>(completion - admit) / static_cast<double>(kMicrosecond);
         read_latency_us.add(latency_us);
         read_latency_stats.add(latency_us);
         if (registry) registry->histogram("engine.read_latency_us").record(latency_us);
       }
 
       phase_wait[static_cast<int>(Phase::kNonOverlappedDma)].record(
-          static_cast<double>(request_nod) / kMicrosecond);
+          static_cast<double>(request_nod) / static_cast<double>(kMicrosecond));
       for (int p = 1; p < kPhaseCount; ++p) {
-        phase_wait[p].record(static_cast<double>(media.phase_time[p]) / kMicrosecond);
+        phase_wait[p].record(static_cast<double>(media.phase_time[p]) / static_cast<double>(kMicrosecond));
       }
 
       if (recorder) {
         const std::uint32_t lane = lanes->acquire(ready, completion);
         std::vector<obs::SpanArg> args;
         args.push_back(obs::SpanArg::integer(
-            "bytes", static_cast<std::int64_t>(device_request.size)));
+            "bytes", (device_request.size).value()));
         if (device_request.internal) args.push_back(obs::SpanArg::text("class", "internal"));
         recorder->span(lane, "request", is_read ? "read" : "write", ready,
                        completion - ready, std::move(args));
@@ -267,7 +267,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
           recorder->span(lane, "device", "media", media.media_begin,
                          media.media_end - media.media_begin, std::move(margs));
         }
-        if (request_nod > 0) {
+        if (request_nod > Time{}) {
           recorder->span(lane, "phase", "non_overlapped_dma",
                          is_read ? media_done : issue, request_nod);
         }
@@ -278,7 +278,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       if (registry) {
         registry->counter("engine.requests").add();
         registry->counter(is_read ? "engine.read_bytes" : "engine.write_bytes")
-            .add(device_request.size);
+            .add(device_request.size.value());
       }
 
       device_window.launch(completion, device_request.size);
@@ -307,7 +307,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   // Bandwidth over what was actually delivered: identical to the trace
   // payload on a completed replay, honest (not inflated by undelivered
   // bytes) on an aborted one.
-  if (result.makespan > 0) {
+  if (result.makespan > Time{}) {
     result.achieved_mbps = bandwidth_mbps(completed_payload, result.makespan);
   }
 
@@ -338,9 +338,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     for (int p = 0; p < kPhaseCount; ++p) result.phase_fraction[p] = phase_times[p] / phase_sum;
   }
 
-  Bytes pal_total = 0;
+  Bytes pal_total;
   for (Bytes b : controller.pal_bytes) pal_total += b;
-  if (pal_total > 0) {
+  if (pal_total > Bytes{}) {
     for (int level = 0; level < 4; ++level) {
       result.pal_fraction[level] =
           static_cast<double>(controller.pal_bytes[level]) / static_cast<double>(pal_total);
@@ -365,7 +365,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   result.reliability.degraded_bytes = degraded_bytes;
   result.reliability.aborted = aborted;
   result.reliability.abort_reason = abort_reason;
-  if (result.makespan > 0) {
+  if (result.makespan > Time{}) {
     const Bytes device_served =
         completed_payload - std::min(degraded_bytes, completed_payload);
     result.reliability.effective_mbps = bandwidth_mbps(device_served, result.makespan);
@@ -374,7 +374,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   for (int p = 0; p < kPhaseCount; ++p) result.phase_wait[p] = phase_wait[p].summary();
   result.queue_depth = queue_depth_series.points();
   if (registry) {
-    registry->gauge("engine.makespan_ms").set(static_cast<double>(result.makespan) / kMillisecond);
+    registry->gauge("engine.makespan_ms").set(static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));
     registry->gauge("engine.achieved_mbps").set(result.achieved_mbps);
     result.metrics = registry->snapshot();
   }

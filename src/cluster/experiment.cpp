@@ -24,7 +24,7 @@ void write_points(obs::JsonWriter& w,
   w.begin_array();
   for (const auto& [t, v] : points) {
     w.begin_array();
-    w.value(static_cast<double>(t) / kMillisecond);
+    w.value(static_cast<double>(t) / static_cast<double>(kMillisecond));
     w.value(v);
     w.end_array();
   }
@@ -40,10 +40,10 @@ std::string ExperimentResult::to_json() const {
   w.field("name", name);
   w.field("media", std::string(to_string(media)));
 
-  w.field("makespan_ps", static_cast<std::int64_t>(makespan));
-  w.field("makespan_ms", static_cast<double>(makespan) / kMillisecond);
-  w.field("payload_bytes", static_cast<std::uint64_t>(payload_bytes));
-  w.field("internal_bytes", static_cast<std::uint64_t>(internal_bytes));
+  w.field("makespan_ps", (makespan).ps());
+  w.field("makespan_ms", static_cast<double>(makespan) / static_cast<double>(kMillisecond));
+  w.field("payload_bytes", (payload_bytes).value());
+  w.field("internal_bytes", (internal_bytes).value());
   w.field("device_requests", device_requests);
   w.field("transactions", transactions);
 
@@ -103,14 +103,14 @@ std::string ExperimentResult::to_json() const {
   w.field("die_stuck_reads", reliability.die_stuck_reads);
   w.field("channel_stalls", reliability.channel_stalls);
   w.field("retry_time_us",
-          static_cast<double>(reliability.retry_time) / kMicrosecond);
+          static_cast<double>(reliability.retry_time) / static_cast<double>(kMicrosecond));
   w.field("remapped_blocks", reliability.remapped_blocks);
   w.field("remap_relocations", reliability.remap_relocations);
   w.field("spare_blocks_used", reliability.spare_blocks_used);
   w.field("capacity_lost_bytes",
-          static_cast<std::uint64_t>(reliability.capacity_lost));
+          (reliability.capacity_lost).value());
   w.field("degraded_requests", reliability.degraded_requests);
-  w.field("degraded_bytes", static_cast<std::uint64_t>(reliability.degraded_bytes));
+  w.field("degraded_bytes", (reliability.degraded_bytes).value());
   w.field("hard_failure", reliability.hard_failure);
   w.field("aborted", reliability.aborted);
   w.field("abort_reason", reliability.abort_reason);

@@ -46,9 +46,9 @@ struct ExperimentResult {
   std::string name;
   NvmType media = NvmType::kSlc;
 
-  Time makespan = 0;
-  Bytes payload_bytes = 0;
-  Bytes internal_bytes = 0;
+  Time makespan;
+  Bytes payload_bytes;
+  Bytes internal_bytes;
   std::uint64_t device_requests = 0;
   std::uint64_t transactions = 0;
 

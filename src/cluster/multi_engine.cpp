@@ -24,10 +24,10 @@ struct Client {
 
   std::unique_ptr<Window> device_window;
   std::unique_ptr<Window> rpc_window;
-  Time cpu_free = 0;
-  Time barrier_gate = 0;
-  Time all_done = 0;
-  Bytes bytes_done = 0;
+  Time cpu_free;
+  Time barrier_gate;
+  Time all_done;
+  Bytes bytes_done;
 
   bool finished() const { return next >= stream.size(); }
   /// Estimate of when this client could issue its next request (the
@@ -51,7 +51,7 @@ MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& 
   if (config.location == StorageLocation::kComputeLocal) {
     const ExperimentResult single = run_experiment(config, trace);
     out.makespan = single.makespan;
-    out.total_bytes = static_cast<Bytes>(clients) * single.payload_bytes;
+    out.total_bytes = clients * single.payload_bytes;
     out.per_client_mbps = single.achieved_mbps;
     out.worst_client_mbps = single.achieved_mbps;
     out.aggregate_mbps = single.achieved_mbps * clients;
@@ -73,7 +73,7 @@ MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& 
 
   const Bytes extent = trace.extent();
   // Each client addresses its own dataset region on the shared device.
-  const Bytes region = (extent + GiB - 1) / GiB * GiB;
+  const Bytes region = ((extent + GiB - Bytes{1}) / GiB) * GiB;
   ssd.preload(region * clients);
 
   std::vector<Client> nodes(clients);
@@ -84,11 +84,11 @@ MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& 
     node.path = node.fs.get();
     const FsBehavior& behavior = node.path->behavior();
     node.device_window = std::make_unique<Window>(behavior.readahead, behavior.queue_depth);
-    node.rpc_window = std::make_unique<Window>(0, config.network.max_concurrent_rpcs);
+    node.rpc_window = std::make_unique<Window>(Bytes{}, config.network.max_concurrent_rpcs);
     // Pre-expand the stream, offset into the client's region.
     for (const PosixRequest& posix : trace.requests()) {
       for (BlockRequest request : node.path->submit(posix)) {
-        request.offset += static_cast<Bytes>(c) * region;
+        request.offset += c * region;
         node.stream.push_back(request);
       }
     }
@@ -109,7 +109,7 @@ MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& 
     if (pick == nullptr) break;
 
     const BlockRequest& request = pick->stream[pick->next++];
-    if (request.size == 0) continue;
+    if (request.size == Bytes{}) continue;
 
     Time ready = pick->ready_estimate();
     if (request.barrier) ready = std::max(ready, pick->all_done);
@@ -117,7 +117,7 @@ MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& 
     pick->cpu_free = admit + cpu_serial;
     const Time issue = pick->cpu_free + added_latency;
 
-    Time completion = 0;
+    Time completion;
     if (request.op == NvmOp::kRead) {
       const Time media_arrival = pick->rpc_window->admit(issue, request.size);
       const RequestResult media = ssd.submit(request, media_arrival);
@@ -143,7 +143,7 @@ MultiClientResult run_multi_client(const ExperimentConfig& config, const Trace& 
   }
 
   const Bytes per_client_bytes = trace.stats().total_bytes;
-  out.total_bytes = static_cast<Bytes>(clients) * per_client_bytes;
+  out.total_bytes = clients * per_client_bytes;
   double per_client_sum = 0.0;
   double worst = 1e30;
   for (const Client& node : nodes) {

@@ -21,8 +21,8 @@ struct MultiClientResult {
   NvmType media = NvmType::kSlc;
   unsigned clients = 1;
 
-  Time makespan = 0;  ///< Until the last client finishes.
-  Bytes total_bytes = 0;
+  Time makespan;  ///< Until the last client finishes.
+  Bytes total_bytes;
   /// Aggregate delivered bandwidth across clients.
   double aggregate_mbps = 0.0;
   /// Mean per-client bandwidth (each client's bytes over the makespan of

@@ -21,7 +21,7 @@ class Window {
   Time admit(Time earliest, Bytes bytes) {
     Time t = earliest;
     while (!inflight_.empty() &&
-           ((byte_limit_ > 0 && outstanding_ + bytes > byte_limit_) ||
+           ((byte_limit_ > Bytes{} && outstanding_ + bytes > byte_limit_) ||
             (slot_limit_ > 0 && inflight_.size() >= slot_limit_))) {
       const auto [done, size] = inflight_.top();
       inflight_.pop();
@@ -41,7 +41,7 @@ class Window {
  private:
   using Entry = std::pair<Time, Bytes>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> inflight_;
-  Bytes outstanding_ = 0;
+  Bytes outstanding_;
   Bytes byte_limit_;
   std::size_t slot_limit_;
 };

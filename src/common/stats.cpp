@@ -106,7 +106,7 @@ std::string Histogram::to_string() const {
   return out;
 }
 
-void BusyTracker::add_interval(std::int64_t start, std::int64_t end) {
+void BusyTracker::add_interval(Time start, Time end) {
   if (end <= start) return;
   // Fast path: back-to-back or overlapping appends extend the last
   // interval in place — the common case for a busy resource — keeping
@@ -142,9 +142,9 @@ void BusyTracker::flatten() const {
   dirty_ = false;
 }
 
-std::int64_t BusyTracker::busy_time() const {
+Time BusyTracker::busy_time() const {
   flatten();
-  std::int64_t total = 0;
+  Time total;
   for (const auto& [start, end] : intervals_) total += end - start;
   return total;
 }
@@ -158,17 +158,17 @@ void BusyTracker::merge(const BusyTracker& other) {
   dirty_ = true;
 }
 
-std::int64_t BusyTracker::intersect_time(const BusyTracker& other) const {
+Time BusyTracker::intersect_time(const BusyTracker& other) const {
   flatten();
   other.flatten();
-  std::int64_t overlap = 0;
+  Time overlap;
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < intervals_.size() && j < other.intervals_.size()) {
     const auto& a = intervals_[i];
     const auto& b = other.intervals_[j];
-    const std::int64_t lo = std::max(a.first, b.first);
-    const std::int64_t hi = std::min(a.second, b.second);
+    const Time lo = std::max(a.first, b.first);
+    const Time hi = std::min(a.second, b.second);
     if (hi > lo) overlap += hi - lo;
     if (a.second < b.second) {
       ++i;
@@ -179,8 +179,8 @@ std::int64_t BusyTracker::intersect_time(const BusyTracker& other) const {
   return overlap;
 }
 
-double BusyTracker::utilization(std::int64_t window) const {
-  if (window <= 0) return 0.0;
+double BusyTracker::utilization(Time window) const {
+  if (window <= Time{}) return 0.0;
   const double u = static_cast<double>(busy_time()) / static_cast<double>(window);
   return std::clamp(u, 0.0, 1.0);
 }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace nvmooc {
 
 /// Welford-style streaming accumulator: numerically stable mean/variance
@@ -70,17 +72,17 @@ class Histogram {
 /// "channel was busy" means when multiple transactions pipeline on it.
 class BusyTracker {
  public:
-  void add_interval(std::int64_t start, std::int64_t end);
+  void add_interval(Time start, Time end);
 
   /// Total unioned busy time. Flattens lazily; amortised O(n log n).
-  std::int64_t busy_time() const;
+  Time busy_time() const;
 
   /// busy_time() / window, clamped to [0, 1]. window <= 0 yields 0.
-  double utilization(std::int64_t window) const;
+  double utilization(Time window) const;
 
   /// Sum of raw interval lengths (with overlap double-counted); useful for
   /// measuring demanded service time vs wall occupancy.
-  std::int64_t raw_time() const { return raw_time_; }
+  Time raw_time() const { return raw_time_; }
 
   std::size_t interval_count() const { return intervals_.size(); }
 
@@ -88,10 +90,10 @@ class BusyTracker {
   void merge(const BusyTracker& other);
 
   /// Unioned busy time common to this tracker and `other` — the overlap.
-  std::int64_t intersect_time(const BusyTracker& other) const;
+  Time intersect_time(const BusyTracker& other) const;
 
   /// Flattened (sorted, disjoint) interval list.
-  const std::vector<std::pair<std::int64_t, std::int64_t>>& intervals() const {
+  const std::vector<std::pair<Time, Time>>& intervals() const {
     flatten();
     return intervals_;
   }
@@ -101,12 +103,12 @@ class BusyTracker {
 
   void flatten() const;
 
-  mutable std::vector<std::pair<std::int64_t, std::int64_t>> intervals_;
+  mutable std::vector<std::pair<Time, Time>> intervals_;
   mutable bool dirty_ = false;
   /// Next size at which add_interval compacts; doubles when a compaction
   /// fails to shrink the set, keeping insertion amortised O(log n).
   mutable std::size_t compact_at_ = kCompactThreshold;
-  std::int64_t raw_time_ = 0;
+  Time raw_time_;
 };
 
 }  // namespace nvmooc

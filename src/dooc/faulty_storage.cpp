@@ -10,15 +10,15 @@ void FaultInjectingStorage::read(Bytes offset, void* destination, Bytes size) {
     if (params_.permanent_offsets.count(offset) > 0) {
       ++stats_.injected_failures;
       throw StorageReadError("injected permanent read failure at offset " +
-                             std::to_string(offset));
+                             std::to_string(offset.value()));
     }
     if (params_.transient_failure_probability > 0.0) {
       const std::uint64_t attempt = attempts_[offset]++;
-      const double u = fault_uniform(params_.seed, offset, attempt, 0);
+      const double u = fault_uniform(params_.seed, offset.value(), attempt, 0);
       if (u < params_.transient_failure_probability) {
         ++stats_.injected_failures;
         throw StorageReadError("injected transient read failure at offset " +
-                               std::to_string(offset) + ", attempt " +
+                               std::to_string(offset.value()) + ", attempt " +
                                std::to_string(attempt));
       }
     }

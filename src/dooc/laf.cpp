@@ -38,7 +38,7 @@ DenseMatrix LafContext::multiply(OocMatrixHandle handle, const DenseMatrix& x) {
   for (std::size_t t = 0; t < matrix.tile_count(); ++t) {
     scheduler.add_task({[this, &matrix, &x, &y, t] {
                           const auto& tile = matrix.tile(t);
-                          std::vector<std::uint8_t> buffer(tile.bytes);
+                          std::vector<std::uint8_t> buffer(tile.bytes.value());
                           storage_.read(tile.offset, buffer.data(), tile.bytes);
                           matrix.apply_tile(tile, buffer, x, y);
                         },
@@ -62,10 +62,10 @@ LobpcgResult LafContext::solve_lowest(OocMatrixHandle handle,
 
 void LafContext::migrate_in(const DataPool& pool, ArrayId array, Bytes offset) {
   const Bytes size = pool.size(array);
-  std::vector<std::uint8_t> buffer(std::min<Bytes>(size, 8 * MiB));
-  Bytes moved = 0;
+  std::vector<std::uint8_t> buffer(std::min(size, 8 * MiB).value());
+  Bytes moved;
   while (moved < size) {
-    const Bytes chunk = std::min<Bytes>(buffer.size(), size - moved);
+    const Bytes chunk = std::min(Bytes{buffer.size()}, size - moved);
     pool.read(array, moved, buffer.data(), chunk);
     storage_.write(offset + moved, buffer.data(), chunk);
     moved += chunk;
@@ -75,10 +75,10 @@ void LafContext::migrate_in(const DataPool& pool, ArrayId array, Bytes offset) {
 ArrayId LafContext::migrate_out(DataPool& pool, Bytes offset, Bytes size,
                                 std::uint32_t node) {
   const ArrayId array = pool.create(size, node);
-  std::vector<std::uint8_t> buffer(std::min<Bytes>(size, 8 * MiB));
-  Bytes moved = 0;
+  std::vector<std::uint8_t> buffer(std::min(size, 8 * MiB).value());
+  Bytes moved;
   while (moved < size) {
-    const Bytes chunk = std::min<Bytes>(buffer.size(), size - moved);
+    const Bytes chunk = std::min(Bytes{buffer.size()}, size - moved);
     storage_.read(offset + moved, buffer.data(), chunk);
     pool.write(array, moved, buffer.data(), chunk);
     moved += chunk;

@@ -30,7 +30,7 @@ struct LafOptions {
 struct LafStats {
   std::uint64_t multiplies = 0;
   std::uint64_t tile_tasks = 0;
-  Bytes bytes_streamed = 0;
+  Bytes bytes_streamed;
 };
 
 class LafContext {

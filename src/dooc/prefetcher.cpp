@@ -42,9 +42,9 @@ void TilePrefetcher::worker_loop() {
     // buffered as null — the poisoned entry wakes the consumer, whose
     // get() rethrows instead of blocking forever on a tile that will
     // never arrive.
-    auto buffer = std::make_shared<std::vector<std::uint8_t>>(tiles_[index].bytes);
+    auto buffer = std::make_shared<std::vector<std::uint8_t>>(tiles_[index].bytes.value());
     obs::TraceRecorder* recorder = obs::tracer();
-    const Time read_begin = recorder ? recorder->wall_now() : 0;
+    const Time read_begin = recorder ? recorder->wall_now() : Time{};
     std::uint32_t retries = 0;
     bool read_ok = false;
     for (std::uint32_t attempt = 0; attempt <= max_read_retries_; ++attempt) {
@@ -59,7 +59,7 @@ void TilePrefetcher::worker_loop() {
     if (recorder) {
       std::vector<obs::SpanArg> args;
       args.push_back(obs::SpanArg::integer("tile", static_cast<std::int64_t>(index)));
-      args.push_back(obs::SpanArg::integer("bytes", static_cast<std::int64_t>(tiles_[index].bytes)));
+      args.push_back(obs::SpanArg::integer("bytes", static_cast<std::int64_t>(tiles_[index].bytes.value())));
       if (retries > 0) args.push_back(obs::SpanArg::integer("retries", retries));
       if (!read_ok) args.push_back(obs::SpanArg::text("outcome", "failed"));
       recorder->span(recorder->track("dooc.prefetch"), "dooc", "tile_read",
@@ -114,7 +114,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> TilePrefetcher::get(std::size_t
   ++stats_.stalls;
   state_changed_.notify_all();
   obs::TraceRecorder* recorder = obs::tracer();
-  const Time stall_begin = recorder ? recorder->wall_now() : 0;
+  const Time stall_begin = recorder ? recorder->wall_now() : Time{};
   state_changed_.wait(lock, [&] { return buffered_.count(index) > 0 || stopping_; });
   if (recorder) {
     recorder->span(recorder->track("dooc.consumer"), "dooc", "tile_stall",

@@ -6,8 +6,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "dooc/data_pool.hpp"
@@ -51,7 +51,9 @@ class DataAwareScheduler {
     bool done = false;
   };
 
-  std::unordered_map<TaskId, Task> tasks_;
+  /// Ordered by TaskId so the initial ready-list (and thus scheduling
+  /// tiebreaks) never depend on hash-table iteration order.
+  std::map<TaskId, Task> tasks_;
   TaskId next_id_ = 1;
   SchedulerStats stats_;
 };

@@ -25,7 +25,7 @@ FsBehavior ext2_behavior() {
   fs.metadata_interval = 4 * MiB;
   fs.metadata_size = 4 * KiB;
   fs.metadata_barrier = true;
-  fs.journal_interval = 0;  // No journal.
+  fs.journal_interval = Bytes{};  // No journal.
   return fs;
 }
 

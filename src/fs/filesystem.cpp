@@ -21,19 +21,19 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 FileSystemModel::FileSystemModel(FsBehavior behavior) : behavior_(std::move(behavior)) {
-  if (behavior_.block_size == 0) behavior_.block_size = 4 * KiB;
+  if (behavior_.block_size == Bytes{}) behavior_.block_size = 4 * KiB;
   behavior_.max_request = std::max(behavior_.max_request, behavior_.block_size);
 }
 
 void FileSystemModel::mount(Bytes data_extent) {
   data_extent_ = data_extent;
   // Round the regions to 1 MiB so metadata/journal traffic is aligned.
-  const Bytes base = (data_extent + MiB - 1) / MiB * MiB;
+  const Bytes base = ((data_extent + MiB - Bytes{1}) / MiB) * MiB;
   metadata_base_ = base;
   journal_base_ = base + 512 * MiB;
-  journal_cursor_ = 0;
-  bytes_since_metadata_ = 0;
-  bytes_since_journal_ = 0;
+  journal_cursor_ = Bytes{};
+  bytes_since_metadata_ = Bytes{};
+  bytes_since_journal_ = Bytes{};
   metadata_counter_ = 0;
 }
 
@@ -43,26 +43,27 @@ Bytes FileSystemModel::map_offset(Bytes logical) const {
   // GPFS-style striping: chunk index b goes to stripe (b mod width);
   // stripes occupy disjoint on-device regions, so consecutive chunks land
   // far apart (the scrambling of Figure 6, top).
-  if (behavior_.stripe_size > 0 && behavior_.stripe_width > 1) {
-    const Bytes chunk = logical / behavior_.stripe_size;
+  if (behavior_.stripe_size > Bytes{} && behavior_.stripe_width > 1) {
+    const std::uint64_t chunk = logical / behavior_.stripe_size;
     const Bytes within = logical % behavior_.stripe_size;
-    const Bytes stripes_total =
-        (data_extent_ + behavior_.stripe_size - 1) / behavior_.stripe_size + 1;
-    const Bytes rows = (stripes_total + behavior_.stripe_width - 1) / behavior_.stripe_width;
-    const Bytes stripe = chunk % behavior_.stripe_width;
-    const Bytes row = chunk / behavior_.stripe_width;
+    const std::uint64_t stripes_total =
+        (data_extent_ + behavior_.stripe_size - Bytes{1}) / behavior_.stripe_size + 1;
+    const std::uint64_t rows =
+        (stripes_total + behavior_.stripe_width - 1) / behavior_.stripe_width;
+    const std::uint64_t stripe = chunk % behavior_.stripe_width;
+    const std::uint64_t row = chunk / behavior_.stripe_width;
     mapped = (stripe * rows + row) * behavior_.stripe_size + within;
   }
 
   // Fragmentation: relocate fragment_unit-sized extents with a
   // deterministic hash (aged allocator / copy-on-write placement).
   if (behavior_.fragmentation > 0.0 && data_extent_ > behavior_.fragment_unit) {
-    const Bytes extent_index = mapped / behavior_.fragment_unit;
+    const std::uint64_t extent_index = mapped / behavior_.fragment_unit;
     const std::uint64_t hash = mix(extent_index + 0x5bd1e995);
     const double draw = static_cast<double>(hash >> 11) * 0x1.0p-53;
     if (draw < behavior_.fragmentation) {
-      const Bytes slots = data_extent_ / behavior_.fragment_unit;
-      const Bytes slot = mix(extent_index) % slots;
+      const std::uint64_t slots = data_extent_ / behavior_.fragment_unit;
+      const std::uint64_t slot = mix(extent_index) % slots;
       mapped = slot * behavior_.fragment_unit + mapped % behavior_.fragment_unit;
     }
   }
@@ -74,7 +75,7 @@ void FileSystemModel::append_data_requests(NvmOp op, Bytes device_offset, Bytes 
   // Split on block boundaries, coalesce up to max_request.
   Bytes cursor = device_offset;
   Bytes remaining = size;
-  while (remaining > 0) {
+  while (remaining > Bytes{}) {
     // A request may not cross a max_request-aligned boundary — this is
     // the block layer's segment limit.
     const Bytes boundary = (cursor / behavior_.max_request + 1) * behavior_.max_request;
@@ -90,7 +91,7 @@ void FileSystemModel::append_data_requests(NvmOp op, Bytes device_offset, Bytes 
 }
 
 void FileSystemModel::maybe_emit_metadata(Bytes processed, std::vector<BlockRequest>& out) {
-  if (behavior_.metadata_interval == 0) return;
+  if (behavior_.metadata_interval == Bytes{}) return;
   bytes_since_metadata_ += processed;
   while (bytes_since_metadata_ >= behavior_.metadata_interval) {
     bytes_since_metadata_ -= behavior_.metadata_interval;
@@ -111,7 +112,7 @@ void FileSystemModel::maybe_emit_metadata(Bytes processed, std::vector<BlockRequ
 
 std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
   std::vector<BlockRequest> out;
-  if (request.size == 0) return out;
+  if (request.size == Bytes{}) return out;
 
   // Mapping metadata is consulted *before* the data moves: emit the
   // synchronous metadata read first so it stalls the stream, as a real
@@ -122,32 +123,32 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
   // contiguous: stripe chunks under striping, fragment units on an aged
   // file system, or the whole request on a pristine contiguous layout.
   Bytes piece = request.size;
-  if (behavior_.stripe_size > 0) piece = behavior_.stripe_size;
+  if (behavior_.stripe_size > Bytes{}) piece = behavior_.stripe_size;
   if (behavior_.fragmentation > 0.0) {
     piece = std::min<Bytes>(piece, behavior_.fragment_unit);
   }
-  if (piece == 0) piece = request.size;
+  if (piece == Bytes{}) piece = request.size;
   // Adjacent pieces whose device placement happens to be contiguous
   // merge back together — only real discontinuities break requests.
   Bytes logical = request.offset;
   Bytes remaining = request.size;
-  Bytes run_mapped = 0;
-  Bytes run_length = 0;
-  while (remaining > 0) {
+  Bytes run_mapped;
+  Bytes run_length;
+  while (remaining > Bytes{}) {
     const Bytes within = logical % piece;
     const Bytes take = std::min(remaining, piece - within);
     const Bytes mapped = map_offset(logical);
-    if (run_length > 0 && mapped == run_mapped + run_length) {
+    if (run_length > Bytes{} && mapped == run_mapped + run_length) {
       run_length += take;
     } else {
-      if (run_length > 0) append_data_requests(request.op, run_mapped, run_length, out);
+      if (run_length > Bytes{}) append_data_requests(request.op, run_mapped, run_length, out);
       run_mapped = mapped;
       run_length = take;
     }
     logical += take;
     remaining -= take;
   }
-  if (run_length > 0) append_data_requests(request.op, run_mapped, run_length, out);
+  if (run_length > Bytes{}) append_data_requests(request.op, run_mapped, run_length, out);
 
   // An application-level barrier (fsync, checkpoint commit) marks the
   // last piece of the expansion: everything before it drains, and later
@@ -156,7 +157,7 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
   if (request.barrier && !out.empty()) out.back().barrier = true;
 
   // Journal commits trail the data writes they cover.
-  if (request.op == NvmOp::kWrite && behavior_.journal_interval > 0) {
+  if (request.op == NvmOp::kWrite && behavior_.journal_interval > Bytes{}) {
     bytes_since_journal_ += request.size;
     while (bytes_since_journal_ >= behavior_.journal_interval) {
       bytes_since_journal_ -= behavior_.journal_interval;
@@ -179,7 +180,7 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
     for (const BlockRequest& r : out) {
       if (r.internal) {
         m->counter("fs.internal_requests").add();
-        m->counter("fs.internal_bytes").add(r.size);
+        m->counter("fs.internal_bytes").add(r.size.value());
       }
     }
   }

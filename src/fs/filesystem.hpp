@@ -40,13 +40,13 @@ struct FsBehavior {
 
   /// A synchronous mapping-metadata read (indirect block / extent node /
   /// B-tree node) every `metadata_interval` data bytes; 0 disables.
-  Bytes metadata_interval = 0;
+  Bytes metadata_interval;
   Bytes metadata_size = 4 * KiB;
   /// Synchronous metadata stalls the pipeline (barrier).
   bool metadata_barrier = true;
 
   /// A journal commit every `journal_interval` bytes written; 0 = none.
-  Bytes journal_interval = 0;
+  Bytes journal_interval;
   Bytes journal_size = 8 * KiB;
 
   /// Probability a data extent is placed discontiguously (aged FS /
@@ -59,7 +59,7 @@ struct FsBehavior {
   /// GPFS-style striping: logical stream chopped into `stripe_size`
   /// chunks scattered round-robin over `stripe_width` on-device regions.
   /// 0 disables.
-  Bytes stripe_size = 0;
+  Bytes stripe_size;
   std::uint32_t stripe_width = 0;
 };
 
@@ -96,13 +96,13 @@ class FileSystemModel : public IoPath {
   void maybe_emit_metadata(Bytes processed, std::vector<BlockRequest>& out);
 
   FsBehavior behavior_;
-  Bytes data_extent_ = 0;
-  Bytes metadata_base_ = 0;
-  Bytes journal_base_ = 0;
+  Bytes data_extent_;
+  Bytes metadata_base_;
+  Bytes journal_base_;
   Bytes journal_span_ = 128 * MiB;
-  Bytes journal_cursor_ = 0;
-  Bytes bytes_since_metadata_ = 0;
-  Bytes bytes_since_journal_ = 0;
+  Bytes journal_cursor_;
+  Bytes bytes_since_metadata_;
+  Bytes bytes_since_journal_;
   std::uint64_t metadata_counter_ = 0;
 };
 

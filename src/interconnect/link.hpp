@@ -25,7 +25,7 @@ struct LinkConfig {
   /// Fixed request overhead: DMA setup, doorbells, protocol handshakes.
   Time request_latency = 2 * kMicrosecond;
   /// Extra per-request cost of protocol bridging (SATA<->PCIe re-encode).
-  Time bridge_latency = 0;
+  Time bridge_latency;
   /// Extra bandwidth derate from bridging/framing (1.0 = none).
   double bridge_efficiency = 1.0;
 
@@ -62,7 +62,7 @@ class DmaEngine {
  private:
   LinkConfig config_;
   Timeline link_;
-  Bytes bytes_moved_ = 0;
+  Bytes bytes_moved_;
 };
 
 }  // namespace nvmooc

@@ -38,7 +38,7 @@ LinkConfig fibre_channel_8g() {
 }
 
 double network_path_throughput(const NetworkPathConfig& path, Bytes chunk_bytes) {
-  if (chunk_bytes == 0) return 0.0;
+  if (chunk_bytes == Bytes{}) return 0.0;
   const double wire_seconds = static_cast<double>(chunk_bytes) / path.wire.byte_rate();
   const double per_rpc_seconds = wire_seconds + to_seconds(path.rpc_overhead);
   const double pipelined =

@@ -25,7 +25,7 @@ LinkConfig native_pcie3(unsigned lanes) {
   link.lanes = lanes;
   link.encoding = 128.0 / 130.0;
   link.request_latency = 1 * kMicrosecond;
-  link.bridge_latency = 0;
+  link.bridge_latency = Time{};
   link.bridge_efficiency = 1.0;
   return link;
 }

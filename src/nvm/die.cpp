@@ -13,7 +13,7 @@ Die::Die(const NvmTiming& timing, bool backfill) : timing_(timing) {
 
 Time Die::activation_time(NvmOp op, std::uint32_t page_in_block,
                           std::uint32_t cell_ops) const {
-  Time total = 0;
+  Time total;
   for (std::uint32_t i = 0; i < cell_ops; ++i) {
     const std::uint32_t page =
         (page_in_block + i) % timing_.pages_per_block;

@@ -20,9 +20,9 @@ namespace nvmooc {
 
 /// Result of one cell activation on a plane.
 struct CellActivation {
-  Time start = 0;   ///< When the cells actually begin the operation.
-  Time end = 0;     ///< When the operation finishes.
-  Time waited = 0;  ///< Cell contention: start - earliest.
+  Time start;   ///< When the cells actually begin the operation.
+  Time end;     ///< When the operation finishes.
+  Time waited;  ///< Cell contention: start - earliest.
 };
 
 class Die {
@@ -38,7 +38,7 @@ class Die {
   /// finer reference levels and hold the plane longer.
   CellActivation activate(std::uint32_t plane, NvmOp op, std::uint64_t block,
                           std::uint32_t page_in_block, std::uint32_t cell_ops,
-                          Time earliest, Time extra = 0);
+                          Time earliest, Time extra = {});
 
   /// Duration `cell_ops` activations would take (no reservation).
   Time activation_time(NvmOp op, std::uint32_t page_in_block,

@@ -83,7 +83,7 @@ NvmTiming pcm_timing() {
   // PCM is byte-addressable; industry wraps it behind a NOR-flash-style
   // interface (paper section 2.3) with 64 B pages and emulated 4 KiB
   // erase blocks.
-  t.page_size = 64;
+  t.page_size = Bytes{64};
   t.pages_per_block = 64;
   t.planes_per_die = 2;
   t.blocks_per_plane = 1u << 20;  // 4 GiB/plane, 8 GiB/die.

@@ -43,6 +43,7 @@ WearSummary WearTracker::summary() const {
   }
   std::uint64_t max_count = 0;
   std::uint64_t min_count = std::numeric_limits<std::uint64_t>::max();
+  // simlint: allow(unordered-iter) -- min/max are order-independent folds.
   for (const auto& [unit, count] : erase_counts_) {
     max_count = std::max(max_count, count);
     min_count = std::min(min_count, count);

@@ -219,7 +219,7 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     w.begin_array();
     for (const auto& [t, v] : s.points()) {
       w.begin_array();
-      w.value(static_cast<double>(t) / kMillisecond);
+      w.value(static_cast<double>(t) / static_cast<double>(kMillisecond));
       w.value(v);
       w.end_array();
     }

@@ -111,9 +111,9 @@ void TraceRecorder::counter(std::uint32_t track, const char* category,
 }
 
 Time TraceRecorder::wall_now() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+  return Time{std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - epoch_)
+                  .count()};
 }
 
 std::size_t TraceRecorder::event_count() const {
@@ -150,7 +150,7 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
   // Sim timestamps are picoseconds and wall timestamps nanoseconds; the
   // trace_event `ts` field is microseconds (fractional allowed).
   const auto to_us = [](Time t, TraceClock clock) {
-    return clock == TraceClock::kSim ? static_cast<double>(t) / kMicrosecond
+    return clock == TraceClock::kSim ? static_cast<double>(t) / static_cast<double>(kMicrosecond)
                                      : static_cast<double>(t) / 1e3;
   };
   const auto pid_of = [](TraceClock clock) {
@@ -200,7 +200,7 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
       w.begin_object();
       w.field("value", event->value);
       w.end_object();
-    } else if (event->dur > 0) {
+    } else if (event->dur > Time{}) {
       w.field("ph", "X");
       w.field("dur", to_us(event->dur, event->clock));
       if (!event->args.empty()) {

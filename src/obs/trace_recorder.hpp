@@ -48,8 +48,8 @@ struct SpanEvent {
   std::uint32_t track = 0;
   const char* category = "";  ///< Static-storage string.
   std::string name;
-  Time ts = 0;   ///< Sim picoseconds or wall nanoseconds, per `clock`.
-  Time dur = 0;  ///< Same unit as ts. 0 renders as an instant event.
+  Time ts;   ///< Sim picoseconds or wall nanoseconds, per `clock`.
+  Time dur;  ///< Same unit as ts. 0 renders as an instant event.
   TraceClock clock = TraceClock::kSim;
   bool counter = false;  ///< Chrome 'C' event: `value` plotted over time.
   double value = 0.0;

@@ -11,8 +11,8 @@ namespace {
 //                   [column indices (int32 x nnz)]
 //                   [values (double x nnz)]
 Bytes tile_serialized_bytes(std::size_t tile_rows, std::int64_t nnz) {
-  return 2 * sizeof(std::int64_t) + tile_rows * sizeof(std::int32_t) +
-         static_cast<Bytes>(nnz) * (sizeof(std::int32_t) + sizeof(double));
+  return Bytes{2 * sizeof(std::int64_t) + tile_rows * sizeof(std::int32_t) +
+               static_cast<std::size_t>(nnz) * (sizeof(std::int32_t) + sizeof(double))};
 }
 
 }  // namespace
@@ -22,7 +22,7 @@ OocHamiltonian::OocHamiltonian(const CsrMatrix& h, Storage& storage,
     : storage_(storage), rows_(h.rows()) {
   if (rows_per_tile == 0) throw std::invalid_argument("OocHamiltonian: zero tile rows");
 
-  Bytes cursor = 0;
+  Bytes cursor;
   std::vector<std::uint8_t> buffer;
   for (std::size_t row_begin = 0; row_begin < rows_; row_begin += rows_per_tile) {
     const std::size_t row_end = std::min(rows_, row_begin + rows_per_tile);
@@ -30,7 +30,7 @@ OocHamiltonian::OocHamiltonian(const CsrMatrix& h, Storage& storage,
     const std::int64_t nnz = h.row_ptr()[row_end] - h.row_ptr()[row_begin];
     const Bytes bytes = tile_serialized_bytes(tile_rows, nnz);
 
-    buffer.resize(bytes);
+    buffer.resize(bytes.value());
     std::uint8_t* out = buffer.data();
     const std::int64_t header[2] = {static_cast<std::int64_t>(tile_rows), nnz};
     std::memcpy(out, header, sizeof(header));
@@ -95,7 +95,7 @@ DenseMatrix OocHamiltonian::apply(const DenseMatrix& x) const {
   DenseMatrix y(rows_, x.cols());
   std::vector<std::uint8_t> buffer;
   for (const TileInfo& tile : tiles_) {
-    buffer.resize(tile.bytes);
+    buffer.resize(tile.bytes.value());
     storage_.read(tile.offset, buffer.data(), tile.bytes);
     apply_tile(tile, buffer, x, y);
   }

@@ -43,7 +43,7 @@ class OocHamiltonian {
  private:
   Storage& storage_;
   std::size_t rows_ = 0;
-  Bytes dataset_bytes_ = 0;
+  Bytes dataset_bytes_;
   std::vector<TileInfo> tiles_;
 };
 

@@ -6,13 +6,13 @@
 namespace nvmooc {
 
 void MemoryStorage::read(Bytes offset, void* destination, Bytes size) {
-  if (offset + size > data_.size()) throw std::out_of_range("MemoryStorage::read");
-  std::memcpy(destination, data_.data() + offset, size);
+  if (offset + size > Bytes{data_.size()}) throw std::out_of_range("MemoryStorage::read");
+  std::memcpy(destination, data_.data() + offset.value(), size.value());
 }
 
 void MemoryStorage::write(Bytes offset, const void* source, Bytes size) {
-  if (offset + size > data_.size()) throw std::out_of_range("MemoryStorage::write");
-  std::memcpy(data_.data() + offset, source, size);
+  if (offset + size > Bytes{data_.size()}) throw std::out_of_range("MemoryStorage::write");
+  std::memcpy(data_.data() + offset.value(), source, size.value());
 }
 
 void TracedStorage::read(Bytes offset, void* destination, Bytes size) {

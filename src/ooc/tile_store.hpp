@@ -27,11 +27,11 @@ class Storage {
 /// In-memory backing store.
 class MemoryStorage : public Storage {
  public:
-  explicit MemoryStorage(Bytes size) : data_(size, 0) {}
+  explicit MemoryStorage(Bytes size) : data_(size.value(), 0) {}
 
   void read(Bytes offset, void* destination, Bytes size) override;
   void write(Bytes offset, const void* source, Bytes size) override;
-  Bytes size() const override { return data_.size(); }
+  Bytes size() const override { return Bytes{data_.size()}; }
 
  private:
   std::vector<std::uint8_t> data_;

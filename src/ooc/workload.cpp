@@ -48,11 +48,11 @@ Trace synthesize_ooc_trace(const SyntheticWorkloadParams& params) {
   Trace trace;
   const Bytes checkpoint_base = params.dataset_bytes;
   for (std::size_t sweep = 0; sweep < params.sweeps; ++sweep) {
-    for (Bytes offset = 0; offset < params.dataset_bytes; offset += params.tile_bytes) {
+    for (Bytes offset; offset < params.dataset_bytes; offset += params.tile_bytes) {
       const Bytes size = std::min(params.tile_bytes, params.dataset_bytes - offset);
       trace.add(NvmOp::kRead, offset, size);
     }
-    if (params.checkpoint_bytes > 0) {
+    if (params.checkpoint_bytes > Bytes{}) {
       trace.add(NvmOp::kWrite, checkpoint_base, params.checkpoint_bytes);
     }
   }

@@ -19,7 +19,7 @@ namespace nvmooc {
 struct CapturedWorkload {
   Trace trace;
   LobpcgResult solution;
-  Bytes dataset_bytes = 0;
+  Bytes dataset_bytes;
 };
 
 /// Runs LOBPCG on a synthetic Hamiltonian held out-of-core in traced

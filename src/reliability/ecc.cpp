@@ -27,15 +27,15 @@ double poisson_tail(double lambda, std::uint32_t t) {
 double EccModel::p_any_error(double rber, Bytes bytes) const {
   if (rber <= 0.0) return 0.0;
   if (rber >= 1.0) return 1.0;
-  const double bits = static_cast<double>(std::max<Bytes>(bytes, 1)) * 8.0;
+  const double bits = static_cast<double>(std::max(bytes, Bytes{1})) * 8.0;
   return -std::expm1(bits * std::log1p(-rber));
 }
 
 double EccModel::p_uncorrectable(double rber, Bytes bytes) const {
   if (rber <= 0.0) return 0.0;
-  const Bytes codeword = std::max<Bytes>(config_.codeword_bytes, 1);
-  const Bytes payload = std::max<Bytes>(bytes, 1);
-  const std::uint64_t codewords = (payload + codeword - 1) / codeword;
+  const Bytes codeword = std::max(config_.codeword_bytes, Bytes{1});
+  const Bytes payload = std::max(bytes, Bytes{1});
+  const std::uint64_t codewords = (payload + codeword - Bytes{1}) / codeword;
   const double bits_per_codeword =
       static_cast<double>(std::min<Bytes>(payload, codeword)) * 8.0;
   const double p_codeword =

@@ -70,7 +70,7 @@ Time FaultInjector::channel_available(std::uint32_t channel, Time when,
   while (moved) {
     moved = false;
     for (const ChannelStallFault& fault : config_.channel_stalls) {
-      if (fault.channel != channel || fault.duration <= 0) continue;
+      if (fault.channel != channel || fault.duration <= Time{}) continue;
       if (available >= fault.begin && available < fault.begin + fault.duration) {
         available = fault.begin + fault.duration;
         moved = true;

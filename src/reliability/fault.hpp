@@ -28,7 +28,7 @@ struct DieStuckFault {
   std::uint32_t channel = 0;
   std::uint32_t package = 0;
   std::uint32_t die = 0;
-  Time begin = 0;
+  Time begin;
 };
 
 /// A transient channel stall (firmware hiccup, link retrain): any
@@ -36,8 +36,8 @@ struct DieStuckFault {
 /// waits for the window to pass. Shows up as channel contention.
 struct ChannelStallFault {
   std::uint32_t channel = 0;
-  Time begin = 0;
-  Time duration = 0;
+  Time begin;
+  Time duration;
 };
 
 struct FaultConfig {
@@ -70,15 +70,15 @@ struct ReliabilityStats {
   std::uint64_t uncorrectable_reads = 0;  ///< Senses the ladder lost.
   std::uint64_t die_stuck_reads = 0;      ///< Failures from stuck dies.
   std::uint64_t channel_stalls = 0;       ///< Transactions delayed by a stall.
-  Time retry_time = 0;                    ///< Device time added by retries.
+  Time retry_time;                    ///< Device time added by retries.
 
   std::uint64_t remapped_blocks = 0;      ///< Blocks retired by BBM.
   std::uint64_t remap_relocations = 0;    ///< Live pages moved off bad blocks.
   std::uint64_t spare_blocks_used = 0;    ///< Retirements absorbed by spares.
-  Bytes capacity_lost = 0;                ///< Usable bytes lost past the spares.
+  Bytes capacity_lost;                ///< Usable bytes lost past the spares.
 
   std::uint64_t degraded_requests = 0;    ///< Requests recovered via the ION replica.
-  Bytes degraded_bytes = 0;               ///< Bytes served by that recovery path.
+  Bytes degraded_bytes;               ///< Bytes served by that recovery path.
   bool hard_failure = false;              ///< Capacity loss crossed the device limit.
   bool aborted = false;                   ///< Replay stopped (no replica to fall back to).
   std::string abort_reason;               ///< Human-readable diagnostics when aborted.

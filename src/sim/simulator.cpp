@@ -12,7 +12,7 @@ void Simulator::at(Time when, EventQueue::Callback callback) {
 }
 
 void Simulator::after(Time delay, EventQueue::Callback callback) {
-  if (delay < 0) {
+  if (delay < Time{}) {
     throw std::logic_error("Simulator::after: negative delay");
   }
   queue_.schedule(now_ + delay, std::move(callback));
@@ -36,7 +36,7 @@ Time Simulator::run_until(Time deadline) {
 }
 
 void Simulator::reset() {
-  now_ = 0;
+  now_ = Time{};
   queue_.clear();
 }
 

@@ -34,7 +34,7 @@ class Simulator {
   void reset();
 
  private:
-  Time now_ = 0;
+  Time now_;
   EventQueue queue_;
 };
 

@@ -11,9 +11,9 @@ void Timeline::emit_span(const Reservation& grant, Time earliest,
   obs::TraceRecorder* recorder = obs::tracer();
   if (recorder == nullptr) return;
   std::vector<obs::SpanArg> args;
-  if (grant.waited > 0) {
+  if (grant.waited > Time{}) {
     args.push_back(obs::SpanArg::number(
-        "waited_us", static_cast<double>(grant.waited) / kMicrosecond));
+        "waited_us", static_cast<double>(grant.waited) / static_cast<double>(kMicrosecond)));
   }
   recorder->span(recorder->track(trace_label_), "timeline", "reserve", grant.start,
                  duration, std::move(args));
@@ -25,7 +25,7 @@ Timeline::Timeline(bool backfill, std::size_t max_gaps)
 
 Reservation Timeline::reserve(Time earliest, Time duration) {
   Reservation grant;
-  if (duration <= 0) {
+  if (duration <= Time{}) {
     grant.start = std::max(earliest, Time{0});
     grant.end = grant.start;
     return grant;
@@ -76,7 +76,7 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
 }
 
 Time Timeline::peek(Time earliest, Time duration) const {
-  if (duration <= 0) return std::max(earliest, Time{0});
+  if (duration <= Time{}) return std::max(earliest, Time{0});
   if (backfill_) {
     Time best = std::max(earliest, next_free_);
     for (const Gap& gap : gaps_) {
@@ -89,7 +89,7 @@ Time Timeline::peek(Time earliest, Time duration) const {
 }
 
 void Timeline::reset() {
-  next_free_ = 0;
+  next_free_ = Time{};
   gaps_.clear();
   busy_ = BusyTracker{};
   reservation_count_ = 0;

@@ -18,11 +18,11 @@
 namespace nvmooc {
 
 struct Reservation {
-  Time start = 0;
-  Time end = 0;
+  Time start;
+  Time end;
   /// Queueing delay experienced: start - earliest.
   Time wait() const { return waited; }
-  Time waited = 0;
+  Time waited;
 };
 
 class Timeline {
@@ -64,7 +64,7 @@ class Timeline {
 
   bool backfill_;
   std::size_t max_gaps_;
-  Time next_free_ = 0;
+  Time next_free_;
   std::vector<Gap> gaps_;
   BusyTracker busy_;
   std::uint64_t reservation_count_ = 0;

@@ -66,7 +66,7 @@ struct ControllerConfig {
   /// is in device DRAM (channel transfer done) as long as the dirty
   /// bytes fit; programming drains in the background. 0 disables
   /// (write-through, the evaluation default).
-  Bytes write_buffer = 0;
+  Bytes write_buffer;
   /// ECC strength and read-retry ladder shape. Only consulted when the
   /// device was built with a FaultInjector (fault injection enabled).
   EccConfig ecc;
@@ -79,15 +79,15 @@ struct ControllerStats {
   /// energy accounting needs.
   std::array<Time, 3> cell_time_by_op{};
   /// Raw bus occupancy (flash + channel) across all resources.
-  Time bus_time = 0;
+  Time bus_time;
   std::uint64_t transactions = 0;
   std::uint64_t requests = 0;
-  Bytes payload_bytes = 0;   ///< Application data moved (non-internal reads+writes).
-  Bytes internal_bytes = 0;  ///< Journal/metadata/GC traffic.
+  Bytes payload_bytes;   ///< Application data moved (non-internal reads+writes).
+  Bytes internal_bytes;  ///< Journal/metadata/GC traffic.
   std::array<Bytes, 4> pal_bytes{};
   std::array<std::uint64_t, 4> pal_requests{};
-  Time first_activity = -1;
-  Time last_completion = 0;
+  Time first_activity{-1};
+  Time last_completion;
   /// Sense-level reliability counters (all zero with injection off).
   ReliabilityStats reliability;
 };

@@ -13,7 +13,7 @@ Ftl::Ftl(const SsdGeometry& geometry, const NvmTiming& timing, FtlConfig config)
 }
 
 void Ftl::set_preloaded(Bytes bytes) {
-  const std::uint64_t units = (bytes + timing_.page_size - 1) / timing_.page_size;
+  const std::uint64_t units = (bytes + timing_.page_size - Bytes{1}) / timing_.page_size;
   preloaded_units_ = std::min(units, capacity_units_);
   frontier_ = std::max(frontier_, preloaded_units_);
 }
@@ -254,7 +254,7 @@ void Ftl::collect_garbage(std::vector<UnitRun>& out) {
   // Erase and recycle.
   PhysicalAddress first_page = base;
   first_page.page = 0;
-  out.push_back({NvmOp::kErase, geometry_.unit_of(first_page, timing_), 1, 0, /*gc=*/true});
+  out.push_back({NvmOp::kErase, geometry_.unit_of(first_page, timing_), 1, Bytes{}, /*gc=*/true});
   valid_pages_.erase(victim_key);
   free_blocks_.push_back({base, 0});
   ++stats_.gc_erased_blocks;
@@ -306,10 +306,10 @@ void Ftl::append_read_runs(std::uint64_t first_logical, std::uint64_t count,
 
 std::vector<UnitRun> Ftl::translate(const BlockRequest& request) {
   std::vector<UnitRun> out;
-  if (request.size == 0) return out;
+  if (request.size == Bytes{}) return out;
   const Bytes page = timing_.page_size;
   const std::uint64_t first_logical = request.offset / page;
-  const std::uint64_t last_logical = (request.offset + request.size - 1) / page;
+  const std::uint64_t last_logical = (request.offset + request.size - Bytes{1}) / page;
   const std::uint64_t count = last_logical - first_logical + 1;
   const Bytes leading_trim = request.offset % page;
   const Bytes trailing_trim = (last_logical + 1) * page - (request.offset + request.size);
@@ -327,11 +327,11 @@ std::vector<UnitRun> Ftl::translate(const BlockRequest& request) {
       auto needs_rmw = [&](std::uint64_t logical, bool partial) {
         return partial && (logical < preloaded_units_ || overrides_.count(logical) > 0);
       };
-      if (needs_rmw(first_logical, leading_trim != 0)) {
+      if (needs_rmw(first_logical, leading_trim != Bytes{})) {
         out.push_back({NvmOp::kRead, lookup(first_logical), 1, page, false});
         ++stats_.read_modify_writes;
       }
-      if (last_logical != first_logical && needs_rmw(last_logical, trailing_trim != 0)) {
+      if (last_logical != first_logical && needs_rmw(last_logical, trailing_trim != Bytes{})) {
         out.push_back({NvmOp::kRead, lookup(last_logical), 1, page, false});
         ++stats_.read_modify_writes;
       }

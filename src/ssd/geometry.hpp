@@ -55,7 +55,7 @@ struct SsdGeometry {
 
   /// Device capacity for the given media.
   Bytes capacity(const NvmTiming& timing) const {
-    return static_cast<Bytes>(total_dies()) * timing.die_size();
+    return total_dies() * timing.die_size();
   }
 
   /// Maps mapping-unit index -> physical location under the striping

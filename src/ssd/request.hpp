@@ -69,8 +69,8 @@ inline const char* phase_key(Phase phase) {
 /// of UFS, which passes application requests through nearly verbatim).
 struct BlockRequest {
   NvmOp op = NvmOp::kRead;
-  Bytes offset = 0;  ///< Logical byte address within the device.
-  Bytes size = 0;
+  Bytes offset;  ///< Logical byte address within the device.
+  Bytes size;
   /// Barrier semantics: all earlier requests must complete before this
   /// one issues, and later ones wait for it (journal commits, metadata
   /// reads that gate further lookups).
@@ -86,31 +86,31 @@ struct TransactionResult {
   std::uint32_t package = 0;  ///< Within the channel.
   std::uint32_t die = 0;      ///< Within the package.
   std::uint32_t plane = 0;
-  Bytes bytes = 0;
+  Bytes bytes;
 
-  Time issue = 0;      ///< When the transaction was ready.
-  Time complete = 0;   ///< When its last phase finished.
-  Time data_in_end = 0;  ///< Writes: when the inbound channel transfer ended.
-  Time command = 0;    ///< Command/address cycles (channel activation).
-  Time cell = 0;       ///< Cell activation.
-  Time cell_wait = 0;  ///< Cell contention.
-  Time flash_bus = 0;  ///< Register <-> pads transfer.
-  Time channel_bus = 0;  ///< Shared-bus data transfer (channel activation).
-  Time channel_wait = 0;  ///< Channel (and package-port) contention.
+  Time issue;      ///< When the transaction was ready.
+  Time complete;   ///< When its last phase finished.
+  Time data_in_end;  ///< Writes: when the inbound channel transfer ended.
+  Time command;    ///< Command/address cycles (channel activation).
+  Time cell;       ///< Cell activation.
+  Time cell_wait;  ///< Cell contention.
+  Time flash_bus;  ///< Register <-> pads transfer.
+  Time channel_bus;  ///< Shared-bus data transfer (channel activation).
+  Time channel_wait;  ///< Channel (and package-port) contention.
 
   // Reliability outcome (all zero/false when fault injection is off).
   std::uint32_t retries = 0;  ///< Read-retry ladder steps taken.
   bool corrected = false;     ///< Raw bit errors occurred but ECC recovered.
   bool uncorrectable = false; ///< Ladder exhausted (or die stuck): data lost.
-  Time retry_time = 0;        ///< Completion delay added by the retry attempts.
+  Time retry_time;        ///< Completion delay added by the retry attempts.
 };
 
 /// Completion record for one BlockRequest.
 struct RequestResult {
-  Time issue = 0;
-  Time media_begin = 0;
-  Time media_end = 0;
-  Bytes bytes = 0;
+  Time issue;
+  Time media_begin;
+  Time media_end;
+  Bytes bytes;
   std::uint32_t transactions = 0;
   ParallelismLevel pal = ParallelismLevel::kPal1;
 
@@ -124,8 +124,8 @@ struct RequestResult {
   // Reliability outcome (all zero/false when fault injection is off).
   std::uint32_t retries = 0;            ///< Read-retry steps across all transactions.
   std::uint32_t uncorrectable_units = 0;  ///< Transactions whose data was lost.
-  Bytes uncorrectable_bytes = 0;        ///< Payload bytes those transactions carried.
-  Time retry_time = 0;                  ///< Latency the retry ladders added.
+  Bytes uncorrectable_bytes;        ///< Payload bytes those transactions carried.
+  Time retry_time;                  ///< Latency the retry ladders added.
   bool hard_failure = false;            ///< Device crossed its capacity-loss threshold.
 };
 

@@ -87,7 +87,7 @@ DeviceStats Ssd::device_stats(Time wall_time) const {
 
   const BusyTracker merged = media_busy();
   stats.active_time = merged.busy_time();
-  if (stats.active_time <= 0) {
+  if (stats.active_time <= Time{}) {
     stats.remaining_bandwidth = stats.media_capability;
     return stats;
   }
@@ -95,7 +95,7 @@ DeviceStats Ssd::device_stats(Time wall_time) const {
   // taken before any host DMA) must get 0-utilisation answers, not
   // NaN/inf from the divisions below; the device's own active window is
   // the honest fallback denominator.
-  if (wall_time <= 0) wall_time = stats.active_time;
+  if (wall_time <= Time{}) wall_time = stats.active_time;
 
   // A channel counts as busy while anything in its subsystem (bus or any
   // of its packages) is working — the paper's channel-level utilisation,
@@ -129,7 +129,7 @@ DeviceStats Ssd::device_stats(Time wall_time) const {
           1.0, static_cast<double>(package.busy_time()) / static_cast<double>(stats.active_time));
       for (std::uint32_t d = 0; d < package.die_count(); ++d) {
         const Time busy = package.die(d).busy_time();
-        if (wall_time > 0) {
+        if (wall_time > Time{}) {
           die_sum += std::min(1.0, static_cast<double>(busy) / static_cast<double>(wall_time));
         }
         ++die_count;

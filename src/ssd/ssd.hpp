@@ -26,7 +26,7 @@ struct SsdConfig {
 struct DeviceStats {
   /// Union of every internal busy interval — "the device was doing
   /// something". Denominator for the utilisation numbers.
-  Time active_time = 0;
+  Time active_time;
   /// Mean over channels of bus-busy / active_time (Figure 9a).
   double channel_utilization = 0.0;
   /// Mean over packages of package-busy / active_time (Figure 9b).

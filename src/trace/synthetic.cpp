@@ -4,7 +4,7 @@ namespace nvmooc {
 
 Trace sequential_read_trace(Bytes total, Bytes request_size) {
   Trace trace;
-  for (Bytes offset = 0; offset < total; offset += request_size) {
+  for (Bytes offset; offset < total; offset += request_size) {
     trace.add(NvmOp::kRead, offset, std::min(request_size, total - offset));
   }
   return trace;
@@ -12,9 +12,9 @@ Trace sequential_read_trace(Bytes total, Bytes request_size) {
 
 Trace random_read_trace(Bytes extent, Bytes request_size, std::size_t count, Rng& rng) {
   Trace trace;
-  const Bytes slots = extent > request_size ? (extent - request_size) : 1;
+  const Bytes slots = extent > request_size ? (extent - request_size) : Bytes{1};
   for (std::size_t i = 0; i < count; ++i) {
-    const Bytes offset = rng.next_below(slots);
+    const Bytes offset{rng.next_below(slots.value())};
     trace.add(NvmOp::kRead, offset, request_size);
   }
   return trace;
@@ -22,11 +22,11 @@ Trace random_read_trace(Bytes extent, Bytes request_size, std::size_t count, Rng
 
 Trace strided_read_trace(Bytes extent, Bytes request_size, Bytes stride, std::size_t count) {
   Trace trace;
-  Bytes offset = 0;
+  Bytes offset;
   for (std::size_t i = 0; i < count; ++i) {
     trace.add(NvmOp::kRead, offset, request_size);
     offset += stride;
-    if (offset + request_size > extent) offset %= stride ? stride : 1;
+    if (offset + request_size > extent) offset %= (stride != Bytes{} ? stride : Bytes{1});
   }
   return trace;
 }
@@ -35,8 +35,8 @@ Trace mixed_trace(Bytes total, Bytes request_size, Bytes write_size,
                   std::size_t writes_every) {
   Trace trace;
   std::size_t reads = 0;
-  Bytes write_cursor = 0;
-  for (Bytes offset = 0; offset < total; offset += request_size) {
+  Bytes write_cursor;
+  for (Bytes offset; offset < total; offset += request_size) {
     trace.add(NvmOp::kRead, offset, std::min(request_size, total - offset));
     if (writes_every > 0 && ++reads % writes_every == 0) {
       trace.add(NvmOp::kWrite, write_cursor, write_size);
@@ -49,7 +49,7 @@ Trace mixed_trace(Bytes total, Bytes request_size, Bytes write_size,
 Trace zipf_read_trace(Bytes extent, Bytes request_size, std::size_t count, double skew,
                       Rng& rng) {
   Trace trace;
-  const std::uint64_t blocks = request_size ? extent / request_size : 0;
+  const std::uint64_t blocks = request_size != Bytes{} ? extent / request_size : 0;
   if (blocks == 0) return trace;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t rank = rng.next_zipf(blocks, skew);

@@ -9,7 +9,7 @@
 namespace nvmooc {
 
 Bytes Trace::extent() const {
-  Bytes end = 0;
+  Bytes end;
   for (const PosixRequest& request : requests_) {
     end = std::max(end, request.offset + request.size);
   }
@@ -22,7 +22,7 @@ TraceStats Trace::stats() const {
   if (requests_.empty()) return stats;
 
   stats.min_request = requests_.front().size;
-  Bytes previous_end = 0;
+  Bytes previous_end;
   std::uint64_t sequential = 0;
   bool first = true;
   for (const PosixRequest& request : requests_) {
@@ -39,7 +39,9 @@ TraceStats Trace::stats() const {
     first = false;
   }
   stats.read_fraction =
-      stats.total_bytes ? static_cast<double>(stats.read_bytes) / stats.total_bytes : 1.0;
+      stats.total_bytes != Bytes{}
+          ? static_cast<double>(stats.read_bytes) / static_cast<double>(stats.total_bytes)
+          : 1.0;
   stats.sequentiality = requests_.size() > 1
                             ? static_cast<double>(sequential) / (requests_.size() - 1)
                             : 1.0;
@@ -52,9 +54,9 @@ void Trace::save(const std::string& path) const {
   if (!file) throw std::runtime_error("Trace::save: cannot open " + path);
   for (const PosixRequest& request : requests_) {
     std::fprintf(file, "%c %llu %llu %lld%s\n", request.op == NvmOp::kRead ? 'R' : 'W',
-                 static_cast<unsigned long long>(request.offset),
-                 static_cast<unsigned long long>(request.size),
-                 static_cast<long long>(request.not_before),
+                 request.offset.value(),
+                 request.size.value(),
+                 static_cast<long long>(request.not_before.ps()),
                  request.barrier ? " 1" : "");
   }
   std::fclose(file);
@@ -73,8 +75,8 @@ Trace Trace::load(const std::string& path) {
     // stays in the stream for the next iteration.
     int barrier = 0;
     if (std::fscanf(file, " %d", &barrier) != 1) barrier = 0;
-    trace.add(op == 'W' ? NvmOp::kWrite : NvmOp::kRead, offset, size,
-              static_cast<Time>(not_before), barrier != 0);
+    trace.add(op == 'W' ? NvmOp::kWrite : NvmOp::kRead, Bytes{offset}, Bytes{size},
+              Time{not_before}, barrier != 0);
   }
   std::fclose(file);
   return trace;

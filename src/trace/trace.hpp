@@ -16,11 +16,11 @@ namespace nvmooc {
 /// One application-level request against a logical file address space.
 struct PosixRequest {
   NvmOp op = NvmOp::kRead;
-  Bytes offset = 0;
-  Bytes size = 0;
+  Bytes offset;
+  Bytes size;
   /// Earliest time the application can issue it (compute dependencies);
   /// 0 means "as soon as the previous work allows".
-  Time not_before = 0;
+  Time not_before;
   /// fsync-like ordering: every earlier request must complete before
   /// this one issues, and later requests wait for it. Propagated to all
   /// device requests this one expands into (checkpoint commits).
@@ -29,21 +29,21 @@ struct PosixRequest {
 
 struct TraceStats {
   std::uint64_t requests = 0;
-  Bytes total_bytes = 0;
-  Bytes read_bytes = 0;
-  Bytes write_bytes = 0;
+  Bytes total_bytes;
+  Bytes read_bytes;
+  Bytes write_bytes;
   double read_fraction = 1.0;
   /// Fraction of requests starting exactly where the previous ended.
   double sequentiality = 0.0;
-  Bytes min_request = 0;
-  Bytes max_request = 0;
+  Bytes min_request;
+  Bytes max_request;
   double mean_request = 0.0;
 };
 
 class Trace {
  public:
   void add(PosixRequest request) { requests_.push_back(request); }
-  void add(NvmOp op, Bytes offset, Bytes size, Time not_before = 0,
+  void add(NvmOp op, Bytes offset, Bytes size, Time not_before = {},
            bool barrier = false) {
     requests_.push_back({op, offset, size, not_before, barrier});
   }

@@ -6,19 +6,19 @@
 namespace nvmooc {
 
 ExtentAllocator::ExtentAllocator(Bytes capacity, Bytes alignment)
-    : capacity_(capacity), alignment_(alignment ? alignment : 1), free_bytes_(0) {
-  if (capacity_ == 0) throw std::invalid_argument("ExtentAllocator: zero capacity");
-  const Bytes usable = capacity_ / alignment_ * alignment_;
-  free_[0] = usable;
+    : capacity_(capacity), alignment_(alignment != Bytes{} ? alignment : Bytes{1}), free_bytes_{} {
+  if (capacity_ == Bytes{}) throw std::invalid_argument("ExtentAllocator: zero capacity");
+  const Bytes usable = (capacity_ / alignment_) * alignment_;
+  free_[Bytes{}] = usable;
   free_bytes_ = usable;
 }
 
 Bytes ExtentAllocator::align_up(Bytes value) const {
-  return (value + alignment_ - 1) / alignment_ * alignment_;
+  return ((value + alignment_ - Bytes{1}) / alignment_) * alignment_;
 }
 
 Bytes ExtentAllocator::largest_free_extent() const {
-  Bytes largest = 0;
+  Bytes largest;
   for (const auto& [offset, length] : free_) largest = std::max(largest, length);
   return largest;
 }
@@ -26,7 +26,7 @@ Bytes ExtentAllocator::largest_free_extent() const {
 std::vector<Extent> ExtentAllocator::allocate(Bytes size) {
   std::vector<Extent> result;
   const Bytes needed = align_up(size);
-  if (needed == 0 || needed > free_bytes_) return result;
+  if (needed == Bytes{} || needed > free_bytes_) return result;
 
   // Best-fit single extent first: smallest free region that fits, which
   // preserves the big regions for big objects.
@@ -54,15 +54,15 @@ std::vector<Extent> ExtentAllocator::allocate(Bytes size) {
   for (const auto& [offset, length] : regions) {
     const Bytes take = std::min(length, remaining);
     const Bytes aligned_take = take / alignment_ * alignment_;
-    if (aligned_take == 0) continue;
+    if (aligned_take == Bytes{}) continue;
     free_.erase(offset);
     if (length > aligned_take) free_[offset + aligned_take] = length - aligned_take;
     free_bytes_ -= aligned_take;
     result.push_back({offset, aligned_take});
     remaining -= aligned_take;
-    if (remaining == 0) break;
+    if (remaining == Bytes{}) break;
   }
-  if (remaining > 0) {
+  if (remaining > Bytes{}) {
     // Could not satisfy after all (alignment slack): roll back.
     for (const Extent& extent : result) release(extent);
     result.clear();
@@ -71,7 +71,7 @@ std::vector<Extent> ExtentAllocator::allocate(Bytes size) {
 }
 
 void ExtentAllocator::release(const Extent& extent) {
-  if (extent.length == 0) return;
+  if (extent.length == Bytes{}) return;
   auto [it, inserted] = free_.emplace(extent.offset, extent.length);
   if (!inserted) throw std::logic_error("ExtentAllocator::release: double free");
   free_bytes_ += extent.length;

@@ -16,8 +16,8 @@
 namespace nvmooc {
 
 struct Extent {
-  Bytes offset = 0;
-  Bytes length = 0;
+  Bytes offset;
+  Bytes length;
   Bytes end() const { return offset + length; }
 };
 

@@ -9,7 +9,7 @@ ObjectStore::ObjectStore(Bytes capacity, Bytes alignment)
 
 std::optional<ObjectId> ObjectStore::create(Bytes size) {
   std::vector<Extent> extents = allocator_.allocate(size);
-  if (extents.empty() && size > 0) return std::nullopt;
+  if (extents.empty() && size > Bytes{}) return std::nullopt;
   const ObjectId id = next_id_++;
   objects_.emplace(id, ObjectInfo{id, size, std::move(extents)});
   return id;
@@ -38,7 +38,7 @@ std::vector<Extent> ObjectStore::translate(ObjectId id, Bytes offset, Bytes leng
   Bytes skip = offset;
   Bytes remaining = length;
   for (const Extent& extent : object->extents) {
-    if (remaining == 0) break;
+    if (remaining == Bytes{}) break;
     if (skip >= extent.length) {
       skip -= extent.length;
       continue;
@@ -46,7 +46,7 @@ std::vector<Extent> ObjectStore::translate(ObjectId id, Bytes offset, Bytes leng
     const Bytes start = extent.offset + skip;
     const Bytes take = std::min(remaining, extent.length - skip);
     result.push_back({start, take});
-    skip = 0;
+    skip = Bytes{};
     remaining -= take;
   }
   return result;

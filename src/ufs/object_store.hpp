@@ -19,7 +19,7 @@ using ObjectId = std::uint64_t;
 
 struct ObjectInfo {
   ObjectId id = 0;
-  Bytes size = 0;
+  Bytes size;
   std::vector<Extent> extents;
 };
 

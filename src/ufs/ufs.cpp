@@ -15,8 +15,8 @@ UnifiedFileSystem::UnifiedFileSystem(UfsConfig config)
   behavior_.readahead = config_.window;
   behavior_.queue_depth = config_.queue_depth;
   behavior_.per_request_overhead = config_.per_request_overhead;
-  behavior_.metadata_interval = 0;
-  behavior_.journal_interval = 0;
+  behavior_.metadata_interval = Bytes{};
+  behavior_.journal_interval = Bytes{};
 }
 
 ObjectId UnifiedFileSystem::provision_dataset(Bytes size) {
@@ -29,7 +29,7 @@ ObjectId UnifiedFileSystem::provision_dataset(Bytes size) {
 std::vector<BlockRequest> UnifiedFileSystem::submit_object(ObjectId id,
                                                            const PosixRequest& request) {
   std::vector<BlockRequest> out;
-  if (request.size == 0) return out;
+  if (request.size == Bytes{}) return out;
   for (const Extent& extent : store_.translate(id, request.offset, request.size)) {
     BlockRequest device;
     device.op = request.op;

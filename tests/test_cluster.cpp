@@ -18,7 +18,7 @@ Trace small_ooc_trace(Bytes dataset = 64 * MiB) {
   params.dataset_bytes = dataset;
   params.tile_bytes = 8 * MiB;
   params.sweeps = 2;
-  params.checkpoint_bytes = 0;
+  params.checkpoint_bytes = Bytes{};
   return synthesize_ooc_trace(params);
 }
 
@@ -49,8 +49,8 @@ TEST(Configs, HardwareVariantsDifferAsTable2Says) {
 
   EXPECT_EQ(ufs.host_link.lanes, 8u);
   EXPECT_EQ(bridge16.host_link.lanes, 16u);
-  EXPECT_GT(bridge16.host_link.bridge_latency, 0);  // Still bridged.
-  EXPECT_EQ(native8.host_link.bridge_latency, 0);   // Native.
+  EXPECT_GT(bridge16.host_link.bridge_latency, Time{0});  // Still bridged.
+  EXPECT_EQ(native8.host_link.bridge_latency, Time{0});   // Native.
   EXPECT_FALSE(ufs.nvm_bus.double_data_rate);       // SDR 400 MHz.
   EXPECT_TRUE(native8.nvm_bus.double_data_rate);    // DDR 800 MHz.
   EXPECT_EQ(native16.host_link.lanes, 16u);
@@ -216,7 +216,7 @@ TEST(Engine, MakespanAndBytesAreConsistent) {
   const Trace trace = small_ooc_trace();
   const auto result = run_experiment(cnl_ufs_config(NvmType::kSlc), trace);
   EXPECT_EQ(result.payload_bytes, trace.stats().total_bytes);
-  EXPECT_GT(result.makespan, 0);
+  EXPECT_GT(result.makespan, Time{0});
   const double bw = bandwidth_mbps(result.payload_bytes, result.makespan);
   EXPECT_NEAR(result.achieved_mbps, bw, 1e-6);
 }
@@ -228,7 +228,7 @@ TEST(Engine, BarriersSlowThingsDown) {
   FsBehavior chatty = ext4_behavior();
   chatty.metadata_interval = 256 * KiB;
   FsBehavior quiet = ext4_behavior();
-  quiet.metadata_interval = 0;
+  quiet.metadata_interval = Bytes{};
   const auto slow = run_experiment(cnl_fs_config(chatty, NvmType::kSlc), trace);
   const auto fast = run_experiment(cnl_fs_config(quiet, NvmType::kSlc), trace);
   EXPECT_LT(slow.achieved_mbps, fast.achieved_mbps);
@@ -329,7 +329,7 @@ TEST(Engine, BarrierDrainsPipeline) {
   // A trace with an explicit compute dependency: the second sweep may
   // not begin before `not_before`.
   Trace trace;
-  trace.add(NvmOp::kRead, 0, 8 * MiB, 0);
+  trace.add(NvmOp::kRead, Bytes{}, 8 * MiB, Time{});
   trace.add(NvmOp::kRead, 8 * MiB, 8 * MiB, /*not_before=*/kSecond);
   const ExperimentResult result = run_experiment(cnl_ufs_config(NvmType::kSlc), trace);
   EXPECT_GT(result.makespan, kSecond);  // Honoured the dependency.
@@ -350,7 +350,7 @@ TEST(Engine, InternalTrafficNotCountedAsPayload) {
   const ExperimentResult result =
       run_experiment(cnl_fs_config(ext2_behavior(), NvmType::kSlc), trace);
   EXPECT_EQ(result.payload_bytes, trace.stats().total_bytes);
-  EXPECT_GT(result.internal_bytes, 0u);
+  EXPECT_GT(result.internal_bytes, Bytes{0});
 }
 
 TEST(Engine, WritesWearTheDevice) {

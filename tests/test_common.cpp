@@ -29,21 +29,21 @@ TEST(Units, TimeConstantsCompose) {
 TEST(Units, ToSecondsRoundTrip) {
   EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
   EXPECT_EQ(from_seconds(1.0), kSecond);
-  EXPECT_EQ(from_seconds(to_seconds(123456789)), 123456789);
+  EXPECT_EQ(from_seconds(to_seconds(Time{123456789})), Time{123456789});
 }
 
 TEST(Units, BandwidthMbps) {
   // 1 GB in 1 second = 1000 MB/s.
   EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, kSecond), 1000.0);
-  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, 0), 0.0);
-  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, -5), 0.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, Time{}), 0.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(GB, Time{-5}), 0.0);
 }
 
 TEST(Units, TransferTimeRoundsUp) {
   // 1 byte at 1 GB/s = 1 ns exactly.
-  EXPECT_EQ(transfer_time(1, 1e9), kNanosecond);
+  EXPECT_EQ(transfer_time(Bytes{1}, 1e9), kNanosecond);
   // Zero-rate guards.
-  EXPECT_EQ(transfer_time(100, 0.0), 0);
+  EXPECT_EQ(transfer_time(Bytes{100}, 0.0), Time{});
   // Never undershoots: moving N bytes takes at least N/rate.
   for (Bytes b : {Bytes{1}, Bytes{4096}, Bytes{123457}}) {
     const Time t = transfer_time(b, 400e6);
@@ -212,63 +212,63 @@ TEST(Histogram, DegenerateShapesClampToOneBucket) {
 
 TEST(BusyTracker, DisjointIntervalsSum) {
   BusyTracker t;
-  t.add_interval(0, 10);
-  t.add_interval(20, 30);
-  EXPECT_EQ(t.busy_time(), 20);
-  EXPECT_EQ(t.raw_time(), 20);
+  t.add_interval(Time{0}, Time{10});
+  t.add_interval(Time{20}, Time{30});
+  EXPECT_EQ(t.busy_time(), Time{20});
+  EXPECT_EQ(t.raw_time(), Time{20});
 }
 
 TEST(BusyTracker, OverlapsUnion) {
   BusyTracker t;
-  t.add_interval(0, 10);
-  t.add_interval(5, 15);
-  t.add_interval(14, 20);
-  EXPECT_EQ(t.busy_time(), 20);
-  EXPECT_EQ(t.raw_time(), 26);
+  t.add_interval(Time{0}, Time{10});
+  t.add_interval(Time{5}, Time{15});
+  t.add_interval(Time{14}, Time{20});
+  EXPECT_EQ(t.busy_time(), Time{20});
+  EXPECT_EQ(t.raw_time(), Time{26});
 }
 
 TEST(BusyTracker, OutOfOrderInsertion) {
   BusyTracker t;
-  t.add_interval(100, 110);
-  t.add_interval(0, 10);
-  t.add_interval(50, 60);
-  EXPECT_EQ(t.busy_time(), 30);
+  t.add_interval(Time{100}, Time{110});
+  t.add_interval(Time{0}, Time{10});
+  t.add_interval(Time{50}, Time{60});
+  EXPECT_EQ(t.busy_time(), Time{30});
 }
 
 TEST(BusyTracker, UtilizationClamped) {
   BusyTracker t;
-  t.add_interval(0, 50);
-  EXPECT_DOUBLE_EQ(t.utilization(100), 0.5);
-  EXPECT_DOUBLE_EQ(t.utilization(25), 1.0);  // Clamped.
-  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+  t.add_interval(Time{0}, Time{50});
+  EXPECT_DOUBLE_EQ(t.utilization(Time{100}), 0.5);
+  EXPECT_DOUBLE_EQ(t.utilization(Time{25}), 1.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(t.utilization(Time{0}), 0.0);
 }
 
 TEST(BusyTracker, MergeAndIntersect) {
   BusyTracker a;
-  a.add_interval(0, 10);
-  a.add_interval(20, 30);
+  a.add_interval(Time{0}, Time{10});
+  a.add_interval(Time{20}, Time{30});
   BusyTracker b;
-  b.add_interval(5, 25);
-  EXPECT_EQ(a.intersect_time(b), 10);  // [5,10) + [20,25).
+  b.add_interval(Time{5}, Time{25});
+  EXPECT_EQ(a.intersect_time(b), Time{10});  // [5,10) + [20,25).
   a.merge(b);
-  EXPECT_EQ(a.busy_time(), 30);  // [0,30).
+  EXPECT_EQ(a.busy_time(), Time{30});  // [0,30).
 }
 
 TEST(BusyTracker, IgnoresEmptyIntervals) {
   BusyTracker t;
-  t.add_interval(10, 10);
-  t.add_interval(10, 5);
-  EXPECT_EQ(t.busy_time(), 0);
+  t.add_interval(Time{10}, Time{10});
+  t.add_interval(Time{10}, Time{5});
+  EXPECT_EQ(t.busy_time(), Time{0});
 }
 
 TEST(BusyTracker, CompactionPreservesTotals) {
   BusyTracker t;
   // Far more intervals than the compaction threshold, adversarially
   // alternating so few merge.
-  std::int64_t expected = 0;
+  Time expected;
   for (std::int64_t i = 0; i < 200000; ++i) {
-    t.add_interval(i * 10, i * 10 + 3);
-    expected += 3;
+    t.add_interval(Time{i * 10}, Time{i * 10 + 3});
+    expected += Time{3};
   }
   EXPECT_EQ(t.busy_time(), expected);
 }

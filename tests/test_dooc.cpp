@@ -22,41 +22,41 @@ namespace {
 
 TEST(DataPool, WriteSealReadRoundTrip) {
   DataPool pool;
-  const ArrayId id = pool.create(64);
+  const ArrayId id = pool.create(Bytes{64});
   const int value = 42;
-  pool.write(id, 0, &value, sizeof(value));
+  pool.write(id, Bytes{}, &value, Bytes{sizeof(value)});
   pool.seal(id);
   int back = 0;
-  pool.read(id, 0, &back, sizeof(back));
+  pool.read(id, Bytes{}, &back, Bytes{sizeof(back)});
   EXPECT_EQ(back, 42);
 }
 
 TEST(DataPool, ImmutableOnceSealed) {
   DataPool pool;
-  const ArrayId id = pool.create(16);
+  const ArrayId id = pool.create(Bytes{16});
   pool.seal(id);
   const int value = 1;
-  EXPECT_THROW(pool.write(id, 0, &value, sizeof(value)), std::logic_error);
+  EXPECT_THROW(pool.write(id, Bytes{}, &value, Bytes{sizeof(value)}), std::logic_error);
 }
 
 TEST(DataPool, ReadBeforeSealRejected) {
   DataPool pool;
-  const ArrayId id = pool.create(16);
+  const ArrayId id = pool.create(Bytes{16});
   int back = 0;
-  EXPECT_THROW(pool.read(id, 0, &back, sizeof(back)), std::logic_error);
+  EXPECT_THROW(pool.read(id, Bytes{}, &back, Bytes{sizeof(back)}), std::logic_error);
 }
 
 TEST(DataPool, BoundsChecked) {
   DataPool pool;
-  const ArrayId id = pool.create(8);
+  const ArrayId id = pool.create(Bytes{8});
   const double v = 1.0;
-  EXPECT_THROW(pool.write(id, 4, &v, sizeof(v)), std::out_of_range);
-  EXPECT_THROW(pool.read(999, 0, nullptr, 0), std::out_of_range);
+  EXPECT_THROW(pool.write(id, Bytes{4}, &v, Bytes{sizeof(v)}), std::out_of_range);
+  EXPECT_THROW(pool.read(999, Bytes{}, nullptr, Bytes{}), std::out_of_range);
 }
 
 TEST(DataPool, TracksNodeAndCount) {
   DataPool pool;
-  const ArrayId a = pool.create(8, 3);
+  const ArrayId a = pool.create(Bytes{8}, 3);
   EXPECT_EQ(pool.node_of(a), 3u);
   EXPECT_EQ(pool.array_count(), 1u);
   EXPECT_TRUE(pool.remove(a));
@@ -65,10 +65,10 @@ TEST(DataPool, TracksNodeAndCount) {
 
 TEST(DataPool, ConcurrentReadersAfterSeal) {
   DataPool pool;
-  const ArrayId id = pool.create(sizeof(std::uint64_t) * 1024);
+  const ArrayId id = pool.create(Bytes{sizeof(std::uint64_t) * 1024});
   std::vector<std::uint64_t> data(1024);
   std::iota(data.begin(), data.end(), 0);
-  pool.write(id, 0, data.data(), data.size() * sizeof(std::uint64_t));
+  pool.write(id, Bytes{}, data.data(), Bytes{data.size() * sizeof(std::uint64_t)});
   pool.seal(id);
 
   std::atomic<int> errors{0};
@@ -77,7 +77,7 @@ TEST(DataPool, ConcurrentReadersAfterSeal) {
     readers.emplace_back([&pool, id, &errors] {
       std::uint64_t value = 0;
       for (int i = 0; i < 1024; ++i) {
-        pool.read(id, static_cast<Bytes>(i) * sizeof(value), &value, sizeof(value));
+        pool.read(id, Bytes{i * sizeof(value)}, &value, Bytes{sizeof(value)});
         if (value != static_cast<std::uint64_t>(i)) ++errors;
       }
     });
@@ -202,15 +202,15 @@ std::vector<TilePrefetcher::TileRef> make_tiles(Bytes tile, std::size_t count) {
 TEST(Prefetcher, DeliversCorrectBytes) {
   MemoryStorage storage(64 * KiB);
   for (std::size_t i = 0; i < 16; ++i) {
-    std::vector<std::uint8_t> block(4 * KiB, static_cast<std::uint8_t>(i));
-    storage.write(i * 4 * KiB, block.data(), block.size());
+    std::vector<std::uint8_t> block((4 * KiB).value(), static_cast<std::uint8_t>(i));
+    storage.write(i * 4 * KiB, block.data(), Bytes{block.size()});
   }
   TilePrefetcher prefetcher(storage, make_tiles(4 * KiB, 16), 4);
   for (std::size_t i = 0; i < 16; ++i) {
     const auto buffer = prefetcher.get(i);
-    ASSERT_EQ(buffer->size(), 4 * KiB);
+    ASSERT_EQ(buffer->size(), (4 * KiB).value());
     EXPECT_EQ((*buffer)[0], static_cast<std::uint8_t>(i));
-    EXPECT_EQ((*buffer)[4 * KiB - 1], static_cast<std::uint8_t>(i));
+    EXPECT_EQ((*buffer)[(4 * KiB).value() - 1], static_cast<std::uint8_t>(i));
   }
 }
 
@@ -233,7 +233,7 @@ TEST(Prefetcher, RestartSupportsNextSweep) {
   for (std::size_t i = 0; i < 8; ++i) prefetcher.get(i);
   prefetcher.restart();
   for (std::size_t i = 0; i < 8; ++i) {
-    EXPECT_EQ(prefetcher.get(i)->size(), 64 * KiB);
+    EXPECT_EQ(prefetcher.get(i)->size(), (64 * KiB).value());
   }
 }
 
@@ -305,20 +305,20 @@ TEST(Laf, MigrationRoundTripsThroughPool) {
 
   // Pool array -> node storage (the pre-load directive).
   const ArrayId in = pool.create(64 * KiB, 2);
-  std::vector<std::uint8_t> payload(64 * KiB);
+  std::vector<std::uint8_t> payload((64 * KiB).value());
   for (std::size_t i = 0; i < payload.size(); ++i) {
     payload[i] = static_cast<std::uint8_t>(i * 131);
   }
-  pool.write(in, 0, payload.data(), payload.size());
+  pool.write(in, Bytes{}, payload.data(), Bytes{payload.size()});
   pool.seal(in);
-  laf.migrate_in(pool, in, 4096);
+  laf.migrate_in(pool, in, Bytes{4096});
 
   // Node storage -> pool (publishing results).
-  const ArrayId out = laf.migrate_out(pool, 4096, 64 * KiB, 5);
+  const ArrayId out = laf.migrate_out(pool, Bytes{4096}, 64 * KiB, 5);
   EXPECT_TRUE(pool.is_sealed(out));
   EXPECT_EQ(pool.node_of(out), 5u);
-  std::vector<std::uint8_t> back(64 * KiB);
-  pool.read(out, 0, back.data(), back.size());
+  std::vector<std::uint8_t> back((64 * KiB).value());
+  pool.read(out, Bytes{}, back.data(), Bytes{back.size()});
   EXPECT_EQ(back, payload);
 }
 

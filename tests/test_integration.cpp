@@ -52,7 +52,7 @@ TEST(Integration, CapturedTraceShowsIterativeStructure) {
   // 0 exactly operator_applications times.
   std::size_t restarts = 0;
   for (const PosixRequest& request : workload.trace.requests()) {
-    if (request.offset == 0) ++restarts;
+    if (request.offset == Bytes{}) ++restarts;
   }
   EXPECT_EQ(restarts, workload.solution.operator_applications);
 }
@@ -120,8 +120,8 @@ TEST(Integration, SchedulerDrivesTiledSpmm) {
   for (std::size_t t = 0; t < ooc.tile_count(); ++t) {
     tile_tasks.push_back(scheduler.add_task(
         {[&, t] {
-           std::vector<std::uint8_t> buffer(ooc.tile(t).bytes);
-           storage.read(ooc.tile(t).offset, buffer.data(), buffer.size());
+           std::vector<std::uint8_t> buffer(ooc.tile(t).bytes.value());
+           storage.read(ooc.tile(t).offset, buffer.data(), Bytes{buffer.size()});
            ooc.apply_tile(ooc.tile(t), buffer, x, y);  // Disjoint row ranges.
          },
          {},

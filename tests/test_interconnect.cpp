@@ -43,8 +43,8 @@ TEST(Link, InfinibandQdr4xRawRate) {
 
 TEST(Dma, TransfersQueueSerially) {
   DmaEngine dma(native_pcie3(8));
-  const Reservation a = dma.transfer(0, MiB);
-  const Reservation b = dma.transfer(0, MiB);
+  const Reservation a = dma.transfer(Time{}, MiB);
+  const Reservation b = dma.transfer(Time{}, MiB);
   EXPECT_GE(b.start, a.end);
   EXPECT_EQ(dma.bytes_moved(), 2 * MiB);
 }
@@ -52,14 +52,14 @@ TEST(Dma, TransfersQueueSerially) {
 TEST(Dma, FixedLatencyDelaysStart) {
   const LinkConfig link = bridged_pcie2(8);
   DmaEngine dma(link);
-  const Reservation r = dma.transfer(0, 4 * KiB);
+  const Reservation r = dma.transfer(Time{}, 4 * KiB);
   EXPECT_GE(r.start, link.request_latency + link.bridge_latency);
 }
 
 TEST(Dma, BusyTracksWireTimeOnly) {
   const LinkConfig link = native_pcie3(8);
   DmaEngine dma(link);
-  dma.transfer(0, MiB);
+  dma.transfer(Time{}, MiB);
   EXPECT_EQ(dma.busy().busy_time(), link.payload_time(MiB));
 }
 

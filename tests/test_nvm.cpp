@@ -19,7 +19,7 @@ TEST(Timing, Table1PageSizes) {
   EXPECT_EQ(slc_timing().page_size, 2 * KiB);
   EXPECT_EQ(mlc_timing().page_size, 4 * KiB);
   EXPECT_EQ(tlc_timing().page_size, 8 * KiB);
-  EXPECT_EQ(pcm_timing().page_size, 64u);
+  EXPECT_EQ(pcm_timing().page_size, Bytes{64});
 }
 
 TEST(Timing, Table1ReadLatencies) {
@@ -137,17 +137,17 @@ TEST(Bus, DescribeMentionsMode) {
 TEST(Die, ReadActivationMatchesTiming) {
   const NvmTiming timing = slc_timing();
   Die die(timing, false);
-  const CellActivation a = die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
-  EXPECT_EQ(a.start, 0);
+  const CellActivation a = die.activate(0, NvmOp::kRead, 0, 0, 1, Time{});
+  EXPECT_EQ(a.start, Time{0});
   EXPECT_EQ(a.end, timing.read_time);
-  EXPECT_EQ(a.waited, 0);
+  EXPECT_EQ(a.waited, Time{0});
 }
 
 TEST(Die, SamePlaneSerializes) {
   const NvmTiming timing = slc_timing();
   Die die(timing, false);
-  die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
-  const CellActivation b = die.activate(0, NvmOp::kRead, 0, 1, 1, 0);
+  die.activate(0, NvmOp::kRead, 0, 0, 1, Time{});
+  const CellActivation b = die.activate(0, NvmOp::kRead, 0, 1, 1, Time{});
   EXPECT_EQ(b.start, timing.read_time);
   EXPECT_EQ(b.waited, timing.read_time);
 }
@@ -155,17 +155,17 @@ TEST(Die, SamePlaneSerializes) {
 TEST(Die, PlanesRunConcurrently) {
   const NvmTiming timing = slc_timing();
   Die die(timing, false);
-  const CellActivation a = die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
-  const CellActivation b = die.activate(1, NvmOp::kRead, 0, 0, 1, 0);
-  EXPECT_EQ(a.start, 0);
-  EXPECT_EQ(b.start, 0);  // Multi-plane: no contention across planes.
+  const CellActivation a = die.activate(0, NvmOp::kRead, 0, 0, 1, Time{});
+  const CellActivation b = die.activate(1, NvmOp::kRead, 0, 0, 1, Time{});
+  EXPECT_EQ(a.start, Time{0});
+  EXPECT_EQ(b.start, Time{0});  // Multi-plane: no contention across planes.
 }
 
 TEST(Die, BurstAccumulatesCellOps) {
   const NvmTiming timing = pcm_timing();
   Die die(timing, false);
-  const CellActivation burst = die.activate(0, NvmOp::kRead, 0, 0, 64, 0);
-  Time expected = 0;
+  const CellActivation burst = die.activate(0, NvmOp::kRead, 0, 0, 64, Time{});
+  Time expected;
   for (std::uint32_t i = 0; i < 64; ++i) expected += timing.read_time_for_page(i % 64);
   EXPECT_EQ(burst.end - burst.start, expected);
 }
@@ -173,7 +173,7 @@ TEST(Die, BurstAccumulatesCellOps) {
 TEST(Die, EraseTakesEraseTime) {
   const NvmTiming timing = tlc_timing();
   Die die(timing, false);
-  const CellActivation e = die.activate(0, NvmOp::kErase, 5, 0, 1, 0);
+  const CellActivation e = die.activate(0, NvmOp::kErase, 5, 0, 1, Time{});
   EXPECT_EQ(e.end - e.start, timing.erase_time);
   EXPECT_EQ(die.wear().erases(5 * timing.planes_per_die + 0), 1u);
 }
@@ -181,14 +181,14 @@ TEST(Die, EraseTakesEraseTime) {
 TEST(Die, BusyTimeUnionsPlanes) {
   const NvmTiming timing = slc_timing();
   Die die(timing, false);
-  die.activate(0, NvmOp::kRead, 0, 0, 1, 0);
-  die.activate(1, NvmOp::kRead, 0, 0, 1, 0);  // Concurrent.
+  die.activate(0, NvmOp::kRead, 0, 0, 1, Time{});
+  die.activate(1, NvmOp::kRead, 0, 0, 1, Time{});  // Concurrent.
   EXPECT_EQ(die.busy_time(), timing.read_time);
 }
 
 TEST(Die, InvalidPlaneThrows) {
   Die die(slc_timing(), false);
-  EXPECT_THROW(die.activate(9, NvmOp::kRead, 0, 0, 1, 0), std::out_of_range);
+  EXPECT_THROW(die.activate(9, NvmOp::kRead, 0, 0, 1, Time{}), std::out_of_range);
 }
 
 // ---------- package -------------------------------------------------------
@@ -196,15 +196,15 @@ TEST(Die, InvalidPlaneThrows) {
 TEST(Package, FlashBusSerializesAcrossDies) {
   const NvmTiming timing = slc_timing();
   Package package(timing, onfi3_sdr_bus(), 2, false);
-  const Reservation a = package.reserve_flash_bus(0, 2 * KiB);
-  const Reservation b = package.reserve_flash_bus(0, 2 * KiB);
+  const Reservation a = package.reserve_flash_bus(Time{}, 2 * KiB);
+  const Reservation b = package.reserve_flash_bus(Time{}, 2 * KiB);
   EXPECT_EQ(b.start, a.end);  // One port per package.
 }
 
 TEST(Package, BusyIncludesDiesAndPort) {
   const NvmTiming timing = slc_timing();
   Package package(timing, onfi3_sdr_bus(), 2, false);
-  package.die(0).activate(0, NvmOp::kRead, 0, 0, 1, 0);
+  package.die(0).activate(0, NvmOp::kRead, 0, 0, 1, Time{});
   package.reserve_flash_bus(timing.read_time, 2 * KiB);
   const Time port = onfi3_sdr_bus().transfer_time(2 * KiB);
   EXPECT_EQ(package.busy_time(), timing.read_time + port);

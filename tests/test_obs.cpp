@@ -109,7 +109,7 @@ TEST(Metrics, LogHistogramHandlesZeroAndNegative) {
 TEST(Metrics, TimeSeriesDecimatesButKeepsOutline) {
   obs::TimeSeries series(64);
   for (int i = 0; i < 10'000; ++i) {
-    series.sample(static_cast<Time>(i) * kMicrosecond, static_cast<double>(i));
+    series.sample(Time{i} * 1000000, static_cast<double>(i));
   }
   EXPECT_EQ(series.total_samples(), 10'000u);
   EXPECT_LT(series.points().size(), 64u);
@@ -119,7 +119,7 @@ TEST(Metrics, TimeSeriesDecimatesButKeepsOutline) {
   for (std::size_t i = 1; i < points.size(); ++i) {
     EXPECT_LT(points[i - 1].first, points[i].first);
   }
-  EXPECT_EQ(points.front().first, 0);
+  EXPECT_EQ(points.front().first, Time{0});
 }
 
 TEST(Metrics, RegistrySnapshotCoversAllKinds) {
@@ -194,7 +194,7 @@ TEST(TraceRecorder, WorkerThreadSpansLandInSameRecorder) {
     const obs::ScopedObsContext inherit(captured);
     obs::TraceRecorder* r = obs::tracer();
     ASSERT_NE(r, nullptr);
-    r->span(r->track("worker"), "test", "from_worker", 0, kMicrosecond);
+    r->span(r->track("worker"), "test", "from_worker", Time{}, kMicrosecond);
     obs::metrics()->counter("worker.events").add();
   });
   worker.join();
@@ -230,7 +230,7 @@ ExperimentResult golden_fixture() {
                                                               100.0, 200.0,
                                                               220.0, 240.0,
                                                               250.0};
-  r.queue_depth = {{0, 0.0}, {kMillisecond, 16.0 * MiB}, {2 * kMillisecond, 8.0 * MiB}};
+  r.queue_depth = {{Time{}, 0.0}, {kMillisecond, 16.0 * static_cast<double>(MiB)}, {2 * kMillisecond, 8.0 * static_cast<double>(MiB)}};
   r.wear.total_erases = 10;
   r.wear.total_writes = 100;
   r.wear.touched_units = 5;
@@ -435,7 +435,7 @@ TEST(PerfettoSmoke, TracingDoesNotPerturbTheSimulation) {
   ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
   const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
   const ExperimentResult baseline = run_experiment(config, trace);
-  Time traced_makespan = 0;
+  Time traced_makespan;
   {
     obs::ObsSession session({/*trace=*/true, /*metrics=*/true});
     traced_makespan = run_experiment(config, trace).makespan;

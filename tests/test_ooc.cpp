@@ -255,27 +255,27 @@ TEST(Hamiltonian, DeterministicForSeed) {
 // ---------- storage / OoC operator ------------------------------------------
 
 TEST(Storage, MemoryRoundTrip) {
-  MemoryStorage storage(1024);
+  MemoryStorage storage(Bytes{1024});
   const char payload[] = "hello nvm";
-  storage.write(100, payload, sizeof(payload));
+  storage.write(Bytes{100}, payload, Bytes{sizeof(payload)});
   char back[sizeof(payload)] = {};
-  storage.read(100, back, sizeof(payload));
+  storage.read(Bytes{100}, back, Bytes{sizeof(payload)});
   EXPECT_STREQ(back, payload);
-  EXPECT_THROW(storage.read(1020, back, 10), std::out_of_range);
+  EXPECT_THROW(storage.read(Bytes{1020}, back, Bytes{10}), std::out_of_range);
 }
 
 TEST(Storage, TracedRecordsAccesses) {
-  MemoryStorage backing(4096);
+  MemoryStorage backing(Bytes{4096});
   TracedStorage traced(backing);
   char buf[16] = {};
-  traced.write(0, buf, 16);
-  traced.read(100, buf, 8);
+  traced.write(Bytes{}, buf, Bytes{16});
+  traced.read(Bytes{100}, buf, Bytes{8});
   const Trace& trace = traced.trace();
   ASSERT_EQ(trace.size(), 2u);
   EXPECT_EQ(trace[0].op, NvmOp::kWrite);
   EXPECT_EQ(trace[1].op, NvmOp::kRead);
-  EXPECT_EQ(trace[1].offset, 100u);
-  EXPECT_EQ(trace[1].size, 8u);
+  EXPECT_EQ(trace[1].offset, Bytes{100});
+  EXPECT_EQ(trace[1].size, Bytes{8});
 }
 
 TEST(OocOperator, ApplyMatchesInCore) {
@@ -500,12 +500,12 @@ TEST(Workload, CaptureProducesIterativeSequentialTrace) {
   solver.max_iterations = 30;
   const CapturedWorkload captured = capture_ooc_trace(h_params, 64, solver);
   EXPECT_GT(captured.trace.size(), 0u);
-  EXPECT_GT(captured.dataset_bytes, 0u);
+  EXPECT_GT(captured.dataset_bytes, Bytes{0});
   const TraceStats stats = captured.trace.stats();
   EXPECT_DOUBLE_EQ(stats.read_fraction, 1.0);  // Read-only solve.
   EXPECT_GT(stats.sequentiality, 0.8);         // Tile sweeps are sequential.
   // Each operator application reads the full dataset once.
-  EXPECT_EQ(stats.total_bytes % captured.dataset_bytes, 0u);
+  EXPECT_EQ(stats.total_bytes % captured.dataset_bytes, Bytes{0});
   EXPECT_EQ(stats.total_bytes / captured.dataset_bytes,
             captured.solution.operator_applications);
 }
@@ -515,7 +515,7 @@ TEST(Workload, SynthesizedMatchesCapturedShape) {
   params.dataset_bytes = 32 * MiB;
   params.tile_bytes = 4 * MiB;
   params.sweeps = 3;
-  params.checkpoint_bytes = 0;
+  params.checkpoint_bytes = Bytes{};
   const Trace trace = synthesize_ooc_trace(params);
   const TraceStats stats = trace.stats();
   EXPECT_EQ(stats.total_bytes, 96 * MiB);

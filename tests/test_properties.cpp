@@ -104,7 +104,7 @@ TEST_P(EngineInvariants, UtilizationsBounded) {
 
 TEST_P(EngineInvariants, AccountingIsConsistent) {
   const ExperimentResult& r = result();
-  EXPECT_GT(r.makespan, 0);
+  EXPECT_GT(r.makespan, Time{0});
   EXPECT_GT(r.device_requests, 0u);
   EXPECT_GT(r.transactions, 0u);
   EXPECT_GE(r.transactions, r.device_requests / 8);  // Sanity, not exact.
@@ -163,11 +163,11 @@ TEST_P(FsInvariants, DataBytesConserved) {
   fs.mount(GiB);
   Rng rng(GetParam() + 1);
   for (int i = 0; i < 200; ++i) {
-    const Bytes offset = rng.next_below(GiB - 2 * MiB);
-    const Bytes size = 1 + rng.next_below(2 * MiB);
+    const Bytes offset{rng.next_below((GiB - 2 * MiB).value())};
+    const Bytes size{1 + rng.next_below((2 * MiB).value())};
     const NvmOp op = rng.next_bool(0.8) ? NvmOp::kRead : NvmOp::kWrite;
-    Bytes data_bytes = 0;
-    for (const BlockRequest& r : fs.submit({op, offset, size, 0})) {
+    Bytes data_bytes;
+    for (const BlockRequest& r : fs.submit({op, offset, size, Time{}})) {
       if (!r.internal) {
         data_bytes += r.size;
         EXPECT_EQ(r.op, op);
@@ -181,7 +181,7 @@ TEST_P(FsInvariants, RequestsRespectMergeCap) {
   const FsBehavior fs_behavior = behavior();
   FileSystemModel fs(fs_behavior);
   fs.mount(GiB);
-  for (const BlockRequest& r : fs.submit({NvmOp::kRead, 123, 16 * MiB, 0})) {
+  for (const BlockRequest& r : fs.submit({NvmOp::kRead, Bytes{123}, 16 * MiB, Time{}})) {
     if (!r.internal) {
       EXPECT_LE(r.size, fs_behavior.max_request);
     }
@@ -192,8 +192,8 @@ TEST_P(FsInvariants, InternalTrafficLandsOutsideData) {
   FileSystemModel fs(behavior());
   const Bytes extent = 256 * MiB;
   fs.mount(extent);
-  for (Bytes offset = 0; offset < extent; offset += 2 * MiB) {
-    for (const BlockRequest& r : fs.submit({NvmOp::kWrite, offset, 2 * MiB, 0})) {
+  for (Bytes offset; offset < extent; offset += 2 * MiB) {
+    for (const BlockRequest& r : fs.submit({NvmOp::kWrite, offset, 2 * MiB, Time{}})) {
       if (r.internal) {
         EXPECT_GE(r.offset, extent);
       }
@@ -206,7 +206,7 @@ TEST_P(FsInvariants, MappingIsStable) {
   FileSystemModel b(behavior());
   a.mount(GiB);
   b.mount(GiB);
-  for (Bytes offset = 0; offset < 64 * MiB; offset += 1 * MiB + 4 * KiB) {
+  for (Bytes offset; offset < 64 * MiB; offset += 1 * MiB + 4 * KiB) {
     EXPECT_EQ(a.map_offset(offset), b.map_offset(offset));
   }
 }
@@ -237,7 +237,7 @@ TEST_P(MediaInvariants, LatencyNeverBeatsPhysics) {
   config.media = media;
   Ssd ssd(config);
   ssd.preload(GiB);
-  const RequestResult r = ssd.submit({NvmOp::kRead, 0, request_size, false, false}, 0);
+  const RequestResult r = ssd.submit({NvmOp::kRead, Bytes{}, request_size, false, false}, Time{});
   const NvmTiming timing = ssd.timing();
   // Lower bound: one cell activation plus moving the payload over the
   // aggregate channel rate.
@@ -258,9 +258,9 @@ TEST_P(MediaInvariants, ThroughputMonotoneInRequestSize) {
     config.media = media;
     Ssd ssd(config);
     ssd.preload(64 * MiB);
-    Time last = 0;
-    for (Bytes offset = 0; offset < 16 * MiB; offset += request) {
-      last = std::max(last, ssd.submit({NvmOp::kRead, offset, request, false, false}, 0)
+    Time last;
+    for (Bytes offset; offset < 16 * MiB; offset += request) {
+      last = std::max(last, ssd.submit({NvmOp::kRead, offset, request, false, false}, Time{})
                                 .media_end);
     }
     return last;

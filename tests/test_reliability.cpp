@@ -25,7 +25,7 @@ Trace small_ooc_trace(Bytes dataset = 32 * MiB, std::uint32_t sweeps = 1) {
   params.dataset_bytes = dataset;
   params.tile_bytes = 8 * MiB;
   params.sweeps = sweeps;
-  params.checkpoint_bytes = 0;
+  params.checkpoint_bytes = Bytes{};
   return synthesize_ooc_trace(params);
 }
 
@@ -69,7 +69,7 @@ TEST(FaultInjector, StuckDiesAndChannelStalls) {
   config.channel_stalls.push_back({3, 10 * kMicrosecond, 4 * kMicrosecond});
   const FaultInjector injector(config, NvmType::kSlc, 100'000);
 
-  EXPECT_FALSE(injector.die_stuck(1, 0, 2, 0));
+  EXPECT_FALSE(injector.die_stuck(1, 0, 2, Time{}));
   EXPECT_TRUE(injector.die_stuck(1, 0, 2, 5 * kMicrosecond));
   EXPECT_FALSE(injector.die_stuck(0, 0, 2, 99 * kMicrosecond));
 
@@ -143,7 +143,7 @@ TEST(BadBlocks, RetireRelocatesRemapsAndIsIdempotent) {
   EXPECT_TRUE(ftl.retire_block(0, relocation));
   EXPECT_EQ(ftl.stats().retired_blocks, 1u);
   EXPECT_EQ(ftl.stats().spare_blocks_used, 1u);
-  EXPECT_EQ(ftl.capacity_lost(), 0u);  // Absorbed by the spare pool.
+  EXPECT_EQ(ftl.capacity_lost(), Bytes{0});  // Absorbed by the spare pool.
   EXPECT_TRUE(ftl.is_bad_block(0));
   EXPECT_FALSE(ftl.failed());
 
@@ -195,7 +195,7 @@ TEST(BadBlocks, CapacityLossAndHardFailurePastTheSparePool) {
 
   std::vector<UnitRun> out;
   EXPECT_TRUE(ftl.retire_block(0, out));  // Spare absorbs it.
-  EXPECT_EQ(ftl.capacity_lost(), 0u);
+  EXPECT_EQ(ftl.capacity_lost(), Bytes{0});
   EXPECT_FALSE(ftl.failed());
 
   // Second retirement (a different block) exceeds the spares.
@@ -204,7 +204,7 @@ TEST(BadBlocks, CapacityLossAndHardFailurePastTheSparePool) {
   EXPECT_FALSE(ftl.retire_block(second_block_unit, out));
   EXPECT_TRUE(ftl.failed());
   EXPECT_EQ(ftl.capacity_lost(),
-            static_cast<Bytes>(timing.pages_per_block) * timing.page_size);
+            timing.pages_per_block * timing.page_size);
 }
 
 // ---------- end-to-end: retries under moderate error rates --------------------
@@ -216,8 +216,8 @@ TEST(Replay, DisabledInjectionIsZeroCost) {
   ExperimentConfig configured = cnl_ufs_config(NvmType::kSlc);
   configured.fault.enabled = false;  // Everything else armed but off.
   configured.fault.rber = 0.05;
-  configured.fault.stuck_dies.push_back({0, 0, 0, 0});
-  configured.fault.channel_stalls.push_back({0, 0, kMicrosecond});
+  configured.fault.stuck_dies.push_back({0, 0, 0, Time{}});
+  configured.fault.channel_stalls.push_back({0, Time{}, kMicrosecond});
 
   const ExperimentResult a = run_experiment(plain, trace);
   const ExperimentResult b = run_experiment(configured, trace);
@@ -242,7 +242,7 @@ TEST(Replay, ModerateRberCausesRetriesButNoLoss) {
 
   EXPECT_GT(result.reliability.read_retries, 0u);
   EXPECT_GT(result.reliability.corrected_reads, 0u);
-  EXPECT_GT(result.reliability.retry_time, 0);
+  EXPECT_GT(result.reliability.retry_time, Time{0});
   EXPECT_EQ(result.reliability.uncorrectable_reads, 0u);
   EXPECT_EQ(result.reliability.remapped_blocks, 0u);
   EXPECT_FALSE(result.reliability.aborted);
@@ -290,12 +290,12 @@ TEST(Replay, HighRberDegradesGracefullyOnComputeLocal) {
   EXPECT_GT(result.reliability.remapped_blocks, 0u);
   EXPECT_GT(result.reliability.remap_relocations, 0u);
   EXPECT_GT(result.reliability.spare_blocks_used, 0u);
-  EXPECT_GT(result.reliability.capacity_lost, 0u);
+  EXPECT_GT(result.reliability.capacity_lost, Bytes{0});
   EXPECT_GT(result.reliability.degraded_requests, 0u);
-  EXPECT_GT(result.reliability.degraded_bytes, 0u);
+  EXPECT_GT(result.reliability.degraded_bytes, Bytes{0});
   EXPECT_FALSE(result.reliability.aborted);
   EXPECT_FALSE(result.reliability.hard_failure);
-  EXPECT_GT(result.makespan, 0);
+  EXPECT_GT(result.makespan, Time{0});
 
   // Bytes recovered over the network do not count as device-delivered.
   EXPECT_LT(result.reliability.effective_mbps, result.achieved_mbps);
@@ -334,7 +334,7 @@ TEST(Replay, StuckDieIsRecoveredThroughTheReplica) {
   ExperimentConfig faulty = cnl_ufs_config(NvmType::kSlc);
   faulty.fault.enabled = true;
   faulty.fault.rber = 0.0;  // Isolate the stuck die from bit errors.
-  faulty.fault.stuck_dies.push_back({0, 0, 0, 0});
+  faulty.fault.stuck_dies.push_back({0, 0, 0, Time{}});
   const ExperimentResult result = run_experiment(faulty, trace);
 
   EXPECT_GT(result.reliability.die_stuck_reads, 0u);
@@ -352,7 +352,7 @@ TEST(Replay, ChannelStallShowsUpAsContention) {
   faulty.fault.rber = 0.0;
   // Stall every channel's first half millisecond.
   for (std::uint32_t c = 0; c < faulty.geometry.channels; ++c) {
-    faulty.fault.channel_stalls.push_back({c, 0, 500 * kMicrosecond});
+    faulty.fault.channel_stalls.push_back({c, Time{}, 500 * kMicrosecond});
   }
   const ExperimentResult result = run_experiment(faulty, trace);
 
@@ -367,11 +367,11 @@ TEST(Replay, BarriersDrainRetriedRequests) {
   // Two tile reads with a barrier between them: the second must wait for
   // the first's full retry traffic to complete.
   Trace gated;
-  gated.add(NvmOp::kRead, 0, 8 * MiB);
-  gated.add(NvmOp::kRead, 8 * MiB, 8 * MiB, /*not_before=*/0, /*barrier=*/true);
+  gated.add(NvmOp::kRead, Bytes{}, 8 * MiB);
+  gated.add(NvmOp::kRead, 8 * MiB, 8 * MiB, /*not_before=*/Time{}, /*barrier=*/true);
   gated.add(NvmOp::kRead, 16 * MiB, 8 * MiB);
   Trace free_running;
-  free_running.add(NvmOp::kRead, 0, 8 * MiB);
+  free_running.add(NvmOp::kRead, Bytes{}, 8 * MiB);
   free_running.add(NvmOp::kRead, 8 * MiB, 8 * MiB);
   free_running.add(NvmOp::kRead, 16 * MiB, 8 * MiB);
 
@@ -388,7 +388,7 @@ TEST(Replay, BarriersDrainRetriedRequests) {
 
 TEST(TraceBarriers, SurviveSerialisation) {
   Trace trace;
-  trace.add(NvmOp::kRead, 0, 4 * KiB);
+  trace.add(NvmOp::kRead, Bytes{}, 4 * KiB);
   trace.add(NvmOp::kWrite, 4 * KiB, 4 * KiB, 7 * kMicrosecond, /*barrier=*/true);
   trace.add(NvmOp::kRead, 8 * KiB, 4 * KiB);
 
@@ -412,8 +412,8 @@ TEST(Scenario, RoundTripsThroughText) {
   config.seed = 99;
   config.rber = 1e-5;
   config.wear_slope = 2.5;
-  config.stuck_dies.push_back({1, 2, 3, 4000});
-  config.channel_stalls.push_back({0, 1000, 2000});
+  config.stuck_dies.push_back({1, 2, 3, Time{4000}});
+  config.channel_stalls.push_back({0, Time{1000}, Time{2000}});
 
   const std::string path = ::testing::TempDir() + "fault_scenario.txt";
   save_fault_scenario(config, path);
@@ -426,9 +426,9 @@ TEST(Scenario, RoundTripsThroughText) {
   EXPECT_DOUBLE_EQ(loaded.wear_slope, 2.5);
   ASSERT_EQ(loaded.stuck_dies.size(), 1u);
   EXPECT_EQ(loaded.stuck_dies[0].die, 3u);
-  EXPECT_EQ(loaded.stuck_dies[0].begin, 4000);
+  EXPECT_EQ(loaded.stuck_dies[0].begin, Time{4000});
   ASSERT_EQ(loaded.channel_stalls.size(), 1u);
-  EXPECT_EQ(loaded.channel_stalls[0].duration, 2000);
+  EXPECT_EQ(loaded.channel_stalls[0].duration, Time{2000});
 }
 
 TEST(Scenario, ParsesCommentsAndRejectsGarbage) {
@@ -440,7 +440,7 @@ TEST(Scenario, ParsesCommentsAndRejectsGarbage) {
       "stuck 0 1 2\n");
   EXPECT_EQ(config.seed, 7u);
   ASSERT_EQ(config.stuck_dies.size(), 1u);
-  EXPECT_EQ(config.stuck_dies[0].begin, 0);
+  EXPECT_EQ(config.stuck_dies[0].begin, Time{0});
 
   EXPECT_THROW(parse_fault_scenario("frobnicate 1\n"), std::runtime_error);
   EXPECT_THROW(parse_fault_scenario("stuck 0\n"), std::runtime_error);
@@ -450,12 +450,12 @@ TEST(Scenario, ParsesCommentsAndRejectsGarbage) {
 
 TEST(PrefetcherFaults, TransientFailuresAreRetriedToSuccess) {
   MemoryStorage backing(4 * KiB);
-  std::vector<std::uint8_t> pattern(KiB);
+  std::vector<std::uint8_t> pattern(KiB.value());
   for (std::size_t i = 0; i < pattern.size(); ++i) {
     pattern[i] = static_cast<std::uint8_t>(i * 37);
   }
-  for (Bytes tile = 0; tile < 4; ++tile) {
-    backing.write(tile * KiB, pattern.data(), pattern.size());
+  for (std::uint64_t tile = 0; tile < 4; ++tile) {
+    backing.write(tile * KiB, pattern.data(), Bytes{pattern.size()});
   }
 
   FaultInjectingStorage::Params params;
@@ -464,7 +464,7 @@ TEST(PrefetcherFaults, TransientFailuresAreRetriedToSuccess) {
   FaultInjectingStorage flaky(backing, params);
 
   std::vector<TilePrefetcher::TileRef> tiles;
-  for (Bytes tile = 0; tile < 4; ++tile) tiles.push_back({tile * KiB, KiB});
+  for (std::uint64_t tile = 0; tile < 4; ++tile) tiles.push_back({tile * KiB, KiB});
   TilePrefetcher prefetcher(flaky, tiles, 2, /*max_read_retries=*/64);
   for (std::size_t i = 0; i < tiles.size(); ++i) {
     const auto buffer = prefetcher.get(i);
@@ -483,7 +483,7 @@ TEST(PrefetcherFaults, PermanentFailureSurfacesInsteadOfHanging) {
   FaultInjectingStorage dead(backing, params);
 
   std::vector<TilePrefetcher::TileRef> tiles;
-  for (Bytes tile = 0; tile < 4; ++tile) tiles.push_back({tile * KiB, KiB});
+  for (std::uint64_t tile = 0; tile < 4; ++tile) tiles.push_back({tile * KiB, KiB});
   TilePrefetcher prefetcher(dead, tiles, 2, /*max_read_retries=*/3);
   EXPECT_NE(prefetcher.get(0), nullptr);
   EXPECT_NE(prefetcher.get(1), nullptr);

@@ -18,9 +18,9 @@ namespace {
 TEST(EventQueue, DeliversInTimeOrder) {
   EventQueue queue;
   std::vector<int> order;
-  queue.schedule(30, [&] { order.push_back(3); });
-  queue.schedule(10, [&] { order.push_back(1); });
-  queue.schedule(20, [&] { order.push_back(2); });
+  queue.schedule(Time{30}, [&] { order.push_back(3); });
+  queue.schedule(Time{10}, [&] { order.push_back(1); });
+  queue.schedule(Time{20}, [&] { order.push_back(2); });
   while (!queue.empty()) queue.pop_and_run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -28,7 +28,7 @@ TEST(EventQueue, DeliversInTimeOrder) {
 TEST(EventQueue, TiesBreakByInsertion) {
   EventQueue queue;
   std::vector<int> order;
-  for (int i = 0; i < 10; ++i) queue.schedule(5, [&order, i] { order.push_back(i); });
+  for (int i = 0; i < 10; ++i) queue.schedule(Time{5}, [&order, i] { order.push_back(i); });
   while (!queue.empty()) queue.pop_and_run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
@@ -36,9 +36,9 @@ TEST(EventQueue, TiesBreakByInsertion) {
 TEST(EventQueue, EventMaySchedule) {
   EventQueue queue;
   int fired = 0;
-  queue.schedule(1, [&] {
+  queue.schedule(Time{1}, [&] {
     ++fired;
-    queue.schedule(2, [&] { ++fired; });
+    queue.schedule(Time{2}, [&] { ++fired; });
   });
   while (!queue.empty()) queue.pop_and_run();
   EXPECT_EQ(fired, 2);
@@ -47,29 +47,29 @@ TEST(EventQueue, EventMaySchedule) {
 TEST(Simulator, ClockAdvancesMonotonically) {
   Simulator sim;
   std::vector<Time> seen;
-  sim.at(100, [&] { seen.push_back(sim.now()); });
-  sim.after(50, [&] { seen.push_back(sim.now()); });
+  sim.at(Time{100}, [&] { seen.push_back(sim.now()); });
+  sim.after(Time{50}, [&] { seen.push_back(sim.now()); });
   const Time end = sim.run();
-  EXPECT_EQ(seen, (std::vector<Time>{50, 100}));
-  EXPECT_EQ(end, 100);
+  EXPECT_EQ(seen, (std::vector<Time>{Time{50}, Time{100}}));
+  EXPECT_EQ(end, Time{100});
 }
 
 TEST(Simulator, RejectsPastScheduling) {
   Simulator sim;
-  sim.at(10, [] {});
+  sim.at(Time{10}, [] {});
   sim.run();
-  EXPECT_THROW(sim.at(5, [] {}), std::logic_error);
-  EXPECT_THROW(sim.after(-1, [] {}), std::logic_error);
+  EXPECT_THROW(sim.at(Time{5}, [] {}), std::logic_error);
+  EXPECT_THROW(sim.after(Time{-1}, [] {}), std::logic_error);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int fired = 0;
-  sim.at(10, [&] { ++fired; });
-  sim.at(100, [&] { ++fired; });
-  sim.run_until(50);
+  sim.at(Time{10}, [&] { ++fired; });
+  sim.at(Time{100}, [&] { ++fired; });
+  sim.run_until(Time{50});
   EXPECT_EQ(fired, 1);
-  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.now(), Time{50});
   EXPECT_EQ(sim.pending_events(), 1u);
   sim.run();
   EXPECT_EQ(fired, 2);
@@ -77,10 +77,10 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
 
 TEST(Simulator, ResetClearsState) {
   Simulator sim;
-  sim.at(10, [] {});
+  sim.at(Time{10}, [] {});
   sim.run();
   sim.reset();
-  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.now(), Time{0});
   EXPECT_TRUE(sim.idle());
 }
 
@@ -88,89 +88,89 @@ TEST(Simulator, ResetClearsState) {
 
 TEST(Timeline, FifoReservationsQueue) {
   Timeline timeline(false);
-  const Reservation a = timeline.reserve(0, 100);
-  EXPECT_EQ(a.start, 0);
-  EXPECT_EQ(a.end, 100);
-  EXPECT_EQ(a.waited, 0);
+  const Reservation a = timeline.reserve(Time{0}, Time{100});
+  EXPECT_EQ(a.start, Time{0});
+  EXPECT_EQ(a.end, Time{100});
+  EXPECT_EQ(a.waited, Time{0});
 
-  const Reservation b = timeline.reserve(10, 50);
-  EXPECT_EQ(b.start, 100);  // Queued behind a.
-  EXPECT_EQ(b.waited, 90);
+  const Reservation b = timeline.reserve(Time{10}, Time{50});
+  EXPECT_EQ(b.start, Time{100});  // Queued behind a.
+  EXPECT_EQ(b.waited, Time{90});
 }
 
 TEST(Timeline, GapNotUsedWithoutBackfill) {
   Timeline timeline(false);
-  timeline.reserve(1000, 100);  // Leaves [0,1000) idle.
-  const Reservation late = timeline.reserve(0, 10);
-  EXPECT_EQ(late.start, 1100);
+  timeline.reserve(Time{1000}, Time{100});  // Leaves [0,1000) idle.
+  const Reservation late = timeline.reserve(Time{0}, Time{10});
+  EXPECT_EQ(late.start, Time{1100});
 }
 
 TEST(Timeline, BackfillUsesGap) {
   Timeline timeline(true);
-  timeline.reserve(1000, 100);  // Gap [0,1000).
-  const Reservation fill = timeline.reserve(0, 10);
-  EXPECT_EQ(fill.start, 0);
-  EXPECT_EQ(fill.waited, 0);
+  timeline.reserve(Time{1000}, Time{100});  // Gap [0,1000).
+  const Reservation fill = timeline.reserve(Time{0}, Time{10});
+  EXPECT_EQ(fill.start, Time{0});
+  EXPECT_EQ(fill.waited, Time{0});
 }
 
 TEST(Timeline, BackfillSplitsGap) {
   Timeline timeline(true);
-  timeline.reserve(1000, 100);
-  timeline.reserve(400, 100);  // Inside the gap: [400,500).
+  timeline.reserve(Time{1000}, Time{100});
+  timeline.reserve(Time{400}, Time{100});  // Inside the gap: [400,500).
   // Remaining sub-gaps [0,400) and [500,1000) both usable.
-  EXPECT_EQ(timeline.reserve(0, 400).start, 0);
-  EXPECT_EQ(timeline.reserve(0, 500).start, 500);
+  EXPECT_EQ(timeline.reserve(Time{0}, Time{400}).start, Time{0});
+  EXPECT_EQ(timeline.reserve(Time{0}, Time{500}).start, Time{500});
 }
 
 TEST(Timeline, BackfillRespectsEarliest) {
   Timeline timeline(true);
-  timeline.reserve(1000, 100);
-  const Reservation r = timeline.reserve(600, 200);
-  EXPECT_EQ(r.start, 600);  // Fits the gap tail [600,800).
+  timeline.reserve(Time{1000}, Time{100});
+  const Reservation r = timeline.reserve(Time{600}, Time{200});
+  EXPECT_EQ(r.start, Time{600});  // Fits the gap tail [600,800).
 }
 
 TEST(Timeline, BusyTimeAccumulates) {
   Timeline timeline(false);
-  timeline.reserve(0, 10);
-  timeline.reserve(20, 10);
-  EXPECT_EQ(timeline.busy().busy_time(), 20);
+  timeline.reserve(Time{0}, Time{10});
+  timeline.reserve(Time{20}, Time{10});
+  EXPECT_EQ(timeline.busy().busy_time(), Time{20});
   EXPECT_EQ(timeline.reservation_count(), 2u);
 }
 
 TEST(Timeline, ZeroDurationIsFree) {
   Timeline timeline(false);
-  timeline.reserve(0, 100);
-  const Reservation r = timeline.reserve(5, 0);
-  EXPECT_EQ(r.start, 5);
-  EXPECT_EQ(r.end, 5);
+  timeline.reserve(Time{0}, Time{100});
+  const Reservation r = timeline.reserve(Time{5}, Time{0});
+  EXPECT_EQ(r.start, Time{5});
+  EXPECT_EQ(r.end, Time{5});
 }
 
 TEST(Timeline, PeekDoesNotReserve) {
   Timeline timeline(false);
-  timeline.reserve(0, 100);
-  EXPECT_EQ(timeline.peek(0, 10), 100);
-  EXPECT_EQ(timeline.peek(0, 10), 100);  // Unchanged.
-  EXPECT_EQ(timeline.next_free(), 100);
+  timeline.reserve(Time{0}, Time{100});
+  EXPECT_EQ(timeline.peek(Time{0}, Time{10}), Time{100});
+  EXPECT_EQ(timeline.peek(Time{0}, Time{10}), Time{100});  // Unchanged.
+  EXPECT_EQ(timeline.next_free(), Time{100});
 }
 
 TEST(Timeline, ResetRestoresEmpty) {
   Timeline timeline(true);
-  timeline.reserve(100, 50);
+  timeline.reserve(Time{100}, Time{50});
   timeline.reset();
-  EXPECT_EQ(timeline.next_free(), 0);
-  EXPECT_EQ(timeline.reserve(0, 10).start, 0);
+  EXPECT_EQ(timeline.next_free(), Time{0});
+  EXPECT_EQ(timeline.reserve(Time{0}, Time{10}).start, Time{0});
 }
 
 // Property: a dense stream of FIFO reservations is gap-free and ordered.
 TEST(Timeline, PropertyDenseStreamIsContiguous) {
   Timeline timeline(false);
-  Time expected_start = 0;
+  Time expected_start;
   for (int i = 0; i < 1000; ++i) {
-    const Reservation r = timeline.reserve(0, 7);
+    const Reservation r = timeline.reserve(Time{0}, Time{7});
     EXPECT_EQ(r.start, expected_start);
     expected_start = r.end;
   }
-  EXPECT_EQ(timeline.busy().busy_time(), 7000);
+  EXPECT_EQ(timeline.busy().busy_time(), Time{7000});
 }
 
 // Property: over a pseudo-random request stream — with and without
@@ -193,10 +193,10 @@ TEST(Timeline, PropertyGrantedIntervalsHoldInvariants) {
     };
 
     std::vector<std::pair<Time, Time>> granted;
-    Time arrival = 0;
+    Time arrival;
     for (int i = 0; i < 2000; ++i) {
-      arrival += static_cast<Time>(next() % 50);
-      const Time duration = 1 + static_cast<Time>(next() % 40);
+      arrival += Time{static_cast<std::int64_t>(next() % 50)};
+      const Time duration{1 + static_cast<std::int64_t>(next() % 40)};
       const Time peeked = timeline.peek(arrival, duration);
       const Reservation r = timeline.reserve(arrival, duration);
       ASSERT_GE(r.start, arrival) << "granted before ready (i=" << i << ")";

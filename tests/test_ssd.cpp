@@ -86,7 +86,7 @@ TEST(Geometry, ChannelFirstStriping) {
 TEST(Ftl, ReadOfPreloadedDataIsIdentityAndSingleRun) {
   Ftl ftl(paper_geometry(), slc_timing());
   ftl.set_preloaded(GiB);
-  BlockRequest request{NvmOp::kRead, 0, MiB, false, false};
+  BlockRequest request{NvmOp::kRead, Bytes{}, MiB, false, false};
   const auto runs = ftl.translate(request);
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].first_unit, 0u);
@@ -108,7 +108,7 @@ TEST(Ftl, UnalignedReadTrimsEdges) {
 TEST(Ftl, WriteAllocatesBeyondPreload) {
   Ftl ftl(paper_geometry(), slc_timing());
   ftl.set_preloaded(MiB);
-  BlockRequest write{NvmOp::kWrite, 0, 2 * KiB, false, false};
+  BlockRequest write{NvmOp::kWrite, Bytes{}, 2 * KiB, false, false};
   const auto runs = ftl.translate(write);
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].op, NvmOp::kWrite);
@@ -120,7 +120,7 @@ TEST(Ftl, WriteAllocatesBeyondPreload) {
 TEST(Ftl, RewriteInvalidatesOldMapping) {
   Ftl ftl(paper_geometry(), slc_timing());
   ftl.set_preloaded(MiB);
-  BlockRequest write{NvmOp::kWrite, 0, 2 * KiB, false, false};
+  BlockRequest write{NvmOp::kWrite, Bytes{}, 2 * KiB, false, false};
   const auto first = ftl.translate(write);
   const auto second = ftl.translate(write);
   EXPECT_NE(first[0].first_unit, second[0].first_unit);
@@ -130,7 +130,7 @@ TEST(Ftl, RewriteInvalidatesOldMapping) {
 TEST(Ftl, PartialPageWriteDoesReadModifyWrite) {
   Ftl ftl(paper_geometry(), slc_timing());
   ftl.set_preloaded(MiB);
-  BlockRequest partial{NvmOp::kWrite, 512, 1 * KiB, false, false};  // Inside page 0.
+  BlockRequest partial{NvmOp::kWrite, Bytes{512}, 1 * KiB, false, false};  // Inside page 0.
   const auto runs = ftl.translate(partial);
   ASSERT_EQ(runs.size(), 2u);
   EXPECT_EQ(runs[0].op, NvmOp::kRead);  // Fetch old page first.
@@ -141,7 +141,7 @@ TEST(Ftl, PartialPageWriteDoesReadModifyWrite) {
 TEST(Ftl, PartialWriteToVirginSpaceSkipsRmw) {
   Ftl ftl(paper_geometry(), slc_timing());
   // No preload: nothing to read back.
-  BlockRequest partial{NvmOp::kWrite, 512, 512, false, false};
+  BlockRequest partial{NvmOp::kWrite, Bytes{512}, Bytes{512}, false, false};
   const auto runs = ftl.translate(partial);
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].op, NvmOp::kWrite);
@@ -150,7 +150,7 @@ TEST(Ftl, PartialWriteToVirginSpaceSkipsRmw) {
 
 TEST(Ftl, SequentialWritesFormSingleRun) {
   Ftl ftl(paper_geometry(), slc_timing());
-  BlockRequest write{NvmOp::kWrite, 0, 64 * KiB, false, false};
+  BlockRequest write{NvmOp::kWrite, Bytes{}, 64 * KiB, false, false};
   const auto runs = ftl.translate(write);
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].count, 32u);
@@ -162,14 +162,14 @@ TEST(Ftl, ReadAfterScatteredRewritesSplitsRuns) {
   // Rewrite pages 2 and 3 (they allocate consecutively -> merged run),
   // leave 0,1,4,5 in place.
   ftl.translate({NvmOp::kWrite, 2 * 2 * KiB, 4 * KiB, false, false});
-  const auto runs = ftl.translate({NvmOp::kRead, 0, 12 * KiB, false, false});
+  const auto runs = ftl.translate({NvmOp::kRead, Bytes{}, 12 * KiB, false, false});
   // Expect: identity [0,2), override [2,4), identity [4,6).
   ASSERT_EQ(runs.size(), 3u);
   EXPECT_EQ(runs[0].count, 2u);
   EXPECT_EQ(runs[1].count, 2u);
   EXPECT_GE(runs[1].first_unit, MiB / (2 * KiB));
   EXPECT_EQ(runs[2].count, 2u);
-  Bytes total = 0;
+  Bytes total;
   for (const auto& run : runs) total += run.bytes;
   EXPECT_EQ(total, 12 * KiB);
 }
@@ -180,7 +180,7 @@ TEST(Ftl, GarbageCollectionReclaimsSpace) {
   // Hammer one logical page; GC must kick in and the device must keep
   // accepting writes.
   for (int i = 0; i < 2000; ++i) {
-    ASSERT_NO_THROW(ftl.translate({NvmOp::kWrite, 0, 2 * KiB, false, false}));
+    ASSERT_NO_THROW(ftl.translate({NvmOp::kWrite, Bytes{}, 2 * KiB, false, false}));
   }
   EXPECT_GT(ftl.stats().gc_runs, 0u);
   EXPECT_GT(ftl.stats().gc_erased_blocks, 0u);
@@ -190,7 +190,7 @@ TEST(Ftl, GcEmitsEraseTraffic) {
   Ftl ftl(small_geometry(), tiny_timing(), FtlConfig{1});
   bool saw_erase = false;
   for (int i = 0; i < 2000 && !saw_erase; ++i) {
-    for (const UnitRun& run : ftl.translate({NvmOp::kWrite, 0, 2 * KiB, false, false})) {
+    for (const UnitRun& run : ftl.translate({NvmOp::kWrite, Bytes{}, 2 * KiB, false, false})) {
       if (run.op == NvmOp::kErase) {
         saw_erase = true;
         EXPECT_TRUE(run.gc);
@@ -210,7 +210,7 @@ TEST(Ftl, WearAwareGcLevelsEraseCounts) {
   auto hammer = [](Ftl& ftl) {
     // Skewed rewrite workload: one hot page plus a sweep of colder ones.
     for (int round = 0; round < 3000; ++round) {
-      ftl.translate({NvmOp::kWrite, 0, 2 * KiB, false, false});
+      ftl.translate({NvmOp::kWrite, Bytes{}, 2 * KiB, false, false});
       if (round % 4 == 0) {
         const Bytes cold = 2 * KiB * (1 + (round / 4) % 64);
         ftl.translate({NvmOp::kWrite, cold, 2 * KiB, false, false});
@@ -231,7 +231,7 @@ TEST(Ftl, WearAwareGcLevelsEraseCounts) {
 
 TEST(Ftl, ZeroSizeRequestIsEmpty) {
   Ftl ftl(paper_geometry(), slc_timing());
-  EXPECT_TRUE(ftl.translate({NvmOp::kRead, 0, 0, false, false}).empty());
+  EXPECT_TRUE(ftl.translate({NvmOp::kRead, Bytes{}, Bytes{}, false, false}).empty());
 }
 
 // ---------- controller ------------------------------------------------------
@@ -249,14 +249,14 @@ struct ControllerFixture {
 
 TEST(Controller, LargeReadReachesPal4) {
   ControllerFixture f;
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 4 * MiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, 4 * MiB, false, false}, Time{});
   EXPECT_EQ(r.pal, ParallelismLevel::kPal4);
   EXPECT_EQ(r.transactions, 4 * MiB / (2 * KiB));
 }
 
 TEST(Controller, SinglePageReadIsPal1) {
   ControllerFixture f;
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 2 * KiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, 2 * KiB, false, false}, Time{});
   EXPECT_EQ(r.pal, ParallelismLevel::kPal1);
   EXPECT_EQ(r.transactions, 1u);
 }
@@ -265,7 +265,7 @@ TEST(Controller, ChannelPlaneSpanIsPal3) {
   // 16 SLC pages = 8 channels x 2 planes, one die each: multi-plane
   // without die interleaving.
   ControllerFixture f;
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 32 * KiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, 32 * KiB, false, false}, Time{});
   EXPECT_EQ(r.pal, ParallelismLevel::kPal3);
 }
 
@@ -276,14 +276,14 @@ TEST(Controller, DieSpanWithoutPlanesIsPal2) {
   f.config.geometry.policy = AllocationPolicy::kChannelDiePlane;
   f.ssd = std::make_unique<Ssd>(f.config);
   f.ssd->preload(GiB);
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 32 * KiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, 32 * KiB, false, false}, Time{});
   EXPECT_EQ(r.pal, ParallelismLevel::kPal2);
 }
 
 TEST(Controller, ReadLatencyBounds) {
   ControllerFixture f;
   const NvmTiming timing = f.ssd->timing();
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 2 * KiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, 2 * KiB, false, false}, Time{});
   const Time lower = timing.read_time + onfi3_sdr_bus().transfer_time(2 * KiB);
   EXPECT_GE(r.media_end, lower);
   EXPECT_LE(r.media_end, lower + timing.command_time +
@@ -292,9 +292,9 @@ TEST(Controller, ReadLatencyBounds) {
 
 TEST(Controller, ConcurrentRequestsShareChannels) {
   ControllerFixture f;
-  const RequestResult a = f.ssd->submit({NvmOp::kRead, 0, 2 * KiB, false, false}, 0);
+  const RequestResult a = f.ssd->submit({NvmOp::kRead, Bytes{}, 2 * KiB, false, false}, Time{});
   // Different channel (offset 2 KiB = unit 1 = channel 1): no contention.
-  const RequestResult b = f.ssd->submit({NvmOp::kRead, 2 * KiB, 2 * KiB, false, false}, 0);
+  const RequestResult b = f.ssd->submit({NvmOp::kRead, 2 * KiB, 2 * KiB, false, false}, Time{});
   EXPECT_LT(std::max(a.media_end, b.media_end),
             2 * f.ssd->timing().read_time + 100 * kMicrosecond);
 }
@@ -303,7 +303,7 @@ TEST(Controller, PcmBurstsGroupTransactions) {
   ControllerFixture f(NvmType::kPcm);
   // 1 MiB = 16384 lines over 512 plane positions -> grouped bursts, far
   // fewer transactions than lines.
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, MiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, MiB, false, false}, Time{});
   EXPECT_LE(r.transactions, 512u * 4);
   EXPECT_GE(r.transactions, 256u);
   EXPECT_EQ(r.pal, ParallelismLevel::kPal4);
@@ -313,13 +313,13 @@ TEST(Controller, PcmSmallReadStillSpreads) {
   ControllerFixture f(NvmType::kPcm);
   // Even a 4 KiB request covers 64 lines across channels/planes (the
   // paper: PCM requests "can easily be spread across all dies").
-  const RequestResult r = f.ssd->submit({NvmOp::kRead, 0, 4 * KiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kRead, Bytes{}, 4 * KiB, false, false}, Time{});
   EXPECT_EQ(r.pal, ParallelismLevel::kPal4);
 }
 
 TEST(Controller, WritesLandOnCells) {
   ControllerFixture f;
-  const RequestResult r = f.ssd->submit({NvmOp::kWrite, 0, 2 * KiB, false, false}, 0);
+  const RequestResult r = f.ssd->submit({NvmOp::kWrite, Bytes{}, 2 * KiB, false, false}, Time{});
   const ControllerStats& stats = f.ssd->controller_stats();
   EXPECT_GE(stats.phase_time[static_cast<int>(Phase::kCellActivation)],
             f.ssd->timing().write_min);
@@ -329,36 +329,36 @@ TEST(Controller, WritesLandOnCells) {
 TEST(Controller, BackfillNeverWorseThanFifo) {
   ControllerFixture fifo(NvmType::kTlc, false);
   ControllerFixture paq(NvmType::kTlc, true);
-  Time fifo_end = 0;
-  Time paq_end = 0;
+  Time fifo_end;
+  Time paq_end;
   for (int i = 0; i < 16; ++i) {
-    const Bytes offset = static_cast<Bytes>(i) * 8 * 8 * KiB;  // Same channel.
+    const Bytes offset = i * 8 * 8 * KiB;  // Same channel.
     fifo_end = std::max(
         fifo_end,
-        fifo.ssd->submit({NvmOp::kRead, offset, 8 * KiB, false, false}, 0).media_end);
+        fifo.ssd->submit({NvmOp::kRead, offset, 8 * KiB, false, false}, Time{}).media_end);
     paq_end = std::max(
         paq_end,
-        paq.ssd->submit({NvmOp::kRead, offset, 8 * KiB, false, false}, 0).media_end);
+        paq.ssd->submit({NvmOp::kRead, offset, 8 * KiB, false, false}, Time{}).media_end);
   }
   EXPECT_LE(paq_end, fifo_end);
 }
 
 TEST(Controller, StatsAccumulate) {
   ControllerFixture f;
-  f.ssd->submit({NvmOp::kRead, 0, 64 * KiB, false, false}, 0);
-  f.ssd->submit({NvmOp::kRead, 64 * KiB, 64 * KiB, false, false}, 0);
+  f.ssd->submit({NvmOp::kRead, Bytes{}, 64 * KiB, false, false}, Time{});
+  f.ssd->submit({NvmOp::kRead, 64 * KiB, 64 * KiB, false, false}, Time{});
   const ControllerStats& stats = f.ssd->controller_stats();
   EXPECT_EQ(stats.requests, 2u);
   EXPECT_EQ(stats.payload_bytes, 128 * KiB);
   EXPECT_EQ(stats.transactions, 64u);
-  EXPECT_GT(stats.phase_time[static_cast<int>(Phase::kCellActivation)], 0);
+  EXPECT_GT(stats.phase_time[static_cast<int>(Phase::kCellActivation)], Time{0});
 }
 
 TEST(Controller, InternalRequestsCountSeparately) {
   ControllerFixture f;
-  f.ssd->submit({NvmOp::kRead, 0, 4 * KiB, false, true}, 0);
+  f.ssd->submit({NvmOp::kRead, Bytes{}, 4 * KiB, false, true}, Time{});
   const ControllerStats& stats = f.ssd->controller_stats();
-  EXPECT_EQ(stats.payload_bytes, 0u);
+  EXPECT_EQ(stats.payload_bytes, Bytes{0});
   EXPECT_EQ(stats.internal_bytes, 4 * KiB);
 }
 
@@ -368,13 +368,13 @@ TEST(Controller, WriteBackCacheAcksAtTransfer) {
   config.controller.write_buffer = 16 * MiB;
   Ssd cached(config);
   cached.preload(GiB);
-  config.controller.write_buffer = 0;
+  config.controller.write_buffer = Bytes{};
   Ssd through(config);
   through.preload(GiB);
 
-  const BlockRequest write{NvmOp::kWrite, 0, 64 * KiB, false, false};
-  const RequestResult fast = cached.submit(write, 0);
-  const RequestResult slow = through.submit(write, 0);
+  const BlockRequest write{NvmOp::kWrite, Bytes{}, 64 * KiB, false, false};
+  const RequestResult fast = cached.submit(write, Time{});
+  const RequestResult slow = through.submit(write, Time{});
   // Cached: acknowledged after the channel transfer, long before the
   // 440-6000 us TLC program.
   EXPECT_LT(fast.media_end, 200 * kMicrosecond);
@@ -389,7 +389,7 @@ TEST(Controller, WriteBackCacheOverflowFallsBack) {
   ssd.preload(GiB);
   // First write fits and acks fast; the second (arriving immediately)
   // finds the buffer dirty and must wait for real programming.
-  const RequestResult first = ssd.submit({NvmOp::kWrite, 0, 128 * KiB, false, false}, 0);
+  const RequestResult first = ssd.submit({NvmOp::kWrite, Bytes{}, 128 * KiB, false, false}, Time{});
   const RequestResult second =
       ssd.submit({NvmOp::kWrite, MiB, 128 * KiB, false, false}, first.media_end);
   EXPECT_LT(first.media_end, 2 * kMillisecond);
@@ -403,7 +403,7 @@ TEST(Controller, WriteBackCacheDrains) {
   config.controller.write_buffer = 256 * KiB;
   Ssd ssd(config);
   ssd.preload(GiB);
-  ssd.submit({NvmOp::kWrite, 0, 256 * KiB, false, false}, 0);
+  ssd.submit({NvmOp::kWrite, Bytes{}, 256 * KiB, false, false}, Time{});
   // Well after the SLC programs finish (250 us), the buffer is clean and
   // a new write acks fast again.
   const RequestResult later =
@@ -418,9 +418,9 @@ TEST(DeviceStats, SaturatedSequentialKeepsChannelsBusy) {
   // saturates while packages spend most of their time waiting to
   // transfer (low package utilisation) — the Figure 7b/9 signature.
   ControllerFixture f(NvmType::kTlc);
-  Bytes offset = 0;
+  Bytes offset;
   for (int i = 0; i < 64; ++i) {
-    f.ssd->submit({NvmOp::kRead, offset, MiB, false, false}, 0);
+    f.ssd->submit({NvmOp::kRead, offset, MiB, false, false}, Time{});
     offset += MiB;
   }
   const Time makespan = f.ssd->controller_stats().last_completion;
@@ -428,7 +428,7 @@ TEST(DeviceStats, SaturatedSequentialKeepsChannelsBusy) {
   EXPECT_GT(stats.channel_utilization, 0.9);
   EXPECT_GT(stats.package_utilization, 0.05);
   EXPECT_LT(stats.package_utilization, 0.5);
-  EXPECT_GT(stats.active_time, 0);
+  EXPECT_GT(stats.active_time, Time{0});
 }
 
 TEST(DeviceStats, FutureDdrBusShiftsBottleneckToCells) {
@@ -439,9 +439,9 @@ TEST(DeviceStats, FutureDdrBusShiftsBottleneckToCells) {
   config.bus = future_ddr_bus();
   Ssd ssd(config);
   ssd.preload(GiB);
-  Bytes offset = 0;
+  Bytes offset;
   for (int i = 0; i < 64; ++i) {
-    ssd.submit({NvmOp::kRead, offset, MiB, false, false}, 0);
+    ssd.submit({NvmOp::kRead, offset, MiB, false, false}, Time{});
     offset += MiB;
   }
   const Time makespan = ssd.controller_stats().last_completion;
@@ -462,12 +462,12 @@ TEST(DeviceStats, IdleDeviceLeavesFullCapability) {
 }
 
 TEST(DeviceStats, ZeroWallTimeYieldsFiniteUtilization) {
-  // Regression: device_stats(0) on a busy device used to divide by the
+  // Regression: device_stats(Time{}) on a busy device used to divide by the
   // zero wall time. The guard substitutes the active window, so the
   // ratios stay finite and in range.
   ControllerFixture f;
-  f.ssd->submit({NvmOp::kRead, 0, MiB, false, false}, 0);
-  const DeviceStats stats = f.ssd->device_stats(0);
+  f.ssd->submit({NvmOp::kRead, Bytes{}, MiB, false, false}, Time{});
+  const DeviceStats stats = f.ssd->device_stats(Time{});
   EXPECT_TRUE(std::isfinite(stats.channel_utilization));
   EXPECT_TRUE(std::isfinite(stats.package_utilization));
   EXPECT_GE(stats.channel_utilization, 0.0);
@@ -477,7 +477,7 @@ TEST(DeviceStats, ZeroWallTimeYieldsFiniteUtilization) {
 
 TEST(DeviceStats, WearAggregatesAcrossDies) {
   ControllerFixture f;
-  f.ssd->submit({NvmOp::kWrite, 0, MiB, false, false}, 0);
+  f.ssd->submit({NvmOp::kWrite, Bytes{}, MiB, false, false}, Time{});
   const WearSummary wear = f.ssd->wear();
   EXPECT_EQ(wear.total_writes, MiB / (2 * KiB));
 }

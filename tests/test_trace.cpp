@@ -13,14 +13,14 @@ namespace {
 
 TEST(Trace, ExtentCoversFarthestByte) {
   Trace trace;
-  trace.add(NvmOp::kRead, 0, 4 * KiB);
+  trace.add(NvmOp::kRead, Bytes{}, 4 * KiB);
   trace.add(NvmOp::kRead, MiB, 64 * KiB);
   EXPECT_EQ(trace.extent(), MiB + 64 * KiB);
 }
 
 TEST(Trace, StatsComputeMixAndSizes) {
   Trace trace;
-  trace.add(NvmOp::kRead, 0, 8 * KiB);
+  trace.add(NvmOp::kRead, Bytes{}, 8 * KiB);
   trace.add(NvmOp::kRead, 8 * KiB, 8 * KiB);   // Sequential.
   trace.add(NvmOp::kWrite, 64 * KiB, 4 * KiB);  // Jump.
   const TraceStats stats = trace.stats();
@@ -37,21 +37,21 @@ TEST(Trace, StatsComputeMixAndSizes) {
 TEST(Trace, EmptyStatsAreZero) {
   const TraceStats stats = Trace{}.stats();
   EXPECT_EQ(stats.requests, 0u);
-  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_EQ(stats.total_bytes, Bytes{0});
 }
 
 TEST(Trace, SaveLoadRoundTrip) {
   Trace trace;
-  trace.add(NvmOp::kRead, 123, 456, 789);
+  trace.add(NvmOp::kRead, Bytes{123}, Bytes{456}, Time{789});
   trace.add(NvmOp::kWrite, 1 * GiB, 2 * MiB);
   const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
   trace.save(path);
   const Trace loaded = Trace::load(path);
   ASSERT_EQ(loaded.size(), 2u);
   EXPECT_EQ(loaded[0].op, NvmOp::kRead);
-  EXPECT_EQ(loaded[0].offset, 123u);
-  EXPECT_EQ(loaded[0].size, 456u);
-  EXPECT_EQ(loaded[0].not_before, 789);
+  EXPECT_EQ(loaded[0].offset, Bytes{123});
+  EXPECT_EQ(loaded[0].size, Bytes{456});
+  EXPECT_EQ(loaded[0].not_before, Time{789});
   EXPECT_EQ(loaded[1].op, NvmOp::kWrite);
   EXPECT_EQ(loaded[1].offset, GiB);
   std::remove(path.c_str());

@@ -20,10 +20,10 @@ TEST(ExtentAllocator, SingleExtentWhenSpaceAllows) {
 
 TEST(ExtentAllocator, AlignsUp) {
   ExtentAllocator alloc(GiB, MiB);
-  const auto extents = alloc.allocate(MiB + 1);
+  const auto extents = alloc.allocate(MiB + Bytes{1});
   ASSERT_EQ(extents.size(), 1u);
   EXPECT_EQ(extents[0].length, 2 * MiB);
-  EXPECT_EQ(extents[0].offset % MiB, 0u);
+  EXPECT_EQ(extents[0].offset % MiB, Bytes{0});
 }
 
 TEST(ExtentAllocator, ReleaseMergesNeighbors) {
@@ -68,7 +68,7 @@ TEST(ExtentAllocator, MultiExtentStitch) {
   // Two disjoint 2 MiB holes: a 4 MiB request stitches both.
   const auto stitched = alloc.allocate(4 * MiB);
   EXPECT_EQ(stitched.size(), 2u);
-  EXPECT_EQ(alloc.free_bytes(), 0u);
+  EXPECT_EQ(alloc.free_bytes(), Bytes{0});
 }
 
 TEST(ExtentAllocator, DoubleFreeThrows) {
@@ -82,7 +82,7 @@ TEST(ExtentAllocator, PropertyChurnConservesBytes) {
   ExtentAllocator alloc(256 * MiB, MiB);
   Rng rng(99);
   std::vector<std::vector<Extent>> live;
-  Bytes live_bytes = 0;
+  Bytes live_bytes;
   for (int step = 0; step < 500; ++step) {
     if (!live.empty() && (rng.next_bool(0.45) || alloc.free_bytes() < 8 * MiB)) {
       const std::size_t victim = rng.next_below(live.size());
@@ -126,8 +126,8 @@ TEST(ObjectStore, CreateFailsWhenFull) {
 TEST(ObjectStore, TranslateWalksExtents) {
   ObjectStore store(GiB, MiB);
   const auto id = store.create(10 * MiB);
-  const auto ranges = store.translate(*id, 3 * MiB + 5, 2 * MiB);
-  Bytes total = 0;
+  const auto ranges = store.translate(*id, 3 * MiB + Bytes{5}, 2 * MiB);
+  Bytes total;
   for (const Extent& e : ranges) total += e.length;
   EXPECT_EQ(total, 2 * MiB);
 }
@@ -136,7 +136,7 @@ TEST(ObjectStore, TranslateBeyondObjectThrows) {
   ObjectStore store(GiB, MiB);
   const auto id = store.create(MiB);
   EXPECT_THROW(store.translate(*id, 512 * KiB, MiB), std::out_of_range);
-  EXPECT_THROW(store.translate(12345, 0, 1), std::out_of_range);
+  EXPECT_THROW(store.translate(12345, Bytes{}, Bytes{1}), std::out_of_range);
 }
 
 // ---------- UFS --------------------------------------------------------------
@@ -146,7 +146,7 @@ TEST(Ufs, PassThroughKeepsRequestWhole) {
   config.capacity = 4 * GiB;
   UnifiedFileSystem ufs(config);
   ufs.provision_dataset(GiB);
-  const auto out = ufs.submit({NvmOp::kRead, 0, 16 * MiB, 0});
+  const auto out = ufs.submit({NvmOp::kRead, Bytes{}, 16 * MiB, Time{}});
   ASSERT_EQ(out.size(), 1u);  // No splitting, no metadata, no journal.
   EXPECT_EQ(out[0].size, 16 * MiB);
   EXPECT_FALSE(out[0].internal);
@@ -155,13 +155,13 @@ TEST(Ufs, PassThroughKeepsRequestWhole) {
 
 TEST(Ufs, SubmitWithoutDatasetThrows) {
   UnifiedFileSystem ufs;
-  EXPECT_THROW(ufs.submit({NvmOp::kRead, 0, 4 * KiB, 0}), std::logic_error);
+  EXPECT_THROW(ufs.submit({NvmOp::kRead, Bytes{}, 4 * KiB, Time{}}), std::logic_error);
 }
 
 TEST(Ufs, BehaviorHasNoOverheadTraffic) {
   UnifiedFileSystem ufs;
-  EXPECT_EQ(ufs.behavior().metadata_interval, 0u);
-  EXPECT_EQ(ufs.behavior().journal_interval, 0u);
+  EXPECT_EQ(ufs.behavior().metadata_interval, Bytes{0});
+  EXPECT_EQ(ufs.behavior().journal_interval, Bytes{0});
   EXPECT_EQ(ufs.behavior().name, "UFS");
   // Far deeper application-managed window than kernel readahead.
   EXPECT_GE(ufs.behavior().queue_depth, 4u);
@@ -174,7 +174,7 @@ TEST(Ufs, ObjectApiAllocatesAndFrees) {
   UnifiedFileSystem ufs(config);
   const auto a = ufs.create_object(100 * MiB);
   ASSERT_TRUE(a.has_value());
-  const auto out = ufs.submit_object(*a, {NvmOp::kWrite, 0, 4 * MiB, 0});
+  const auto out = ufs.submit_object(*a, {NvmOp::kWrite, Bytes{}, 4 * MiB, Time{}});
   ASSERT_FALSE(out.empty());
   EXPECT_TRUE(ufs.remove_object(*a));
 }
@@ -195,7 +195,7 @@ TEST(Ufs, FragmentedObjectSplitsOnExtentBoundariesOnly) {
   const auto e = ufs.create_object(16 * MiB);  // Must stitch two 8 MiB holes.
   ASSERT_TRUE(e.has_value());
   EXPECT_EQ(ufs.object(*e)->extents.size(), 2u);
-  const auto out = ufs.submit_object(*e, {NvmOp::kRead, 0, 16 * MiB, 0});
+  const auto out = ufs.submit_object(*e, {NvmOp::kRead, Bytes{}, 16 * MiB, Time{}});
   EXPECT_EQ(out.size(), 2u);  // One request per extent — still huge pieces.
 }
 

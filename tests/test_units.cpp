@@ -1,0 +1,221 @@
+// Tests for the strong Time/Bytes unit types (src/common/units.hpp).
+//
+// Two kinds of guarantees are pinned here:
+//   1. Compile-time: dimensional mixups (raw int -> Time, double -> Time,
+//      Time + Bytes, ...) must not compile. Proven with static_asserts
+//      over type traits and detection idioms — a regression turns into a
+//      compile failure of this TU, which CI treats like any other error.
+//   2. Run-time: transfer_time() computes an exact integer ceiling, and
+//      replay is environment-order independent.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/configs.hpp"
+#include "cluster/engine.hpp"
+#include "cluster/experiment.hpp"
+#include "common/units.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmooc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-fail proofs. Each assert documents a mixup the old `using Time =
+// std::int64_t` alias silently accepted.
+
+// Raw integers no longer convert implicitly; construction must be spelled.
+static_assert(!std::is_convertible_v<int, Time>);
+static_assert(!std::is_convertible_v<std::int64_t, Time>);
+static_assert(!std::is_convertible_v<unsigned long long, Bytes>);
+static_assert(std::is_constructible_v<Time, int>);
+static_assert(std::is_constructible_v<Bytes, std::size_t>);
+
+// Floating point cannot construct Time at all — not even explicitly.
+// from_seconds() is the single sanctioned conversion.
+static_assert(!std::is_constructible_v<Time, double>);
+static_assert(!std::is_constructible_v<Time, float>);
+
+// Units do not cross-convert.
+static_assert(!std::is_convertible_v<Time, Bytes>);
+static_assert(!std::is_convertible_v<Bytes, Time>);
+static_assert(!std::is_constructible_v<Time, Bytes>);
+static_assert(!std::is_constructible_v<Bytes, Time>);
+
+// Reading a value back out requires an explicit accessor or cast.
+static_assert(!std::is_convertible_v<Time, std::int64_t>);
+static_assert(!std::is_convertible_v<Bytes, std::uint64_t>);
+
+// Detection idiom: `a + b` (and friends) must be ill-formed for
+// dimensionally nonsensical operand pairs.
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B, std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanMultiply : std::false_type {};
+template <typename A, typename B>
+struct CanMultiply<A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type {};
+template <typename A, typename B>
+struct CanCompare<A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+static_assert(CanAdd<Time, Time>::value);
+static_assert(CanAdd<Bytes, Bytes>::value);
+static_assert(!CanAdd<Time, Bytes>::value);   // seconds + bytes: nonsense
+static_assert(!CanAdd<Bytes, Time>::value);
+static_assert(!CanAdd<Time, int>::value);     // unit + raw count: spell the unit
+static_assert(!CanAdd<int, Time>::value);
+static_assert(!CanAdd<Bytes, int>::value);
+
+static_assert(CanMultiply<Time, int>::value);  // scaling by a count is fine
+static_assert(CanMultiply<int, Bytes>::value);
+static_assert(!CanMultiply<Time, Time>::value);   // seconds^2 has no meaning here
+static_assert(!CanMultiply<Bytes, Bytes>::value);
+static_assert(!CanMultiply<Time, Bytes>::value);
+static_assert(!CanMultiply<Time, double>::value);  // float scaling must be explicit
+
+static_assert(CanCompare<Time, Time>::value);
+static_assert(!CanCompare<Time, Bytes>::value);
+static_assert(!CanCompare<Time, int>::value);
+
+// Division is dimensional: T/T is a pure count, T/int is T.
+static_assert(std::is_same_v<decltype(std::declval<Time>() / std::declval<Time>()),
+                             std::int64_t>);
+static_assert(std::is_same_v<decltype(std::declval<Bytes>() / std::declval<Bytes>()),
+                             std::uint64_t>);
+static_assert(std::is_same_v<decltype(std::declval<Time>() / 4), Time>);
+static_assert(std::is_same_v<decltype(std::declval<Bytes>() % std::declval<Bytes>()),
+                             Bytes>);
+
+// ---------------------------------------------------------------------------
+// Run-time arithmetic sanity.
+
+TEST(Units, ConstantsCompose) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kSecond, 1'000'000 * kMicrosecond);
+  EXPECT_EQ(MiB, 1024 * KiB);
+  EXPECT_EQ((GiB / MiB), 1024u);
+}
+
+TEST(Units, RoundTripAccessors) {
+  const Time t{123'456'789};
+  EXPECT_EQ(t.ps(), 123'456'789);
+  EXPECT_EQ(Time{t.ps()}, t);
+  const Bytes b{987'654};
+  EXPECT_EQ(b.value(), 987'654u);
+}
+
+TEST(Units, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.5e-6), Time{500'000});  // 0.5 us in ps
+  EXPECT_EQ(to_seconds(kSecond), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// transfer_time(): exact integer ceiling of bytes / rate, in picoseconds.
+// The old implementation added 0.999999 before truncating — a pseudo-ceil
+// that undershoots when the fractional part is below 1e-6 and overshoots
+// on exact quotients.
+
+TEST(TransferTime, ExactQuotientIsNotBumped) {
+  // 1 byte at 1 GB/s is exactly 1 ns: ceil(1000) == 1000, the +0.999999
+  // pseudo-ceiling would have been right here only by truncation luck;
+  // an exact quotient must stay exact.
+  EXPECT_EQ(transfer_time(Bytes{1}, 1e9), kNanosecond);
+  // 4096 B at 4096 GB/s = exactly 1 ns.
+  EXPECT_EQ(transfer_time(Bytes{4096}, 4096e9), kNanosecond);
+  // 1 GiB at 1 GiB/s = exactly 1 s.
+  EXPECT_EQ(transfer_time(GiB, static_cast<double>(GiB)), kSecond);
+}
+
+TEST(TransferTime, TinyFractionStillCeils) {
+  // 10^12 + 1 bytes at 10^12 B/s: true time is 1 s + 1 ps. The fractional
+  // part (1e-12) is far below the old 0.999999 fudge, which truncated to
+  // exactly 1 s — undershooting the physically required time.
+  const Bytes payload{1'000'000'000'001ULL};
+  EXPECT_EQ(transfer_time(payload, 1e12), kSecond + kPicosecond);
+}
+
+TEST(TransferTime, NeverUndershoots) {
+  // ceil(q) * rate >= bytes must hold for every checked pair: the modeled
+  // wire cannot move bytes faster than its rate.
+  const double rates[] = {1.0, 3.0, 7.5e3, 1e6, 2.5e9, 1e12, 9.9e13};
+  const Bytes sizes[] = {Bytes{1},       Bytes{511},        Bytes{4096},
+                         Bytes{123'457}, 64 * KiB,          3 * MiB,
+                         GiB,            Bytes{0xFFFFFFFFu}};
+  for (double rate : rates) {
+    for (Bytes size : sizes) {
+      const Time t = transfer_time(size, rate);
+      // Transfers longer than int64 picoseconds (~107 days) saturate at
+      // Time::max() by design; the tight-ceiling invariant applies only
+      // to representable results.
+      if (t == Time::max()) continue;
+      const double seconds = to_seconds(t);
+      EXPECT_GE(seconds * rate, static_cast<double>(size) * (1.0 - 1e-9))
+          << "undershoot: " << size.value() << " B @ " << rate << " B/s";
+      // And it is a *tight* ceiling: one ps less would undershoot.
+      if (t > kPicosecond) {
+        const double less = to_seconds(t - kPicosecond);
+        EXPECT_LT(less * rate, static_cast<double>(size) * (1.0 + 1e-9))
+            << "slack: " << size.value() << " B @ " << rate << " B/s";
+      }
+    }
+  }
+}
+
+TEST(TransferTime, HugeTransfersSaturate) {
+  // bytes * 1e12 overflows int64 picoseconds -> saturate, don't wrap.
+  EXPECT_EQ(transfer_time(Bytes{std::numeric_limits<std::uint64_t>::max()}, 1.0),
+            Time::max());
+  EXPECT_EQ(transfer_time(GiB, 1e-30), Time::max());
+}
+
+TEST(TransferTime, DegenerateInputs) {
+  EXPECT_EQ(transfer_time(Bytes{}, 1e9), Time{});
+  EXPECT_EQ(transfer_time(Bytes{100}, 0.0), Time{});
+  EXPECT_EQ(transfer_time(Bytes{100}, -5.0), Time{});
+  EXPECT_EQ(transfer_time(Bytes{100}, std::numeric_limits<double>::infinity()),
+            Time{});
+}
+
+// ---------------------------------------------------------------------------
+// Replay determinism: the simulator's headline contract. Two experiment
+// runs in the same process — with a pile of heap and hash-table churn
+// between them to shift allocator state and hash seeds — must serialize
+// to byte-identical JSON.
+
+TEST(Determinism, ReplayIsEnvironmentOrderIndependent) {
+  const ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
+  const Trace trace = sequential_read_trace(32 * MiB, 256 * KiB);
+
+  const ExperimentResult first = run_experiment(config, trace);
+
+  // Perturb the environment: allocations of varying sizes and an
+  // unordered_map grown to a different bucket count. If any sim state
+  // leaked through pointers or hash iteration, the replay would drift.
+  std::vector<std::vector<char>> churn;
+  for (int i = 1; i < 64; ++i) churn.emplace_back(static_cast<std::size_t>(i) * 977);
+  std::unordered_map<std::uint64_t, std::uint64_t> noise;
+  for (std::uint64_t i = 0; i < 10'000; ++i) noise[i * 2654435761ULL] = i;
+  ASSERT_EQ(noise.size(), 10'000u);
+
+  const ExperimentResult second = run_experiment(config, trace);
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_EQ(first.makespan, second.makespan);
+}
+
+}  // namespace
+}  // namespace nvmooc

@@ -1,0 +1,37 @@
+// Fixture: SL001 wall-clock. Simulation code reading the host clock makes
+// latencies depend on machine load — replay is no longer bit-identical.
+// Each violating line carries a `simlint-expect` marker consumed by
+// `simlint.py --self-test`.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long bad_now_ns() {
+  auto t = std::chrono::steady_clock::now();  // simlint-expect: SL001
+  return std::chrono::duration_cast<          // simlint-expect: SL001
+             std::chrono::nanoseconds>(       // simlint-expect: SL001
+             t.time_since_epoch())
+      .count();
+}
+
+long bad_epoch() {
+  return static_cast<long>(time(nullptr));  // simlint-expect: SL001
+}
+
+long bad_cpu_clock() {
+  return static_cast<long>(std::clock());  // simlint-expect: SL001
+}
+
+// Non-violations the matcher must not trip on: identifiers that merely
+// contain "time", and prose in comments/strings about std::chrono.
+long media_time(long x) { return x; }
+long ok_call() { return media_time(3); }
+const char* ok_string() { return "uses std::chrono::steady_clock"; }
+
+// Suppression: an annotated line is not reported.
+long allowed_now() {
+  return static_cast<long>(time(nullptr));  // simlint: allow(wall-clock) -- fixture demo
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: SL002 ambient-rng. Randomness that does not flow from the
+// experiment's seeded nvmooc::Rng cannot be replayed.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_c_rand() {
+  srand(42);              // simlint-expect: SL002
+  return rand();          // simlint-expect: SL002
+}
+
+unsigned bad_entropy_seed() {
+  std::random_device rd;  // simlint-expect: SL002
+  return rd();
+}
+
+// Non-violations: words containing "rand" and member calls named rand.
+struct Operand {
+  int rand_field = 0;
+  int operand() const { return rand_field; }
+};
+int ok_identifier(const Operand& o) { return o.operand(); }
+
+}  // namespace fixture

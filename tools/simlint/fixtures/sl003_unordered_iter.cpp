@@ -1,0 +1,65 @@
+// Fixture: SL003 unordered-iter. Hash-table iteration order is
+// implementation-defined; folding over it in sim-affecting code breaks
+// bit-identical replay across standard-library versions.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tables {
+  std::unordered_map<int, long> latency_by_stream_;
+  std::unordered_set<std::string> hot_files_;
+  std::map<int, long> ordered_totals_;
+};
+
+long bad_member_fold(const Tables& t) {
+  long sum = 0;
+  for (const auto& [stream, latency] : t.latency_by_stream_) {  // simlint-expect: SL003
+    sum = sum * 31 + latency;
+  }
+  return sum;
+}
+
+long bad_inline_type() {
+  std::unordered_map<int, long> local_counts_;
+  long acc = 0;
+  for (const auto& [k, v] : local_counts_) {  // simlint-expect: SL003
+    acc += k ^ v;
+  }
+  return acc;
+}
+
+// Ordered containers iterate deterministically — no finding.
+long ok_ordered(const Tables& t) {
+  long sum = 0;
+  for (const auto& [k, v] : t.ordered_totals_) sum += v;
+  return sum;
+}
+
+// Order-independent folds may be annotated rather than rewritten.
+long allowed_min(const Tables& t) {
+  long best = 1L << 60;
+  // simlint: allow(unordered-iter) -- min is an order-independent fold.
+  for (const auto& [stream, latency] : t.latency_by_stream_) {
+    if (latency < best) best = latency;
+  }
+  return best;
+}
+
+// A name declared as *both* ordered and unordered in the closure is
+// ambiguous; the matcher engine must skip it (no false positive).
+struct MixedA {
+  std::unordered_map<int, long> mixed_counts_;
+};
+struct MixedB {
+  std::map<int, long> mixed_counts_;
+};
+long ok_ambiguous(const MixedB& o) {
+  long sum = 0;
+  for (const auto& [k, v] : o.mixed_counts_) sum += v;
+  return sum;
+}
+
+}  // namespace fixture

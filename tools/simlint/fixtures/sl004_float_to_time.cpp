@@ -1,0 +1,31 @@
+// Fixture: SL004 float-to-time. Time's constructor takes integers only;
+// going through a cast launders a float in with rounding decided ad hoc
+// at every call site. from_seconds() is the single sanctioned route.
+#include <cstdint>
+
+namespace fixture {
+
+// Stand-in for nvmooc::Time so the fixture is self-contained.
+struct Time {
+  std::int64_t ps_ = 0;
+};
+
+Time bad_literal_scale(Time t) {
+  return Time{static_cast<std::int64_t>(t.ps_ * 1.5)};  // simlint-expect: SL004
+}
+
+Time bad_double_cast(Time t, int factor) {
+  return Time{static_cast<std::int64_t>(                // simlint-expect: SL004
+      static_cast<double>(t.ps_) * factor)};
+}
+
+// Integer arithmetic into Time is exact — no finding.
+Time ok_integer(Time t, int factor) { return Time{t.ps_ * factor}; }
+
+// A documented truncation-preserving site may be annotated.
+Time allowed_ladder(Time t, double scale) {
+  // simlint: allow(float-to-time) -- preserves pre-migration truncation.
+  return Time{static_cast<std::int64_t>(static_cast<double>(t.ps_) * scale)};
+}
+
+}  // namespace fixture

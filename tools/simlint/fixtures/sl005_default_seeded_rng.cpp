@@ -1,0 +1,25 @@
+// Fixture: SL005 default-seeded-rng. Default-constructed std <random>
+// engines are deterministic per the standard, but distributions consuming
+// them are not portable across standard libraries, and an implicit seed
+// hides the replay contract. Seeds must be explicit.
+#include <random>
+
+namespace fixture {
+
+unsigned bad_default_member() {
+  std::mt19937 gen;          // simlint-expect: SL005
+  return gen();
+}
+
+unsigned bad_default_engine() {
+  std::default_random_engine engine;  // simlint-expect: SL005
+  return engine();
+}
+
+// Explicitly seeded engines are auditable — no finding.
+unsigned ok_seeded(unsigned seed) {
+  std::mt19937_64 gen{seed};
+  return static_cast<unsigned>(gen());
+}
+
+}  // namespace fixture

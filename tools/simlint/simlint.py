@@ -1,0 +1,585 @@
+#!/usr/bin/env python3
+"""simlint — project-specific static analysis for the nvmooc simulator.
+
+The simulator's headline guarantee is *bit-identical replay*: the same
+scenario and seed must produce the same ExperimentResult on every run,
+on every machine.  The rules here reject the constructs that historically
+break that guarantee, plus unit-safety escapes around the strong Time /
+Bytes wrapper types (src/common/units.hpp).
+
+Rules
+-----
+  SL001 wall-clock          std::chrono / time() / gettimeofday / clock()
+                            outside the observability allowlist.  Sim code
+                            must read time from the simulated clock only.
+  SL002 ambient-rng         rand() / srand() / std::random_device /
+                            /dev/urandom.  All randomness must flow from a
+                            seeded nvmooc::Rng carried through the call
+                            graph.
+  SL003 unordered-iter      Iteration over std::unordered_{map,set} in
+                            sim-affecting code.  Hash-table iteration
+                            order is implementation-defined and varies
+                            with libstdc++ version, so any fold over it
+                            that is not order-independent breaks replay.
+  SL004 float-to-time       Floating-point values laundered into Time
+                            through the integral constructor (e.g.
+                            Time{static_cast<int64_t>(x * 1.5)}).  The
+                            sanctioned conversion is from_seconds(), which
+                            documents its rounding in one place.
+  SL005 default-seeded-rng  A std <random> engine declared without an
+                            explicit seed.  Default-constructed engines
+                            are deterministic per the standard but differ
+                            across implementations; an explicit seed makes
+                            the intent auditable.
+
+Engines
+-------
+  --engine matcher   (default fallback) A token-level matcher: comments,
+                     string and char literals are stripped before rules
+                     run, and SL003 resolves container member types
+                     through the translation unit's in-project include
+                     closure.  No third-party dependencies.
+  --engine libclang  AST-accurate matching via clang.cindex when the
+                     libclang Python bindings are installed.  Falls back
+                     with a notice under --engine auto when they are not.
+                     The matcher engine is the one CI gates on so results
+                     do not depend on toolchain availability.
+
+Suppression
+-----------
+  Inline:     // simlint: allow(unordered-iter) -- reason
+              on the offending line or the line directly above it.
+  Allowlist:  tools/simlint/simlint.conf maps rules to path globs
+              (e.g. the observability layer may read the wall clock to
+              stamp Chrome-trace exports).
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_CONF = os.path.join(os.path.dirname(os.path.abspath(__file__)), "simlint.conf")
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+RULE_NAMES = {
+    "SL001": "wall-clock",
+    "SL002": "ambient-rng",
+    "SL003": "unordered-iter",
+    "SL004": "float-to-time",
+    "SL005": "default-seeded-rng",
+}
+NAME_TO_ID = {v: k for k, v in RULE_NAMES.items()}
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule} {RULE_NAMES[self.rule]}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Source preprocessing: strip comments and string/char literals so rules
+# never fire on prose, while keeping line numbers stable.  Inline allow
+# annotations are harvested from comments *before* stripping.
+
+ALLOW_RE = re.compile(r"simlint:\s*allow\(([\w\-*,\s]+)\)")
+
+
+def preprocess(text: str):
+    """Return (stripped_lines, allows) where allows maps line-no -> set of
+    rule ids suppressed on that line and the next."""
+    out = []
+    allows = {}
+    i = 0
+    n = len(text)
+    line = 1
+    buf = []
+
+    def note_allow(comment: str, lineno: int) -> None:
+        m = ALLOW_RE.search(comment)
+        if not m:
+            return
+        rules = set()
+        for token in m.group(1).split(","):
+            token = token.strip()
+            if token == "*":
+                rules.add("*")
+            elif token in RULE_NAMES:
+                rules.add(token)
+            elif token in NAME_TO_ID:
+                rules.add(NAME_TO_ID[token])
+        allows.setdefault(lineno, set()).update(rules)
+
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            note_allow(text[i:j], line)
+            buf.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            comment = text[i:j]
+            note_allow(comment, line)
+            for ch in comment:
+                buf.append("\n" if ch == "\n" else " ")
+            line += comment.count("\n")
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            buf.append(quote + " " * max(0, j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            if c == "\n":
+                line += 1
+            buf.append(c)
+            i += 1
+    return "".join(buf).split("\n"), allows
+
+
+# --------------------------------------------------------------------------
+# Include-closure resolution (for SL003 member-type lookup).
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class IncludeGraph:
+    """Resolves project-relative #include "..." directives the way the
+    build does (-I src), memoizing each file's transitive closure."""
+
+    def __init__(self, src_root: str):
+        self.src_root = src_root
+        self._direct = {}
+        self._closure = {}
+
+    def _resolve(self, from_file: str, inc: str):
+        local = os.path.normpath(os.path.join(os.path.dirname(from_file), inc))
+        if os.path.isfile(local):
+            return local
+        rooted = os.path.normpath(os.path.join(self.src_root, inc))
+        if os.path.isfile(rooted):
+            return rooted
+        return None
+
+    def direct(self, path: str):
+        if path not in self._direct:
+            deps = []
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    for raw in f:
+                        m = INCLUDE_RE.match(raw)
+                        if m:
+                            resolved = self._resolve(path, m.group(1))
+                            if resolved:
+                                deps.append(resolved)
+            except OSError:
+                pass
+            self._direct[path] = deps
+        return self._direct[path]
+
+    def closure(self, path: str):
+        if path in self._closure:
+            return self._closure[path]
+        seen = set()
+        stack = [path]
+        while stack:
+            p = stack.pop()
+            if p in seen:
+                continue
+            seen.add(p)
+            stack.extend(self.direct(p))
+        self._closure[path] = seen
+        return seen
+
+
+# --------------------------------------------------------------------------
+# Matcher-engine rules.  Each takes the stripped lines (and context) and
+# yields (lineno, rule_id, message).
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"std\s*::\s*chrono\b"), "std::chrono"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)?\s*\)"), "time()"),
+    (re.compile(r"(?<![\w:.>])(?:gettimeofday|clock_gettime|timespec_get)\s*\("), "POSIX clock"),
+    (re.compile(r"std\s*::\s*clock\s*\("), "std::clock()"),
+    (re.compile(r"(?<![\w:.>])(?:localtime|gmtime|mktime)\s*\("), "calendar time"),
+]
+
+AMBIENT_RNG_PATTERNS = [
+    (re.compile(r"(?<![\w:.>])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"random_device\b"), "random_device"),
+    (re.compile(r"/dev/u?random"), "/dev/urandom"),
+]
+
+STD_ENGINES = r"(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b)"
+# An engine declared with no constructor argument: `std::mt19937 gen;` or
+# `std::mt19937 gen{};` or `std::mt19937 gen{}` as a member.
+DEFAULT_SEEDED_RE = re.compile(
+    r"std\s*::\s*" + STD_ENGINES + r"\s+\w+\s*(?:;|\{\s*\}|\(\s*\))")
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?<!\w)(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*(?:;|\{|=)")
+ORDERED_DECL_RE = re.compile(
+    r"(?<![\w_])(?:std\s*::\s*)?(?:map|set|multimap|multiset|vector|deque|array|list)\s*<[^;{}]*>\s+(\w+)\s*(?:;|\{|=)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^)]*)\)")
+ITER_CALL_RE = re.compile(r"\b([\w.\->\[\]()]+?)[.\->]+(?:begin|cbegin|rbegin)\s*\(\s*\)")
+
+FLOAT_TO_TIME_RE = re.compile(
+    r"\bTime\s*\{(?=[^{}]*(?:\d\.\d|\.\d+\b|\d\.(?:[^\w]|$)|\de[+-]?\d|static_cast\s*<\s*(?:double|float)\s*>|\b(?:double|float)\b))")
+
+
+def _sequence_name(expr: str):
+    """Extract a trailing identifier from a range-for sequence expression
+    (e.g. `wear.erase_counts_` -> `erase_counts_`)."""
+    expr = expr.strip()
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    return m.group(1) if m else None
+
+
+def run_matcher_rules(path: str, lines, graph: IncludeGraph, closure_texts):
+    findings = []
+    joined = "\n".join(lines)
+
+    for lineno, line in enumerate(lines, 1):
+        for pattern, what in WALL_CLOCK_PATTERNS:
+            if pattern.search(line):
+                findings.append((lineno, "SL001",
+                                 f"{what}: wall-clock source in simulation code; "
+                                 "use the simulated clock (Time) instead"))
+                break
+        for pattern, what in AMBIENT_RNG_PATTERNS:
+            if pattern.search(line):
+                findings.append((lineno, "SL002",
+                                 f"{what}: ambient randomness; thread a seeded "
+                                 "nvmooc::Rng through instead"))
+                break
+        if DEFAULT_SEEDED_RE.search(line):
+            findings.append((lineno, "SL005",
+                             "std <random> engine without an explicit seed; "
+                             "pass a seed so replay is auditable"))
+
+    # SL004 scans the joined text so a Time{...} construct split across
+    # lines (clang-format loves these) is still seen whole; [^{}]* keeps
+    # the lookahead inside the braced initializer.
+    for m in FLOAT_TO_TIME_RE.finditer(joined):
+        lineno = joined.count("\n", 0, m.start()) + 1
+        findings.append((lineno, "SL004",
+                         "floating-point expression constructs Time directly; "
+                         "use from_seconds() (single documented rounding site)"))
+
+    # SL003: iteration over unordered containers.
+    #  a) the sequence expression itself names an unordered type;
+    #  b) the sequence is an identifier declared as an unordered container
+    #     somewhere in this TU's in-project include closure — and nowhere
+    #     declared as an ordered one (ambiguous names are skipped so a
+    #     member like `erase_counts_` that is ordered in one class and
+    #     unordered in another never yields a false positive).
+    def container_kinds(name: str):
+        unordered = ordered = False
+        for text in closure_texts:
+            for m in UNORDERED_DECL_RE.finditer(text):
+                if m.group(1) == name:
+                    unordered = True
+            for m in ORDERED_DECL_RE.finditer(text):
+                if m.group(1) == name:
+                    ordered = True
+        return unordered, ordered
+
+    for m in RANGE_FOR_RE.finditer(joined):
+        seq = m.group(2)
+        lineno = joined.count("\n", 0, m.start()) + 1
+        if re.search(r"unordered_(?:map|set|multimap|multiset)", seq):
+            findings.append((lineno, "SL003",
+                             "range-for over an unordered container; iteration "
+                             "order is not replay-stable"))
+            continue
+        name = _sequence_name(seq)
+        if not name:
+            continue
+        unordered, ordered = container_kinds(name)
+        if unordered and not ordered:
+            findings.append((lineno, "SL003",
+                             f"range-for over `{name}`, declared as an unordered "
+                             "container; iteration order is not replay-stable"))
+
+    for m in ITER_CALL_RE.finditer(joined):
+        name = _sequence_name(m.group(1))
+        if not name:
+            continue
+        lineno = joined.count("\n", 0, m.start()) + 1
+        unordered, ordered = container_kinds(name)
+        if unordered and not ordered:
+            findings.append((lineno, "SL003",
+                             f"iterator walk over `{name}`, declared as an "
+                             "unordered container; order is not replay-stable"))
+
+    return findings
+
+
+# --------------------------------------------------------------------------
+# libclang engine (optional; AST-accurate).
+
+def run_libclang_rules(path: str, compile_args):
+    import clang.cindex as ci  # noqa: deferred import; availability gated by caller
+
+    index = ci.Index.create()
+    tu = index.parse(path, args=compile_args)
+    findings = []
+
+    def type_is_unordered(t) -> bool:
+        spelling = t.get_canonical().spelling
+        return "unordered_map" in spelling or "unordered_set" in spelling
+
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.location.file is None or cursor.location.file.name != path:
+            continue
+        lineno = cursor.location.line
+        if cursor.kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(cursor.get_children())
+            if children and type_is_unordered(children[-2].type):
+                findings.append((lineno, "SL003",
+                                 "range-for over an unordered container (AST)"))
+        elif cursor.kind == ci.CursorKind.DECL_REF_EXPR:
+            if cursor.spelling in ("rand", "srand", "gettimeofday", "clock_gettime"):
+                rule = "SL002" if "rand" in cursor.spelling else "SL001"
+                findings.append((lineno, rule, f"call to {cursor.spelling} (AST)"))
+        elif cursor.kind == ci.CursorKind.NAMESPACE_REF and cursor.spelling == "chrono":
+            findings.append((lineno, "SL001", "std::chrono (AST)"))
+        elif cursor.kind == ci.CursorKind.VAR_DECL:
+            spelling = cursor.type.get_canonical().spelling
+            if "random_device" in spelling:
+                findings.append((lineno, "SL002", "std::random_device (AST)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Configuration and driver.
+
+def load_conf(conf_path: str):
+    """Allowlist: `<rule-id-or-name> <path glob relative to repo root>`."""
+    allow = []
+    if not os.path.isfile(conf_path):
+        return allow
+    with open(conf_path, encoding="utf-8") as f:
+        for raw in f:
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                print(f"simlint: bad conf line ignored: {stripped!r}", file=sys.stderr)
+                continue
+            rule, glob = parts
+            rule_id = rule if rule in RULE_NAMES else NAME_TO_ID.get(rule)
+            if rule_id is None and rule != "*":
+                print(f"simlint: unknown rule in conf: {rule!r}", file=sys.stderr)
+                continue
+            allow.append((rule_id or "*", glob))
+    return allow
+
+
+def conf_allows(allowlist, rule: str, rel_path: str) -> bool:
+    for allowed_rule, glob in allowlist:
+        if allowed_rule not in ("*", rule):
+            continue
+        if fnmatch.fnmatch(rel_path, glob) or fnmatch.fnmatch(rel_path, glob.rstrip("/") + "/*"):
+            return True
+    return False
+
+
+def discover_files(compile_commands: str, roots):
+    """TU sources from compile_commands.json plus all project headers under
+    the given roots; falls back to a plain glob when the database is
+    missing (e.g. tree not configured yet)."""
+    files = set()
+    if compile_commands and os.path.isfile(compile_commands):
+        with open(compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                src = os.path.normpath(os.path.join(entry.get("directory", ""), entry["file"]))
+                if any(src.startswith(os.path.abspath(r) + os.sep) for r in roots):
+                    files.add(src)
+    for root in roots:
+        for dirpath, _, names in os.walk(root):
+            for name in names:
+                if name.endswith((".hpp", ".h", ".cpp", ".cc")):
+                    files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: str):
+    try:
+        text = open(path, encoding="utf-8", errors="replace").read()
+    except OSError as e:
+        print(f"simlint: cannot read {path}: {e}", file=sys.stderr)
+        return []
+    lines, inline_allows = preprocess(text)
+
+    closure_texts = []
+    for dep in graph.closure(path):
+        try:
+            dep_lines, _ = preprocess(open(dep, encoding="utf-8", errors="replace").read())
+            closure_texts.append("\n".join(dep_lines))
+        except OSError:
+            pass
+
+    raw = run_matcher_rules(path, lines, graph, closure_texts)
+    if engine == "libclang":
+        try:
+            raw += run_libclang_rules(path, ["-std=c++20", f"-I{src_root}"])
+        except ImportError:
+            print("simlint: libclang bindings unavailable; matcher results only",
+                  file=sys.stderr)
+
+    rel = os.path.relpath(path, REPO_ROOT)
+    findings = []
+    seen = set()
+    for lineno, rule, message in raw:
+        key = (lineno, rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        suppressed = inline_allows.get(lineno, set()) | inline_allows.get(lineno - 1, set())
+        if rule in suppressed or "*" in suppressed:
+            continue
+        if conf_allows(allowlist, rule, rel):
+            continue
+        findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: every fixture carries `// simlint-expect: SL00X` markers on
+# its violating lines; the checker must report exactly those findings.
+
+EXPECT_RE = re.compile(r"//\s*simlint-expect:\s*(SL\d{3}(?:\s*,\s*SL\d{3})*)")
+
+
+def self_test() -> int:
+    failures = 0
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, f)
+        for f in os.listdir(FIXTURE_DIR)
+        if f.endswith(".cpp"))
+    if not fixtures:
+        print("simlint --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    graph = IncludeGraph(FIXTURE_DIR)
+    for path in fixtures:
+        expected = set()
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    for rule in re.split(r"\s*,\s*", m.group(1)):
+                        expected.add((lineno, rule))
+        got = {(f.line, f.rule) for f in lint_file(path, graph, "matcher", [], FIXTURE_DIR)}
+        name = os.path.basename(path)
+        missing = expected - got
+        spurious = got - expected
+        if missing or spurious:
+            failures += 1
+            print(f"FAIL {name}")
+            for lineno, rule in sorted(missing):
+                print(f"  expected but not reported: line {lineno} {rule}")
+            for lineno, rule in sorted(spurious):
+                print(f"  reported but not expected: line {lineno} {rule}")
+        else:
+            label = f"{len(expected)} expected finding(s)" if expected else "clean"
+            print(f"PASS {name} ({label})")
+    if failures:
+        print(f"simlint --self-test: {failures} fixture(s) failed")
+        return 1
+    print(f"simlint --self-test: all {len(fixtures)} fixtures pass")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--compile-commands",
+                        default=os.path.join(REPO_ROOT, "build", "compile_commands.json"),
+                        help="compilation database for TU discovery")
+    parser.add_argument("--config", default=DEFAULT_CONF, help="allowlist file")
+    parser.add_argument("--engine", choices=("auto", "matcher", "libclang"),
+                        default="auto")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule against the checked-in fixtures")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name in sorted(RULE_NAMES.items()):
+            print(f"{rule_id}  {name}")
+        return 0
+    if args.self_test:
+        return self_test()
+
+    engine = args.engine
+    if engine == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+            engine = "libclang"
+        except ImportError:
+            engine = "matcher"
+
+    src_root = os.path.join(REPO_ROOT, "src")
+    roots = []
+    explicit_files = []
+    for p in args.paths or [src_root]:
+        p = os.path.abspath(p)
+        if os.path.isdir(p):
+            roots.append(p)
+        elif os.path.isfile(p):
+            explicit_files.append(p)
+        else:
+            print(f"simlint: no such path: {p}", file=sys.stderr)
+            return 2
+
+    allowlist = load_conf(args.config)
+    graph = IncludeGraph(src_root)
+    files = discover_files(args.compile_commands, roots) if roots else []
+    files = sorted(set(files) | set(explicit_files))
+
+    all_findings = []
+    for path in files:
+        all_findings.extend(lint_file(path, graph, engine, allowlist, src_root))
+
+    for finding in sorted(all_findings, key=lambda f: (f.path, f.line)):
+        print(finding)
+    if all_findings:
+        print(f"simlint: {len(all_findings)} finding(s) in {len(files)} file(s) "
+              f"[engine={engine}]", file=sys.stderr)
+        return 1
+    print(f"simlint: clean ({len(files)} files) [engine={engine}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
