@@ -9,12 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "common/table.hpp"
@@ -30,8 +34,22 @@ namespace nvmooc::bench {
 struct BenchOptions {
   obs::CliOptions obs;
   bool quick = false;          ///< Smaller workload for CI smoke runs.
+  bool audit = false;          ///< Invariant-audit every replay (see src/check).
   std::string headline_out;    ///< bench_headline JSON path override.
 };
+
+/// Audit mode state shared by the bench harness: whether --audit was
+/// passed, and how many invariant violations the audited replays
+/// accumulated (a nonzero total fails the binary).
+inline bool& audit_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+inline std::atomic<std::uint64_t>& audit_violations() {
+  static std::atomic<std::uint64_t> total{0};
+  return total;
+}
 
 inline BenchOptions strip_bench_options(int& argc, char** argv) {
   BenchOptions out;
@@ -47,9 +65,11 @@ inline BenchOptions strip_bench_options(int& argc, char** argv) {
     else if (const char* v = value("--log-level=")) out.obs.log_level = v;
     else if (const char* v = value("--headline-out=")) out.headline_out = v;
     else if (!std::strcmp(arg, "--quick")) out.quick = true;
+    else if (!std::strcmp(arg, "--audit")) out.audit = true;
     else argv[kept++] = argv[i];
   }
   argc = kept;
+  audit_enabled() = out.audit;
   return out;
 }
 
@@ -116,7 +136,18 @@ inline ResultBoard& board() {
 inline void run_config_benchmark(benchmark::State& state, const ExperimentConfig& config,
                                  const Trace& trace) {
   for (auto _ : state) {
+    // Under --audit each replay gets its own session (reports are
+    // per-replay); benchmarks may run on worker threads, and the
+    // thread-local install keeps them independent.
+    std::unique_ptr<check::AuditSession> audit;
+    if (audit_enabled()) audit = std::make_unique<check::AuditSession>();
     const ExperimentResult result = run_experiment(config, trace);
+    if (audit != nullptr && !result.audit.passed()) {
+      audit_violations() += result.audit.violation_count;
+      std::fprintf(stderr, "AUDIT FAIL %s/%s\n%s\n", config.name.c_str(),
+                   std::string(to_string(config.media)).c_str(),
+                   result.audit.summary().c_str());
+    }
     board().record(result);
     state.counters["achieved_MBps"] = result.achieved_mbps;
     state.counters["remaining_MBps"] = result.remaining_mbps;

@@ -3,12 +3,13 @@
 //
 // Run: ./build/examples/trace_replay --config=cnl-ufs --media=tlc
 //        [--trace=FILE | --pattern=seq|rand|strided] [--size-mib=256]
-//        [--faults=SCENARIO]
+//        [--faults=SCENARIO] [--audit]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "check/audit.hpp"
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "common/random.hpp"
@@ -27,6 +28,9 @@ const char* kUsage =
     "                    [--size-mib=N] [--request-kib=N] [--faults=SCENARIO]\n"
     "                    [--trace-out=FILE] [--metrics-out=FILE]\n"
     "                    [--result-out=FILE] [--log-level=debug|info|warn|error|off]\n"
+    "                    [--audit]  (verify conservation/causality/occupancy/FTL\n"
+    "                                invariants during the replay; exit 3 on any\n"
+    "                                violation)\n"
     "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
     "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
     "         cnl-native-8, cnl-native-16\n";
@@ -39,6 +43,14 @@ std::string option(int argc, char** argv, const char* key, const char* fallback)
     }
   }
   return fallback;
+}
+
+bool flag(int argc, char** argv, const char* key) {
+  const std::string want = std::string("--") + key;
+  for (int i = 1; i < argc; ++i) {
+    if (want == argv[i]) return true;
+  }
+  return false;
 }
 
 bool find_config(const std::string& name, NvmType media, ExperimentConfig& out) {
@@ -120,7 +132,12 @@ int main(int argc, char** argv) {
               trace.size(), static_cast<double>(stats.total_bytes) / static_cast<double>(MiB),
               stats.sequentiality, 100.0 * stats.read_fraction);
 
+  const bool audit = flag(argc, argv, "audit");
   const std::unique_ptr<obs::ObsSession> session = obs::make_session(obs_options);
+  // The audit session installs the thread-local auditor the hook sites
+  // check; the engine snapshots the verdict into result.audit.
+  std::unique_ptr<check::AuditSession> audit_session;
+  if (audit) audit_session = std::make_unique<check::AuditSession>();
   const ExperimentResult result = run_experiment(config, trace);
   if (!obs::write_outputs(session.get(), obs_options)) return 1;
   if (!result_out.empty()) {
@@ -169,8 +186,13 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.degraded_bytes) / static_cast<double>(MiB), r.effective_mbps);
     if (r.aborted) {
       std::printf("  ABORTED        %s\n", r.abort_reason.c_str());
-      return 2;
+      if (audit) std::printf("%s\n", result.audit.summary().c_str());
+      return result.audit.passed() ? 2 : 3;
     }
+  }
+  if (audit) {
+    std::printf("%s\n", result.audit.summary().c_str());
+    if (!result.audit.passed()) return 3;
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "cluster/window.hpp"
 #include "obs/obs.hpp"
 
@@ -123,6 +124,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   // simulation arithmetic below never depends on either.
   obs::TraceRecorder* recorder = obs::tracer();
   obs::MetricsRegistry* registry = obs::metrics();
+  // Invariant audit: null unless a check::AuditSession is installed on
+  // this thread; like obs, the simulation arithmetic never depends on it.
+  check::Auditor* aud = check::auditor();
   std::unique_ptr<LaneAllocator> lanes;
   std::uint32_t window_track = 0;
   if (recorder) {
@@ -146,15 +150,35 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
 
   for (const PosixRequest& posix : trace.requests()) {
     if (aborted) break;
-    for (const BlockRequest& device_request : path_->submit(posix)) {
+    const std::vector<BlockRequest> device_requests = path_->submit(posix);
+    if (aud != nullptr) {
+      // Conservation at the OoC/FS boundary: the I/O path must expand
+      // every application request into exactly its payload (journal and
+      // metadata traffic rides separately as internal bytes).
+      Bytes payload;
+      Bytes internal;
+      for (const BlockRequest& device_request : device_requests) {
+        (device_request.internal ? internal : payload) += device_request.size;
+      }
+      aud->posix_request(posix.size);
+      aud->io_path_grant(posix.size, payload, internal);
+    }
+    for (const BlockRequest& device_request : device_requests) {
       if (device_request.size == Bytes{}) continue;
 
       Time ready = std::max({cpu_free, barrier_gate, posix.not_before});
       if (device_request.barrier) ready = std::max(ready, all_done);
 
+      const std::uint64_t audit_id =
+          aud != nullptr ? aud->request_issued(ready) : 0;
+
       Time admit = device_window.admit(ready, device_request.size);
       cpu_free = admit + cpu_serial;
       const Time issue = cpu_free + added_latency;
+      if (aud != nullptr) {
+        aud->request_admitted(audit_id, admit);
+        aud->request_dispatched(audit_id, issue);
+      }
 
       Time completion;
       Time media_done;
@@ -224,6 +248,11 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
         if (network_dma_) rpc_window.launch(completion, device_request.size);
       }
 
+      if (aud != nullptr) {
+        aud->request_media(audit_id, media.media_begin, media.media_end);
+        aud->request_completed(audit_id, completion);
+      }
+
       const bool is_read = device_request.op == NvmOp::kRead;
       // For writes the data movement precedes the media: the inbound link
       // time that the media could not overlap is the gap between issue and
@@ -289,6 +318,8 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     }
     if (!aborted) completed_payload += posix.size;
   }
+
+  if (aud != nullptr && aborted) aud->replay_aborted();
 
   // ---- Derive the figures' quantities. --------------------------------
   ExperimentResult result;
@@ -377,6 +408,11 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     registry->gauge("engine.makespan_ms").set(static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));
     registry->gauge("engine.achieved_mbps").set(result.achieved_mbps);
     result.metrics = registry->snapshot();
+  }
+  if (aud != nullptr) {
+    // End-of-replay FTL sweep, then snapshot the verdict into the result.
+    ssd_->ftl().audit(*aud);
+    result.audit = aud->report();
   }
   return result;
 }

@@ -117,6 +117,38 @@ std::string ExperimentResult::to_json() const {
   w.field("effective_mbps", reliability.effective_mbps);
   w.end_object();
 
+  // Only audited replays carry the section: the schema for unaudited
+  // runs (including the golden file pin) is unchanged.
+  if (audit.enabled) {
+    w.key("audit");
+    w.begin_object();
+    w.field("passed", audit.passed());
+    w.field("violation_count", audit.violation_count);
+    w.field("aborted", audit.aborted);
+    w.field("requests_tracked", audit.requests_tracked);
+    w.field("requests_completed", audit.requests_completed);
+    w.field("requested_bytes", (audit.requested_bytes).value());
+    w.field("granted_payload_bytes", (audit.granted_payload_bytes).value());
+    w.field("granted_internal_bytes", (audit.granted_internal_bytes).value());
+    w.field("media_payload_bytes", (audit.media_payload_bytes).value());
+    w.field("media_internal_bytes", (audit.media_internal_bytes).value());
+    w.field("media_rmw_bytes", (audit.media_rmw_bytes).value());
+    w.field("media_retry_bytes", (audit.media_retry_bytes).value());
+    w.field("timelines", audit.timelines);
+    w.field("reservations", audit.reservations);
+    w.field("ftl_checks", audit.ftl_checks);
+    w.key("violations");
+    w.begin_array();
+    for (const check::AuditViolation& v : audit.violations) {
+      w.begin_object();
+      w.field("invariant", v.invariant);
+      w.field("detail", v.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.key("metrics");
   w.begin_array();
   for (const obs::MetricSnapshot& m : metrics) {

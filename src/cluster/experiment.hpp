@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "fs/filesystem.hpp"
 #include "interconnect/network.hpp"
 #include "interconnect/pcie.hpp"
@@ -90,6 +91,12 @@ struct ExperimentResult {
   /// Snapshot of the active metrics registry at the end of the replay;
   /// empty unless an obs::ObsSession with metrics was installed.
   std::vector<obs::MetricSnapshot> metrics;
+
+  /// Invariant-audit verdict (conservation/causality/occupancy/FTL);
+  /// enabled only when a check::AuditSession was installed for the
+  /// replay (--audit on the CLI surfaces). Serialised by to_json() under
+  /// "audit" when enabled, omitted otherwise.
+  check::AuditReport audit;
 
   /// Machine-readable export of everything above (schema documented in
   /// docs/OBSERVABILITY.md; stable field names, versioned).

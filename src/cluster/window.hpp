@@ -18,7 +18,7 @@ class Window {
   /// Earliest time a request of `bytes` may issue, given it is ready at
   /// `earliest`: pops completed in-flight entries (waiting for them when
   /// necessary) until the new request fits.
-  Time admit(Time earliest, Bytes bytes) {
+  [[nodiscard]] Time admit(Time earliest, Bytes bytes) {
     Time t = earliest;
     while (!inflight_.empty() &&
            ((byte_limit_ > Bytes{} && outstanding_ + bytes > byte_limit_) ||
@@ -36,7 +36,7 @@ class Window {
     outstanding_ += bytes;
   }
 
-  Bytes outstanding() const { return outstanding_; }
+  [[nodiscard]] Bytes outstanding() const { return outstanding_; }
 
  private:
   using Entry = std::pair<Time, Bytes>;

@@ -75,14 +75,14 @@ class BusyTracker {
   void add_interval(Time start, Time end);
 
   /// Total unioned busy time. Flattens lazily; amortised O(n log n).
-  Time busy_time() const;
+  [[nodiscard]] Time busy_time() const;
 
   /// busy_time() / window, clamped to [0, 1]. window <= 0 yields 0.
   double utilization(Time window) const;
 
   /// Sum of raw interval lengths (with overlap double-counted); useful for
   /// measuring demanded service time vs wall occupancy.
-  Time raw_time() const { return raw_time_; }
+  [[nodiscard]] Time raw_time() const { return raw_time_; }
 
   std::size_t interval_count() const { return intervals_.size(); }
 
@@ -90,7 +90,7 @@ class BusyTracker {
   void merge(const BusyTracker& other);
 
   /// Unioned busy time common to this tracker and `other` — the overlap.
-  Time intersect_time(const BusyTracker& other) const;
+  [[nodiscard]] Time intersect_time(const BusyTracker& other) const;
 
   /// Flattened (sorted, disjoint) interval list.
   const std::vector<std::pair<Time, Time>>& intervals() const {

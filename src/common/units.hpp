@@ -61,8 +61,9 @@ class Time {
   /// Picoseconds as a double, for throughput/ratio math at the edges.
   explicit constexpr operator double() const { return static_cast<double>(ps_); }
 
+  [[nodiscard]]
   static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
-  static constexpr Time zero() { return Time{}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{}; }
 
   constexpr auto operator<=>(const Time&) const = default;
 
@@ -136,8 +137,9 @@ class Bytes {
   /// Byte count as a double, for bandwidth math at the edges.
   explicit constexpr operator double() const { return static_cast<double>(n_); }
 
+  [[nodiscard]]
   static constexpr Bytes max() { return Bytes{std::numeric_limits<std::uint64_t>::max()}; }
-  static constexpr Bytes zero() { return Bytes{}; }
+  [[nodiscard]] static constexpr Bytes zero() { return Bytes{}; }
 
   constexpr auto operator<=>(const Bytes&) const = default;
 
@@ -216,7 +218,7 @@ constexpr double to_seconds(Time t) {
 
 /// Converts seconds to simulation Time, rounding to the nearest picosecond.
 /// This is the only sanctioned float -> Time conversion.
-constexpr Time from_seconds(double s) {
+[[nodiscard]] constexpr Time from_seconds(double s) {
   return Time{static_cast<std::int64_t>(s * static_cast<double>(kSecond) + 0.5)};
 }
 
@@ -240,7 +242,7 @@ constexpr double bytes_per_second(Bytes bytes, Time duration) {
 /// quotient is taken in 128-bit integer arithmetic, so the result never
 /// under- or over-shoots by a picosecond the way a `+0.999999` fudge term
 /// can, and huge transfers saturate at Time::max() instead of overflowing.
-constexpr Time transfer_time(Bytes bytes, double bytes_per_second) {
+[[nodiscard]] constexpr Time transfer_time(Bytes bytes, double bytes_per_second) {
   if (bytes_per_second <= 0.0 || bytes == Bytes{}) return Time{};
   if (!(bytes_per_second <= std::numeric_limits<double>::max())) return Time{};  // inf/NaN
 

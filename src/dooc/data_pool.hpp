@@ -36,7 +36,7 @@ class DataPool {
   void read(ArrayId id, Bytes offset, void* destination, Bytes size) const;
 
   bool is_sealed(ArrayId id) const;
-  Bytes size(ArrayId id) const;
+  [[nodiscard]] Bytes size(ArrayId id) const;
   std::uint32_t node_of(ArrayId id) const;
   std::size_t array_count() const;
 

@@ -46,7 +46,7 @@ class FaultInjectingStorage : public Storage {
   void write(Bytes offset, const void* source, Bytes size) override {
     backing_.write(offset, source, size);
   }
-  Bytes size() const override { return backing_.size(); }
+  [[nodiscard]] Bytes size() const override { return backing_.size(); }
 
   Stats stats() const;
 

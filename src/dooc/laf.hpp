@@ -53,7 +53,7 @@ class LafContext {
   LobpcgResult solve_lowest(OocMatrixHandle handle, const LobpcgOptions& options);
 
   std::size_t rows(OocMatrixHandle handle) const;
-  Bytes dataset_bytes(OocMatrixHandle handle) const;
+  [[nodiscard]] Bytes dataset_bytes(OocMatrixHandle handle) const;
   const LafStats& stats() const { return stats_; }
 
   /// Data migration directive: copies a sealed pool array onto this

@@ -88,7 +88,7 @@ class FileSystemModel : public IoPath {
 
   /// Device address for a logical data byte (exposed for the Figure 6
   /// pattern characterisation).
-  Bytes map_offset(Bytes logical) const;
+  [[nodiscard]] Bytes map_offset(Bytes logical) const;
 
  private:
   void append_data_requests(NvmOp op, Bytes device_offset, Bytes size,

@@ -34,7 +34,7 @@ struct LinkConfig {
     return gigatransfers_per_sec * 1e9 * lanes * encoding * bridge_efficiency / 8.0;
   }
 
-  Time payload_time(Bytes bytes) const { return transfer_time(bytes, byte_rate()); }
+  [[nodiscard]] Time payload_time(Bytes bytes) const { return transfer_time(bytes, byte_rate()); }
 
   std::string describe() const;
 };
@@ -53,7 +53,7 @@ class DmaEngine {
 
   const LinkConfig& config() const { return config_; }
   const BusyTracker& busy() const { return link_.busy(); }
-  Bytes bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] Bytes bytes_moved() const { return bytes_moved_; }
 
   /// Names the link's occupancy track in traces ("link.host", ...);
   /// unnamed links stay silent even when a tracer is installed.

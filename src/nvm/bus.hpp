@@ -25,7 +25,9 @@ struct BusConfig {
   }
 
   /// Time the bus is held to move `bytes`.
-  Time transfer_time(Bytes bytes) const { return ::nvmooc::transfer_time(bytes, byte_rate()); }
+  [[nodiscard]] Time transfer_time(Bytes bytes) const {
+    return ::nvmooc::transfer_time(bytes, byte_rate());
+  }
 
   std::string describe() const;
 };

@@ -41,14 +41,14 @@ class Die {
                           Time earliest, Time extra = {});
 
   /// Duration `cell_ops` activations would take (no reservation).
-  Time activation_time(NvmOp op, std::uint32_t page_in_block,
+  [[nodiscard]] Time activation_time(NvmOp op, std::uint32_t page_in_block,
                        std::uint32_t cell_ops) const;
 
   const NvmTiming& timing() const { return timing_; }
   std::uint32_t plane_count() const { return timing_.planes_per_die; }
 
   /// Busy time union over all planes — "the die was doing cell work".
-  Time busy_time() const;
+  [[nodiscard]] Time busy_time() const;
   const BusyTracker& plane_busy(std::uint32_t plane) const;
   const WearTracker& wear() const { return wear_; }
 

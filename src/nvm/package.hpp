@@ -32,11 +32,11 @@ class Package {
   /// `earliest`; returns the granted interval.
   Reservation reserve_flash_bus(Time earliest, Bytes bytes);
 
-  Time flash_bus_time(Bytes bytes) const { return bus_.transfer_time(bytes); }
+  [[nodiscard]] Time flash_bus_time(Bytes bytes) const { return bus_.transfer_time(bytes); }
 
   /// Busy when any die is doing cell work or the port is transferring —
   /// the paper's package-level utilisation numerator.
-  Time busy_time() const;
+  [[nodiscard]] Time busy_time() const;
 
   const Timeline& flash_bus() const { return flash_bus_; }
   const BusConfig& bus() const { return bus_; }

@@ -39,17 +39,17 @@ struct NvmTiming {
   /// wear accounting, not to fail the simulation).
   std::uint64_t endurance = 100'000;
 
-  /// Derived quantities ---------------------------------------------------
-  Bytes block_size() const { return page_size * pages_per_block; }
-  Bytes plane_size() const { return block_size() * blocks_per_plane; }
+  [[nodiscard]] /// Derived quantities ---------------------------------------------------
+  [[nodiscard]] Bytes block_size() const { return page_size * pages_per_block; }
+  [[nodiscard]] Bytes plane_size() const { return block_size() * blocks_per_plane; }
   Bytes die_size() const { return plane_size() * planes_per_die; }
 
   /// Deterministic per-page program latency: pages interleave fast/slow in
-  /// the bit-line order real MLC/TLC parts exhibit.
+  [[nodiscard]] /// the bit-line order real MLC/TLC parts exhibit.
   Time write_time_for_page(std::uint32_t page_in_block) const;
 
   /// Deterministic per-page read latency (PCM jitter modelled as a small
-  /// page-index-dependent ramp; NAND reads are uniform).
+  [[nodiscard]] /// page-index-dependent ramp; NAND reads are uniform).
   Time read_time_for_page(std::uint32_t page_in_block) const;
 
   /// Ideal per-die streaming read bandwidth in bytes/second, cell-limited

@@ -81,7 +81,7 @@ class TraceRecorder {
                double value, TraceClock clock = TraceClock::kSim);
 
   /// Wall-clock nanoseconds since this recorder was created.
-  Time wall_now() const;
+  [[nodiscard]] Time wall_now() const;
 
   std::size_t event_count() const;
   std::uint64_t dropped() const;

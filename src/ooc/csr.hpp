@@ -44,7 +44,7 @@ class CsrMatrix {
 
   /// Bytes a row range occupies in the on-storage layout
   /// (values + column indices + row pointers).
-  Bytes storage_bytes(std::size_t row_begin, std::size_t row_end) const;
+  [[nodiscard]] Bytes storage_bytes(std::size_t row_begin, std::size_t row_end) const;
 
  private:
   std::size_t rows_ = 0;

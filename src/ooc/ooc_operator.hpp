@@ -33,7 +33,7 @@ class OocHamiltonian {
   std::size_t tile_count() const { return tiles_.size(); }
   const TileInfo& tile(std::size_t index) const { return tiles_.at(index); }
   /// Total on-storage footprint of the dataset.
-  Bytes dataset_bytes() const { return dataset_bytes_; }
+  [[nodiscard]] Bytes dataset_bytes() const { return dataset_bytes_; }
 
   /// Computes one tile's contribution from an already-read buffer —
   /// exposed so middleware (src/dooc) can overlap I/O with compute.

@@ -21,7 +21,7 @@ class Storage {
   virtual ~Storage() = default;
   virtual void read(Bytes offset, void* destination, Bytes size) = 0;
   virtual void write(Bytes offset, const void* source, Bytes size) = 0;
-  virtual Bytes size() const = 0;
+  [[nodiscard]] virtual Bytes size() const = 0;
 };
 
 /// In-memory backing store.
@@ -31,7 +31,7 @@ class MemoryStorage : public Storage {
 
   void read(Bytes offset, void* destination, Bytes size) override;
   void write(Bytes offset, const void* source, Bytes size) override;
-  Bytes size() const override { return Bytes{data_.size()}; }
+  [[nodiscard]] Bytes size() const override { return Bytes{data_.size()}; }
 
  private:
   std::vector<std::uint8_t> data_;
@@ -45,7 +45,7 @@ class TracedStorage : public Storage {
 
   void read(Bytes offset, void* destination, Bytes size) override;
   void write(Bytes offset, const void* source, Bytes size) override;
-  Bytes size() const override { return backing_.size(); }
+  [[nodiscard]] Bytes size() const override { return backing_.size(); }
 
   const Trace& trace() const { return trace_; }
   Trace take_trace() { return std::move(trace_); }

@@ -119,7 +119,7 @@ class FaultInjector {
 
   /// Earliest time `channel` is usable at or after `when`; sets
   /// `*stalled` when a stall window pushed the time back.
-  Time channel_available(std::uint32_t channel, Time when, bool* stalled) const;
+  [[nodiscard]] Time channel_available(std::uint32_t channel, Time when, bool* stalled) const;
 
  private:
   FaultConfig config_;

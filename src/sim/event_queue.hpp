@@ -21,14 +21,14 @@ class EventQueue {
   /// Schedules `callback` at absolute time `when`.
   void schedule(Time when, Callback callback);
 
-  bool empty() const { return heap_.empty(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
   /// Earliest pending timestamp; only valid when !empty().
-  Time next_time() const { return heap_.top().when; }
+  [[nodiscard]] Time next_time() const { return heap_.top().when; }
 
   /// Pops and runs the earliest event, returning its timestamp.
-  Time pop_and_run();
+  [[nodiscard]] Time pop_and_run();
 
   void clear();
 

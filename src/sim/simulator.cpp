@@ -20,8 +20,10 @@ void Simulator::after(Time delay, EventQueue::Callback callback) {
 
 Time Simulator::run() {
   while (!queue_.empty()) {
+    // The clock must advance *before* the callback runs (callbacks read
+    // now()), so the returned event time is already in now_.
     now_ = queue_.next_time();
-    queue_.pop_and_run();
+    static_cast<void>(queue_.pop_and_run());
   }
   return now_;
 }
@@ -29,7 +31,7 @@ Time Simulator::run() {
 Time Simulator::run_until(Time deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     now_ = queue_.next_time();
-    queue_.pop_and_run();
+    static_cast<void>(queue_.pop_and_run());
   }
   if (now_ < deadline) now_ = deadline;
   return now_;

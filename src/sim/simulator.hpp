@@ -13,7 +13,7 @@ namespace nvmooc {
 
 class Simulator {
  public:
-  Time now() const { return now_; }
+  [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules at absolute simulation time (must be >= now()).
   void at(Time when, EventQueue::Callback callback);
@@ -22,13 +22,13 @@ class Simulator {
   void after(Time delay, EventQueue::Callback callback);
 
   /// Runs until the queue empties. Returns the final clock value.
-  Time run();
+  [[nodiscard]] Time run();
 
   /// Runs until the queue empties or the clock passes `deadline`.
   /// Events scheduled beyond the deadline stay queued.
-  Time run_until(Time deadline);
+  [[nodiscard]] Time run_until(Time deadline);
 
-  bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
 
   void reset();

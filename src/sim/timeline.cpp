@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc {
@@ -47,6 +48,9 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
         if (old.start < grant.start) gaps_.push_back({old.start, grant.start});
         if (grant.end < old.end) gaps_.push_back({grant.end, old.end});
         if (!trace_label_.empty()) emit_span(grant, earliest, duration);
+        if (check::Auditor* aud = check::auditor()) {
+          aud->timeline_reserved(this, trace_label_, grant.start, grant.end);
+        }
         return grant;
       }
     }
@@ -72,6 +76,9 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
   }
   next_free_ = std::max(next_free_, grant.end);
   if (!trace_label_.empty()) emit_span(grant, earliest, duration);
+  if (check::Auditor* aud = check::auditor()) {
+    aud->timeline_reserved(this, trace_label_, grant.start, grant.end);
+  }
   return grant;
 }
 
@@ -93,6 +100,13 @@ void Timeline::reset() {
   gaps_.clear();
   busy_ = BusyTracker{};
   reservation_count_ = 0;
+  if (check::Auditor* aud = check::auditor()) aud->timeline_released(this);
+}
+
+Timeline::~Timeline() {
+  // Forget audit state keyed by this address: a later Timeline allocated
+  // at the same spot is a different resource.
+  if (check::Auditor* aud = check::auditor()) aud->timeline_released(this);
 }
 
 }  // namespace nvmooc

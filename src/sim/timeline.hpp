@@ -21,7 +21,7 @@ struct Reservation {
   Time start;
   Time end;
   /// Queueing delay experienced: start - earliest.
-  Time wait() const { return waited; }
+  [[nodiscard]] Time wait() const { return waited; }
   Time waited;
 };
 
@@ -38,9 +38,9 @@ class Timeline {
 
   /// First time the resource is free at or after `earliest` for `duration`
   /// (without reserving). Used by schedulers for candidate comparison.
-  Time peek(Time earliest, Time duration) const;
+  [[nodiscard]] Time peek(Time earliest, Time duration) const;
 
-  Time next_free() const { return next_free_; }
+  [[nodiscard]] Time next_free() const { return next_free_; }
   const BusyTracker& busy() const { return busy_; }
   std::uint64_t reservation_count() const { return reservation_count_; }
 
@@ -53,6 +53,14 @@ class Timeline {
   const std::string& trace_label() const { return trace_label_; }
 
   void reset();
+
+  ~Timeline();
+  // A user-declared destructor (audit-state release) would suppress the
+  // implicit copy/move set; Timelines live in vectors, so keep them.
+  Timeline(const Timeline&) = default;
+  Timeline& operator=(const Timeline&) = default;
+  Timeline(Timeline&&) = default;
+  Timeline& operator=(Timeline&&) = default;
 
  private:
   struct Gap {

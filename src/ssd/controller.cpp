@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "check/audit.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc {
@@ -109,7 +110,7 @@ void Controller::expand_run(const UnitRun& run, std::vector<TxnSpec>& out) const
         const Bytes want = cells * page;
         const Bytes bytes = std::min(bytes_left, want);
         bytes_left -= bytes;
-        out.push_back({run.op, cursor, cells, bytes});
+        out.push_back({run.op, cursor, cells, bytes, run.gc});
         cursor += static_cast<std::uint64_t>(cells) * positions;
         remaining -= cells;
       }
@@ -132,7 +133,7 @@ void Controller::expand_run(const UnitRun& run, std::vector<TxnSpec>& out) const
       if (i == 0) bytes -= std::min(bytes, leading_trim);
       if (i + 1 == run.count) bytes -= std::min(bytes, trailing_trim);
     }
-    out.push_back({run.op, run.first_unit + i, 1, bytes});
+    out.push_back({run.op, run.first_unit + i, 1, bytes, run.gc});
   }
 }
 
@@ -324,6 +325,23 @@ Bytes Controller::dirty_bytes_at(Time when) {
 }
 
 RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
+  // Byte-conservation audit: the request's own (non-GC, non-RMW,
+  // non-remap) channel transfers must sum to its size — page-rounded for
+  // writes, since programs move whole pages.
+  check::Auditor* aud = check::auditor();
+  if (aud != nullptr) {
+    Bytes expected = request.size;
+    if (request.op == NvmOp::kErase) {
+      expected = Bytes{};  // Defensive: raw erases translate to nothing.
+    } else if (request.op == NvmOp::kWrite && request.size > Bytes{}) {
+      const Bytes page = hardware_.timing().page_size;
+      const std::uint64_t first = request.offset / page;
+      const std::uint64_t last = (request.offset + request.size - Bytes{1}) / page;
+      expected = (last - first + 1) * page;
+    }
+    aud->media_request_begin(expected, request.internal);
+  }
+
   const std::vector<UnitRun> runs = ftl_.translate(request);
 
   std::vector<TxnSpec> specs;
@@ -370,6 +388,20 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
 
   const auto run_spec = [&](const TxnSpec& spec, bool inject, bool count_pal) {
     const TransactionResult txn = schedule(spec, arrival, inject);
+    if (aud != nullptr) {
+      // The remap pass runs with inject=false, count_pal=false; GC
+      // relocations carry the spec's gc flag; a read spec inside a write
+      // request is the read half of a read-modify-write.
+      check::MediaKind kind = check::MediaKind::kRequest;
+      if (!inject && !count_pal) {
+        kind = check::MediaKind::kRemap;
+      } else if (spec.gc) {
+        kind = check::MediaKind::kGc;
+      } else if (request.op == NvmOp::kWrite && spec.op == NvmOp::kRead) {
+        kind = check::MediaKind::kRmw;
+      }
+      aud->media_transfer(spec.bytes, kind, txn.retries);
+    }
     ++stats_.transactions;
     stats_.cell_time_by_op[static_cast<int>(spec.op)] += txn.cell;
     stats_.bus_time += txn.flash_bus + txn.channel_bus + txn.command;
@@ -530,6 +562,11 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
     if (result.uncorrectable_units > 0) {
       metrics->counter("ssd.uncorrectable_units").add(result.uncorrectable_units);
     }
+  }
+  if (aud != nullptr) {
+    aud->media_request_end();
+    // A retirement rewrites mappings; prove the survivors stayed sound.
+    if (!remap_runs.empty()) ftl_.audit(*aud);
   }
   return result;
 }

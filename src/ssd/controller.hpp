@@ -112,6 +112,7 @@ class Controller {
     std::uint64_t first_unit;
     std::uint32_t cell_ops;
     Bytes bytes;
+    bool gc = false;  ///< Carries UnitRun::gc through expansion (audit class).
   };
 
   /// Expands a unit run into per-plane transactions (burst-grouping small
@@ -123,7 +124,7 @@ class Controller {
   TransactionResult schedule(const TxnSpec& spec, Time arrival, bool inject);
 
   /// Dirty bytes still being programmed at time `when`.
-  Bytes dirty_bytes_at(Time when);
+  [[nodiscard]] Bytes dirty_bytes_at(Time when);
 
   SsdHardware& hardware_;
   Ftl& ftl_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+
+#include "check/audit.hpp"
 
 namespace nvmooc {
 
@@ -35,6 +38,55 @@ std::uint64_t Ftl::block_key(const PhysicalAddress& address) const {
           timing_.planes_per_die +
       address.plane;
   return position * timing_.blocks_per_plane + address.block;
+}
+
+PhysicalAddress Ftl::block_address(std::uint64_t key) const {
+  const std::uint64_t block = key % timing_.blocks_per_plane;
+  std::uint64_t position = key / timing_.blocks_per_plane;
+  PhysicalAddress base;
+  base.plane = static_cast<std::uint32_t>(position % timing_.planes_per_die);
+  position /= timing_.planes_per_die;
+  base.die = static_cast<std::uint32_t>(position % geometry_.dies_per_package);
+  position /= geometry_.dies_per_package;
+  base.package = static_cast<std::uint32_t>(position % geometry_.packages_per_channel);
+  base.channel = static_cast<std::uint32_t>(position / geometry_.packages_per_channel);
+  base.block = block;
+  base.page = 0;
+  return base;
+}
+
+bool Ftl::block_holds_live_identity(std::uint64_t key) const {
+  if (preloaded_units_ == 0) return false;
+  const std::uint64_t first = geometry_.unit_of(block_address(key), timing_);
+  if (first >= preloaded_units_) return false;
+  // Page p of the block sits `p` rows above page 0; the row stride in
+  // unit space is the plane-position count under every allocation policy.
+  for (std::uint32_t page = 0; page < timing_.pages_per_block; ++page) {
+    const std::uint64_t unit = first + static_cast<std::uint64_t>(page) * positions_;
+    if (unit >= preloaded_units_) break;
+    if (overrides_.count(unit) == 0) return true;  // Identity page still live.
+  }
+  return false;
+}
+
+void Ftl::audit_new_mapping(std::uint64_t logical, std::uint64_t fresh) const {
+  check::Auditor* aud = check::auditor();
+  if (aud == nullptr) return;
+  aud->ftl_checked();
+  const auto describe = [&](const char* what) {
+    std::ostringstream out;
+    out << "mapping " << logical << " -> " << fresh << ": " << what;
+    aud->violation("ftl", out.str());
+  };
+  if (reverse_.count(fresh) > 0) {
+    describe("target physical unit is still live for another logical");
+  }
+  if (is_bad_block(fresh)) describe("target sits on a retired bad block");
+  if (fresh >= capacity_units_) describe("target is beyond device capacity");
+  if (fresh < preloaded_units_ && fresh != logical &&
+      overrides_.count(fresh) == 0) {
+    describe("target aliases a live pre-loaded identity unit");
+  }
 }
 
 void Ftl::invalidate(std::uint64_t physical_unit) {
@@ -174,6 +226,7 @@ bool Ftl::retire_block(std::uint64_t physical_unit, std::vector<UnitRun>& out) {
       out.push_back({NvmOp::kRead, physical, 1, timing_.page_size, /*gc=*/true});
     }
     const std::uint64_t fresh = allocate_unit(out);
+    audit_new_mapping(logical, fresh);
     overrides_[logical] = fresh;
     reverse_[fresh] = logical;
     out.push_back({NvmOp::kWrite, fresh, 1, timing_.page_size, /*gc=*/true});
@@ -198,6 +251,12 @@ void Ftl::collect_garbage(std::vector<UnitRun>& out) {
     const std::uint64_t block = key % timing_.blocks_per_plane;
     if (block >= frontier_block && frontier_ < capacity_units_) continue;
     if (!bad_blocks_.empty() && bad_blocks_.count(key) > 0) continue;
+    // A block straddling the pre-load boundary can hold identity-mapped
+    // pages the valid-page table never counted (only frontier
+    // allocations are tracked). Erasing it would destroy live data the
+    // relocation sweep below (reverse_-driven) cannot see, leaving later
+    // writes free to re-allocate those units and alias live logicals.
+    if (block_holds_live_identity(key)) continue;
     std::uint32_t wear = 0;
     if (config_.wear_aware) {
       const auto it = erase_counts_.find(key);
@@ -219,17 +278,7 @@ void Ftl::collect_garbage(std::vector<UnitRun>& out) {
   ++stats_.gc_runs;
   in_gc_ = true;
 
-  // Reconstruct the victim block's physical address.
-  const std::uint64_t block = victim_key % timing_.blocks_per_plane;
-  std::uint64_t position = victim_key / timing_.blocks_per_plane;
-  PhysicalAddress base;
-  base.plane = static_cast<std::uint32_t>(position % timing_.planes_per_die);
-  position /= timing_.planes_per_die;
-  base.die = static_cast<std::uint32_t>(position % geometry_.dies_per_package);
-  position /= geometry_.dies_per_package;
-  base.package = static_cast<std::uint32_t>(position % geometry_.packages_per_channel);
-  base.channel = static_cast<std::uint32_t>(position / geometry_.packages_per_channel);
-  base.block = block;
+  const PhysicalAddress base = block_address(victim_key);
 
   // Relocate live pages.
   for (std::uint32_t page = 0; page < timing_.pages_per_block; ++page) {
@@ -245,6 +294,7 @@ void Ftl::collect_garbage(std::vector<UnitRun>& out) {
     if (valid_it != valid_pages_.end() && valid_it->second > 0) --valid_it->second;
 
     const std::uint64_t fresh = allocate_unit(out);
+    audit_new_mapping(logical, fresh);
     overrides_[logical] = fresh;
     reverse_[fresh] = logical;
     out.push_back({NvmOp::kWrite, fresh, 1, timing_.page_size, /*gc=*/true});
@@ -347,6 +397,7 @@ std::vector<UnitRun> Ftl::translate(const BlockRequest& request) {
           invalidate(logical);  // No-op for untracked identity pages.
         }
         const std::uint64_t fresh = allocate_unit(gc_traffic);
+        audit_new_mapping(logical, fresh);
         overrides_[logical] = fresh;
         reverse_[fresh] = logical;
         if (run_count > 0 && fresh == run_first + run_count) {
@@ -371,6 +422,64 @@ std::vector<UnitRun> Ftl::translate(const BlockRequest& request) {
       break;
   }
   return out;
+}
+
+std::vector<std::string> Ftl::mapping_violations(std::size_t max_reports) const {
+  std::vector<std::string> out;
+  const auto report = [&](std::uint64_t a, std::uint64_t b, const char* what) {
+    if (out.size() >= max_reports) return;
+    std::ostringstream msg;
+    msg << "mapping " << a << " -> " << b << ": " << what;
+    out.push_back(msg.str());
+  };
+
+  // overrides_ and reverse_ must be exact inverses. Since overrides_ is
+  // a map (one physical per logical), the inverse relation existing and
+  // agreeing is precisely injectivity of the live mapping.
+  for (const auto& [logical, physical] : overrides_) {
+    const auto rev = reverse_.find(physical);
+    if (rev == reverse_.end()) {
+      report(logical, physical, "no reverse entry (injectivity untracked)");
+    } else if (rev->second != logical) {
+      report(logical, physical, "reverse entry names a different logical");
+    }
+    if (is_bad_block(physical)) {
+      report(logical, physical, "live mapping targets a retired bad block");
+    }
+    if (physical >= capacity_units_) {
+      report(logical, physical, "physical unit beyond device capacity");
+    }
+    if (physical < preloaded_units_ && physical != logical &&
+        overrides_.count(physical) == 0) {
+      report(logical, physical, "aliases a live pre-loaded identity unit");
+    }
+  }
+  for (const auto& [physical, logical] : reverse_) {
+    const auto fwd = overrides_.find(logical);
+    if (fwd == overrides_.end() || fwd->second != physical) {
+      report(logical, physical, "stale reverse entry not backed by an override");
+    }
+  }
+  // Identity-mapped pre-loaded pages are live too: they must not sit on
+  // blocks that have been retired (retire_block relocates them).
+  for (const auto bad : bad_blocks_) {
+    const std::uint64_t first = geometry_.unit_of(block_address(bad), timing_);
+    for (std::uint32_t page = 0; page < timing_.pages_per_block; ++page) {
+      const std::uint64_t unit = first + static_cast<std::uint64_t>(page) * positions_;
+      if (unit >= preloaded_units_) break;
+      if (overrides_.count(unit) == 0) {
+        report(unit, unit, "live identity page left on a retired bad block");
+      }
+    }
+  }
+  return out;
+}
+
+void Ftl::audit(check::Auditor& auditor) const {
+  auditor.ftl_checked();
+  for (std::string& finding : mapping_violations()) {
+    auditor.violation("ftl", std::move(finding));
+  }
 }
 
 }  // namespace nvmooc

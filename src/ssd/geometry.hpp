@@ -54,7 +54,7 @@ struct SsdGeometry {
   }
 
   /// Device capacity for the given media.
-  Bytes capacity(const NvmTiming& timing) const {
+  [[nodiscard]] Bytes capacity(const NvmTiming& timing) const {
     return total_dies() * timing.die_size();
   }
 

@@ -54,8 +54,8 @@ void Trace::save(const std::string& path) const {
   if (!file) throw std::runtime_error("Trace::save: cannot open " + path);
   for (const PosixRequest& request : requests_) {
     std::fprintf(file, "%c %llu %llu %lld%s\n", request.op == NvmOp::kRead ? 'R' : 'W',
-                 request.offset.value(),
-                 request.size.value(),
+                 static_cast<unsigned long long>(request.offset.value()),
+                 static_cast<unsigned long long>(request.size.value()),
                  static_cast<long long>(request.not_before.ps()),
                  request.barrier ? " 1" : "");
   }

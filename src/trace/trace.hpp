@@ -54,7 +54,7 @@ class Trace {
   const PosixRequest& operator[](std::size_t i) const { return requests_[i]; }
 
   /// Highest byte address touched plus one — the dataset extent.
-  Bytes extent() const;
+  [[nodiscard]] Bytes extent() const;
 
   TraceStats stats() const;
 

@@ -18,7 +18,7 @@ namespace nvmooc {
 struct Extent {
   Bytes offset;
   Bytes length;
-  Bytes end() const { return offset + length; }
+  [[nodiscard]] Bytes end() const { return offset + length; }
 };
 
 class ExtentAllocator {
@@ -34,13 +34,13 @@ class ExtentAllocator {
   /// Returns an extent to the free pool, merging neighbours.
   void release(const Extent& extent);
 
-  Bytes capacity() const { return capacity_; }
-  Bytes free_bytes() const { return free_bytes_; }
-  Bytes largest_free_extent() const;
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes free_bytes() const { return free_bytes_; }
+  [[nodiscard]] Bytes largest_free_extent() const;
   std::size_t free_fragment_count() const { return free_.size(); }
 
  private:
-  Bytes align_up(Bytes value) const;
+  [[nodiscard]] Bytes align_up(Bytes value) const;
 
   Bytes capacity_;
   Bytes alignment_;

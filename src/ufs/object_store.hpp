@@ -32,7 +32,7 @@ class ObjectStore {
   std::optional<ObjectId> create(Bytes size);
 
   /// Frees the object's extents. Returns false for unknown ids.
-  bool remove(ObjectId id);
+  [[nodiscard]] bool remove(ObjectId id);
 
   const ObjectInfo* find(ObjectId id) const;
 
@@ -40,7 +40,7 @@ class ObjectStore {
   /// Throws std::out_of_range when the range exceeds the object.
   std::vector<Extent> translate(ObjectId id, Bytes offset, Bytes length) const;
 
-  Bytes free_bytes() const { return allocator_.free_bytes(); }
+  [[nodiscard]] Bytes free_bytes() const { return allocator_.free_bytes(); }
   std::size_t object_count() const { return objects_.size(); }
   const ExtentAllocator& allocator() const { return allocator_; }
 

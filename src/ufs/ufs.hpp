@@ -47,7 +47,7 @@ class UnifiedFileSystem : public IoPath {
 
   /// General object management (the public UFS API).
   std::optional<ObjectId> create_object(Bytes size) { return store_.create(size); }
-  bool remove_object(ObjectId id) { return store_.remove(id); }
+  [[nodiscard]] bool remove_object(ObjectId id) { return store_.remove(id); }
   const ObjectInfo* object(ObjectId id) const { return store_.find(id); }
 
   /// Builds the device requests for an object-relative access: one

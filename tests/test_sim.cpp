@@ -21,15 +21,17 @@ TEST(EventQueue, DeliversInTimeOrder) {
   queue.schedule(Time{30}, [&] { order.push_back(3); });
   queue.schedule(Time{10}, [&] { order.push_back(1); });
   queue.schedule(Time{20}, [&] { order.push_back(2); });
-  while (!queue.empty()) queue.pop_and_run();
+  Time last{};
+  while (!queue.empty()) last = queue.pop_and_run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(last, Time{30});
 }
 
 TEST(EventQueue, TiesBreakByInsertion) {
   EventQueue queue;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) queue.schedule(Time{5}, [&order, i] { order.push_back(i); });
-  while (!queue.empty()) queue.pop_and_run();
+  while (!queue.empty()) EXPECT_EQ(queue.pop_and_run(), Time{5});
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -40,8 +42,10 @@ TEST(EventQueue, EventMaySchedule) {
     ++fired;
     queue.schedule(Time{2}, [&] { ++fired; });
   });
-  while (!queue.empty()) queue.pop_and_run();
+  Time last{};
+  while (!queue.empty()) last = queue.pop_and_run();
   EXPECT_EQ(fired, 2);
+  EXPECT_EQ(last, Time{2});
 }
 
 TEST(Simulator, ClockAdvancesMonotonically) {
@@ -57,7 +61,7 @@ TEST(Simulator, ClockAdvancesMonotonically) {
 TEST(Simulator, RejectsPastScheduling) {
   Simulator sim;
   sim.at(Time{10}, [] {});
-  sim.run();
+  EXPECT_EQ(sim.run(), Time{10});
   EXPECT_THROW(sim.at(Time{5}, [] {}), std::logic_error);
   EXPECT_THROW(sim.after(Time{-1}, [] {}), std::logic_error);
 }
@@ -67,18 +71,18 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   int fired = 0;
   sim.at(Time{10}, [&] { ++fired; });
   sim.at(Time{100}, [&] { ++fired; });
-  sim.run_until(Time{50});
+  EXPECT_EQ(sim.run_until(Time{50}), Time{50});
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(sim.now(), Time{50});
   EXPECT_EQ(sim.pending_events(), 1u);
-  sim.run();
+  EXPECT_EQ(sim.run(), Time{100});
   EXPECT_EQ(fired, 2);
 }
 
 TEST(Simulator, ResetClearsState) {
   Simulator sim;
   sim.at(Time{10}, [] {});
-  sim.run();
+  EXPECT_EQ(sim.run(), Time{10});
   sim.reset();
   EXPECT_EQ(sim.now(), Time{0});
   EXPECT_TRUE(sim.idle());

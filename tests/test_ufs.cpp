@@ -190,8 +190,8 @@ TEST(Ufs, FragmentedObjectSplitsOnExtentBoundariesOnly) {
   const auto c = ufs.create_object(8 * MiB);
   const auto d = ufs.create_object(40 * MiB);
   ASSERT_TRUE(a && b && c && d);
-  ufs.remove_object(*a);
-  ufs.remove_object(*c);
+  ASSERT_TRUE(ufs.remove_object(*a));
+  ASSERT_TRUE(ufs.remove_object(*c));
   const auto e = ufs.create_object(16 * MiB);  // Must stitch two 8 MiB holes.
   ASSERT_TRUE(e.has_value());
   EXPECT_EQ(ufs.object(*e)->extents.size(), 2u);

@@ -1,0 +1,33 @@
+// Fixture: SL006 request-lifecycle (discarded id). request_issued()
+// returns the id every later stage call needs; invoking it as a bare
+// statement throws the handle away, so the request is tracked but can
+// never be admitted or completed — the audit report then counts it as
+// an incomplete request on every replay.
+#include <cstdint>
+
+namespace fixture {
+
+// Stand-in for check::Auditor so the fixture is self-contained.
+struct Auditor {
+  [[nodiscard]] std::uint64_t request_issued(std::int64_t now) { return ++next_; }
+  void request_completed(std::uint64_t id, std::int64_t now) { last_ = id + now; }
+  std::uint64_t next_ = 0;
+  std::uint64_t last_ = 0;
+};
+
+std::uint64_t bad_discard(Auditor& aud) {
+  aud.request_issued(10);  // simlint-expect: SL006
+  return 0;
+}
+
+std::uint64_t ok_bound(Auditor& aud) {
+  const std::uint64_t id = aud.request_issued(10);
+  aud.request_completed(id, 20);
+  return id;
+}
+
+std::uint64_t ok_ternary(Auditor* aud) {
+  return aud != nullptr ? aud->request_issued(10) : 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: SL006 request-lifecycle (missing issue). This TU reports
+// later lifecycle stages to the auditor but never calls
+// request_issued(), so every id it passes is a phantom — the audited
+// replay will report causality violations for requests the simulator
+// never actually issued. (In real code the hook declarations live in
+// check/audit.hpp, not in the TU, so only *calls* are visible here;
+// the abbreviated template mirrors that.)
+#include <cstdint>
+
+namespace fixture {
+
+void bad_stages_without_issue(auto* aud, std::uint64_t id) {
+  if (aud == nullptr) return;
+  aud->request_admitted(id, 10);     // simlint-expect: SL006
+  aud->request_dispatched(id, 20);   // simlint-expect: SL006
+  aud->request_completed(id, 30);    // simlint-expect: SL006
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: SL007 missing-nodiscard. Time/Bytes returned by value from a
+// header API must carry [[nodiscard]]: the only reason to call a pure
+// cost/size function is its result, and silently dropping a unit-typed
+// value is how conservation bugs hide. References and operators are out
+// of scope (accessors returning `const Time&` cannot be "dropped" in the
+// same sense, and operator results are consumed by the expression).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+// Stand-ins for nvmooc::Time / nvmooc::Bytes.
+struct Time {
+  std::int64_t ps_ = 0;
+};
+struct Bytes {
+  std::uint64_t v_ = 0;
+};
+
+struct Device {
+  Time transfer_cost(Bytes size) const;            // simlint-expect: SL007
+  static Bytes page_span(Bytes size);              // simlint-expect: SL007
+  inline Time busy_until() const { return t_; }    // simlint-expect: SL007
+
+  [[nodiscard]] Time ok_annotated(Bytes size) const;
+  [[nodiscard]] static Bytes ok_static(Bytes size);
+  // Attribute on the preceding line (clang-format split) also counts.
+  [[nodiscard]]
+  Time ok_split_attribute(Bytes size) const;
+
+  // By-reference returns and operators are not flagged.
+  const Time& deadline() const { return t_; }
+  Time& mutable_deadline() { return t_; }
+  friend Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+
+  Time t_;
+};
+
+}  // namespace fixture

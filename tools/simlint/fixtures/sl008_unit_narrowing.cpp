@@ -1,0 +1,42 @@
+// Fixture: SL008 unit-narrowing. .ps() and .value() are the sanctioned
+// escape hatches out of the strong unit types, but their result is a
+// full 64-bit count: picoseconds overflow int32 after ~2 ms of simulated
+// time, and float drops byte-exactness above 2^24. Narrowing the escape
+// hatch silently reintroduces the truncation bugs the wrappers exist to
+// prevent; widen to double / int64_t / uint64_t instead.
+#include <cstdint>
+
+namespace fixture {
+
+// Stand-ins for nvmooc::Time / nvmooc::Bytes.
+struct Time {
+  std::int64_t ps() const { return ps_; }
+  std::int64_t ps_ = 0;
+};
+struct Bytes {
+  std::uint64_t value() const { return v_; }
+  std::uint64_t v_ = 0;
+};
+
+int bad_int_ps(Time t) {
+  return static_cast<int>(t.ps());                    // simlint-expect: SL008
+}
+
+unsigned bad_unsigned_value(Bytes b) {
+  return static_cast<unsigned>(b.value());            // simlint-expect: SL008
+}
+
+float bad_float_value(Bytes b) {
+  return static_cast<float>(b.value());               // simlint-expect: SL008
+}
+
+std::uint32_t bad_u32_value(Bytes b) {
+  return static_cast<std::uint32_t>(b.value());       // simlint-expect: SL008
+}
+
+// Widening conversions keep full precision — no finding.
+double ok_double(Time t) { return static_cast<double>(t.ps()); }
+std::int64_t ok_i64(Time t) { return static_cast<std::int64_t>(t.ps()); }
+std::uint64_t ok_u64(Bytes b) { return static_cast<std::uint64_t>(b.value()); }
+
+}  // namespace fixture

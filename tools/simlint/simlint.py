@@ -31,6 +31,33 @@ Rules
                             are deterministic per the standard but differ
                             across implementations; an explicit seed makes
                             the intent auditable.
+  SL006 request-lifecycle   Misuse of the src/check request-lifecycle
+                            hooks: a TU that reports later stages
+                            (request_admitted / request_dispatched /
+                            request_media / request_completed) without
+                            ever calling request_issued, or a
+                            request_issued call whose returned id is
+                            discarded.  Either way the auditor sees a
+                            request that can never be completed (or
+                            stages with no matching issue), so every
+                            audited replay of that code path reports
+                            phantom causality violations.
+  SL007 missing-nodiscard   A header-file API returning Time or Bytes by
+                            value without [[nodiscard]].  These types are
+                            the unit system's whole point; silently
+                            dropping one (e.g. calling a cost function
+                            for its side effects that has none) is always
+                            a bug.  Headers only — definitions in .cpp
+                            files inherit the declaration's attribute.
+  SL008 unit-narrowing      static_cast of a Time{}.ps() or Bytes{}
+                            .value() escape hatch to a type narrower than
+                            the underlying 64-bit representation (int,
+                            unsigned, float, int32_t, ...).  Picosecond
+                            counts overflow int32 after ~2 ms of sim time
+                            and floats lose byte-exactness above 2^24, so
+                            narrowing reintroduces exactly the silent
+                            truncation the wrappers exist to prevent.
+                            Cast to double / int64_t / uint64_t instead.
 
 Engines
 -------
@@ -75,6 +102,9 @@ RULE_NAMES = {
     "SL003": "unordered-iter",
     "SL004": "float-to-time",
     "SL005": "default-seeded-rng",
+    "SL006": "request-lifecycle",
+    "SL007": "missing-nodiscard",
+    "SL008": "unit-narrowing",
 }
 NAME_TO_ID = {v: k for k, v in RULE_NAMES.items()}
 
@@ -142,7 +172,10 @@ def preprocess(text: str):
                 buf.append("\n" if ch == "\n" else " ")
             line += comment.count("\n")
             i = j
-        elif c in "\"'":
+        elif c == '"' or (c == "'" and not (i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"))):
+            # A ' directly after an identifier character is a C++14 digit
+            # separator (1'000'000), not a char literal — fall through to
+            # plain-text handling for those.
             quote = c
             j = i + 1
             while j < n:
@@ -152,8 +185,14 @@ def preprocess(text: str):
                 if text[j] == quote or text[j] == "\n":
                     break
                 j += 1
-            j = min(j + 1, n)
-            buf.append(quote + " " * max(0, j - i - 2) + (quote if j - i >= 2 else ""))
+            # An unterminated literal stops at the newline; leave the
+            # newline for the main loop so line numbering never drifts.
+            terminated = j < n and text[j] == quote
+            if terminated:
+                j += 1
+                buf.append(quote + " " * (j - i - 2) + quote)
+            else:
+                buf.append(quote + " " * (j - i - 1))
             i = j
         else:
             if c == "\n":
@@ -253,6 +292,37 @@ ITER_CALL_RE = re.compile(r"\b([\w.\->\[\]()]+?)[.\->]+(?:begin|cbegin|rbegin)\s
 FLOAT_TO_TIME_RE = re.compile(
     r"\bTime\s*\{(?=[^{}]*(?:\d\.\d|\.\d+\b|\d\.(?:[^\w]|$)|\de[+-]?\d|static_cast\s*<\s*(?:double|float)\s*>|\b(?:double|float)\b))")
 
+# SL006: the auditor's per-request stage hooks. request_issued() mints the
+# id the stage calls need; a TU using stages without it (or dropping the
+# id on the floor) cannot form a valid lifecycle chain.
+LIFECYCLE_STAGE_RE = re.compile(
+    r"\b(request_(?:admitted|dispatched|media|completed))\s*\(")
+LIFECYCLE_ISSUE_RE = re.compile(r"\brequest_issued\s*\(")
+# A bare expression-statement member call whose result vanishes:
+# `aud->request_issued(t);` at the start of a statement.  Assignments,
+# initialisers, returns and ternaries put tokens before the object
+# expression, so anchoring at line start keeps legitimate uses quiet.
+LIFECYCLE_DISCARD_RE = re.compile(
+    r"^\s*\w+(?:\(\s*\))?\s*(?:->|\.)\s*request_issued\s*\(")
+
+# SL007: a header declaration returning Time/Bytes by value.  References
+# never match (no whitespace between the type and `&`), and a leading
+# `const` fails the anchor, so `const Time&` accessors are skipped.
+NODISCARD_SPECIFIERS = r"(?:(?:virtual|static|constexpr|inline|friend|explicit)\s+)*"
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*" + NODISCARD_SPECIFIERS + r"(Time|Bytes)\s+([A-Za-z_]\w*)\s*\(")
+NODISCARD_ATTR_RE = re.compile(r"\[\[\s*nodiscard\s*\]\]")
+
+# SL008: the narrow destination types.  The trailing `>` in the consuming
+# pattern anchors each alternative, so `int` never half-matches
+# `int64_t` and `unsigned` never half-matches `unsigned long`.
+NARROW_DEST = (r"(?:float|short|char|int|bool|"
+               r"(?:un)?signed(?:\s+(?:short|char|int))?|"
+               r"(?:std\s*::\s*)?u?int(?:8|16|32)_t)")
+UNIT_NARROW_RE = re.compile(
+    r"static_cast\s*<\s*(?:const\s+)?" + NARROW_DEST +
+    r"\s*>\s*\(\s*[^()]*\.\s*(?:ps|value)\s*\(\s*\)")
+
 
 def _sequence_name(expr: str):
     """Extract a trailing identifier from a range-for sequence expression
@@ -283,6 +353,42 @@ def run_matcher_rules(path: str, lines, graph: IncludeGraph, closure_texts):
             findings.append((lineno, "SL005",
                              "std <random> engine without an explicit seed; "
                              "pass a seed so replay is auditable"))
+        if LIFECYCLE_DISCARD_RE.search(line):
+            findings.append((lineno, "SL006",
+                             "request_issued() result discarded; the returned "
+                             "id is the only handle later lifecycle stages can "
+                             "use, so this request can never complete"))
+        if UNIT_NARROW_RE.search(line):
+            findings.append((lineno, "SL008",
+                             ".ps()/.value() narrowed below 64 bits; cast to "
+                             "double or (u)int64_t, or keep the strong type"))
+
+    # SL006(a): stage hooks reported in a TU that never issues a request.
+    # The check is per-TU because the issue and the stage calls legally
+    # live in different functions (the engine threads the id through).
+    if not LIFECYCLE_ISSUE_RE.search(joined):
+        for lineno, line in enumerate(lines, 1):
+            m = LIFECYCLE_STAGE_RE.search(line)
+            if m:
+                findings.append((lineno, "SL006",
+                                 f"{m.group(1)}() reported but request_issued() "
+                                 "never appears in this translation unit; the "
+                                 "auditor will see stages with no issue"))
+
+    # SL007: headers only.  The attribute may sit on the declaration line
+    # or the line above (clang-format splits long signatures there).
+    if path.endswith((".hpp", ".h")):
+        for lineno, line in enumerate(lines, 1):
+            m = NODISCARD_DECL_RE.search(line)
+            if m is None or m.group(2) == "operator":
+                continue
+            prev = lines[lineno - 2] if lineno >= 2 else ""
+            if NODISCARD_ATTR_RE.search(line) or NODISCARD_ATTR_RE.search(prev):
+                continue
+            findings.append((lineno, "SL007",
+                             f"`{m.group(2)}` returns {m.group(1)} by value "
+                             "without [[nodiscard]]; dropping a unit-typed "
+                             "result is always a bug"))
 
     # SL004 scans the joined text so a Time{...} construct split across
     # lines (clang-format loves these) is still seen whole; [^{}]* keeps
@@ -485,7 +591,7 @@ def self_test() -> int:
     fixtures = sorted(
         os.path.join(FIXTURE_DIR, f)
         for f in os.listdir(FIXTURE_DIR)
-        if f.endswith(".cpp"))
+        if f.endswith((".cpp", ".hpp", ".h")))
     if not fixtures:
         print("simlint --self-test: no fixtures found", file=sys.stderr)
         return 2
