@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/cli.hpp"
+#include "obs/json.hpp"
 #include "ooc/workload.hpp"
 
 namespace nvmooc::bench {
@@ -36,6 +38,7 @@ struct BenchOptions {
   bool quick = false;          ///< Smaller workload for CI smoke runs.
   bool audit = false;          ///< Invariant-audit every replay (see src/check).
   std::string headline_out;    ///< bench_headline JSON path override.
+  std::string results_out;     ///< BENCH_<figure>.json path override.
 };
 
 /// Audit mode state shared by the bench harness: whether --audit was
@@ -51,6 +54,14 @@ inline std::atomic<std::uint64_t>& audit_violations() {
   return total;
 }
 
+/// Whether --profile was passed: each replay then runs under its own
+/// obs::ProfileSession (the profiler is per-replay state, like the
+/// auditor) and the critical-path report lands in its ExperimentResult.
+inline bool& profile_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
 inline BenchOptions strip_bench_options(int& argc, char** argv) {
   BenchOptions out;
   int kept = 1;
@@ -64,12 +75,15 @@ inline BenchOptions strip_bench_options(int& argc, char** argv) {
     else if (const char* v = value("--metrics-out=")) out.obs.metrics_out = v;
     else if (const char* v = value("--log-level=")) out.obs.log_level = v;
     else if (const char* v = value("--headline-out=")) out.headline_out = v;
+    else if (const char* v = value("--results-out=")) out.results_out = v;
     else if (!std::strcmp(arg, "--quick")) out.quick = true;
     else if (!std::strcmp(arg, "--audit")) out.audit = true;
+    else if (!std::strcmp(arg, "--profile")) out.obs.profile = true;
     else argv[kept++] = argv[i];
   }
   argc = kept;
   audit_enabled() = out.audit;
+  profile_enabled() = out.obs.profile;
   return out;
 }
 
@@ -141,6 +155,8 @@ inline void run_config_benchmark(benchmark::State& state, const ExperimentConfig
     // thread-local install keeps them independent.
     std::unique_ptr<check::AuditSession> audit;
     if (audit_enabled()) audit = std::make_unique<check::AuditSession>();
+    std::unique_ptr<obs::ProfileSession> profile;
+    if (profile_enabled()) profile = std::make_unique<obs::ProfileSession>();
     const ExperimentResult result = run_experiment(config, trace);
     if (audit != nullptr && !result.audit.passed()) {
       audit_violations() += result.audit.violation_count;
@@ -173,6 +189,46 @@ inline void register_sweep(std::vector<ExperimentConfig> (*configs_for)(NvmType)
           ->Iterations(1);
     }
   }
+}
+
+/// Writes a BENCH_<figure>.json in the same shape as BENCH_headline.json:
+/// {schema_version, bench, workload, results: {"<config>/<media>": {...}}}
+/// with the per-cell fields chosen by the caller. The checked-in copies
+/// are what `simreport diff` compares regenerated sweeps against.
+template <typename FieldWriter>
+bool write_results_json(const std::string& path, const char* bench_name,
+                        const char* workload,
+                        const std::vector<NvmType>& media_list,
+                        std::vector<ExperimentConfig> (*configs_for)(NvmType),
+                        FieldWriter&& fields) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", std::uint64_t{1});
+  w.field("bench", bench_name);
+  w.field("workload", workload);
+  w.key("results");
+  w.begin_object();
+  for (NvmType media : media_list) {
+    for (const ExperimentConfig& config : configs_for(media)) {
+      const ExperimentResult* r = board().find(config.name, media);
+      if (r == nullptr) continue;
+      w.key(ResultBoard::key(config.name, media));
+      w.begin_object();
+      fields(w, *r);
+      w.end_object();
+    }
+  }
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for results output\n", path.c_str());
+    return false;
+  }
+  out << w.str() << '\n';
+  if (out) std::printf("wrote %s\n", path.c_str());
+  return static_cast<bool>(out);
 }
 
 /// Prints one figure table: rows = configs, columns = media types, cell =

@@ -46,8 +46,12 @@ int main(int argc, char** argv) {
   using namespace nvmooc;
   using namespace nvmooc::bench;
 
+  BenchOptions options = strip_bench_options(argc, argv);
+  if (!obs::apply_log_level(options.obs.log_level)) return 1;
   benchmark::Initialize(&argc, argv);
-  register_sweep(&all_configs, {NvmType::kTlc, NvmType::kPcm}, standard_trace());
+  const std::unique_ptr<obs::ObsSession> session = obs::make_session(options.obs);
+  const Trace& trace = options.quick ? quick_trace() : standard_trace();
+  register_sweep(&all_configs, {NvmType::kTlc, NvmType::kPcm}, trace);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -60,5 +64,38 @@ int main(int argc, char** argv) {
       "\nPaper shape checks: ION rows dominated by non-overlapped DMA; traditional FS\n"
       "rows by bus activity; NATIVE rows by cell activation (TLC). ION-GPFS TLC sits\n"
       "at PAL3 while UFS rows reach PAL4; PCM is PAL4 nearly everywhere.\n");
+
+  const std::string results_path =
+      options.results_out.empty() ? "BENCH_fig10.json" : options.results_out;
+  if (!write_results_json(results_path, "fig10",
+                          options.quick ? "quick" : "standard",
+                          {NvmType::kTlc, NvmType::kPcm}, &all_configs,
+                          [](obs::JsonWriter& w, const ExperimentResult& r) {
+                            w.key("phase_fraction");
+                            w.begin_object();
+                            for (int p = 0; p < kPhaseCount; ++p) {
+                              w.field(phase_key(static_cast<Phase>(p)),
+                                      r.phase_fraction[p]);
+                            }
+                            w.end_object();
+                            w.key("pal_fraction");
+                            w.begin_object();
+                            for (int level = 0; level < 4; ++level) {
+                              w.field(to_string(static_cast<ParallelismLevel>(level)),
+                                      r.pal_fraction[level]);
+                            }
+                            w.end_object();
+                          })) {
+    return 1;
+  }
+  if (!obs::write_outputs(session.get(), options.obs)) return 1;
+  if (options.audit) {
+    const std::uint64_t violations = audit_violations().load();
+    if (violations > 0) {
+      std::fprintf(stderr, "audit: %llu invariant violation(s) across the sweep\n",
+                   static_cast<unsigned long long>(violations));
+      return 3;
+    }
+  }
   return 0;
 }

@@ -78,7 +78,7 @@ bool write_headline_json(const std::string& path, const std::string& workload,
       w.field("achieved_mbps", r->achieved_mbps);
       w.field("makespan_ms", static_cast<double>(r->makespan) / static_cast<double>(kMillisecond));
       w.field("channel_utilization", r->channel_utilization);
-      w.field("read_latency_p99_us", r->read_latency_p99_us);
+      w.field("read_latency_p99_us", r->read_latency.p99);
       w.end_object();
     }
   }

@@ -31,6 +31,9 @@ const char* kUsage =
     "                    [--audit]  (verify conservation/causality/occupancy/FTL\n"
     "                                invariants during the replay; exit 3 on any\n"
     "                                violation)\n"
+    "                    [--profile] (record the causal event graph, print the\n"
+    "                                 critical-path blame report, and add the\n"
+    "                                 \"profile\" section to --result-out)\n"
     "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
     "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
     "         cnl-native-8, cnl-native-16\n";
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
   obs_options.trace_out = option(argc, argv, "trace-out", "");
   obs_options.metrics_out = option(argc, argv, "metrics-out", "");
   obs_options.log_level = option(argc, argv, "log-level", "");
+  obs_options.profile = flag(argc, argv, "profile");
   const std::string result_out = option(argc, argv, "result-out", "");
   if (!obs::apply_log_level(obs_options.log_level)) {
     std::fputs(kUsage, stderr);
@@ -189,6 +193,9 @@ int main(int argc, char** argv) {
       if (audit) std::printf("%s\n", result.audit.summary().c_str());
       return result.audit.passed() ? 2 : 3;
     }
+  }
+  if (result.profile.enabled) {
+    std::printf("%s", result.profile.summary().c_str());
   }
   if (audit) {
     std::printf("%s\n", result.audit.summary().c_str());

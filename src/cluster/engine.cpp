@@ -127,6 +127,31 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   // Invariant audit: null unless a check::AuditSession is installed on
   // this thread; like obs, the simulation arithmetic never depends on it.
   check::Auditor* aud = check::auditor();
+  // Causal profiler (--profile): same null-check contract. The engine
+  // records each request's gate candidates (what its ready time waited
+  // on) and its contiguous host-side segments; the controller and the
+  // link hooks add the device-side occupancy.
+  obs::Profiler* prof = obs::profiler();
+  std::uint32_t prof_window = 0;
+  std::uint32_t prof_cpu = 0;
+  std::uint32_t prof_software = 0;
+  std::uint32_t prof_rpc = 0;
+  std::uint32_t prof_host = 0;
+  std::uint32_t prof_net = 0;
+  std::uint32_t prof_degraded = 0;
+  // Which request released each gate value (profiling only).
+  std::uint64_t prof_cpu_pred = 0;
+  std::uint64_t prof_barrier_pred = 0;
+  std::uint64_t prof_drain_pred = 0;
+  if (prof) {
+    prof_window = prof->intern("engine.window");
+    prof_cpu = prof->intern("engine.cpu");
+    prof_software = prof->intern(behavior.name + ".software");
+    prof_rpc = prof->intern("net.rpc");
+    prof_host = prof->intern("link.host");
+    prof_net = prof->intern("link.net");
+    prof_degraded = prof->intern("link.degraded");
+  }
   std::unique_ptr<LaneAllocator> lanes;
   std::uint32_t window_track = 0;
   if (recorder) {
@@ -172,6 +197,20 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       const std::uint64_t audit_id =
           aud != nullptr ? aud->request_issued(ready) : 0;
 
+      // Open the profiled request and record every dependency candidate
+      // that went into `ready` — the walk later follows the winner.
+      std::uint64_t prof_id = 0;
+      if (prof) {
+        prof_id = prof->request_begin();
+        prof->request_gate(prof_id, {cpu_free, obs::GateKind::kCpu, prof_cpu_pred});
+        prof->request_gate(prof_id,
+                           {barrier_gate, obs::GateKind::kBarrier, prof_barrier_pred});
+        prof->request_gate(prof_id, {posix.not_before, obs::GateKind::kApp, 0});
+        if (device_request.barrier) {
+          prof->request_gate(prof_id, {all_done, obs::GateKind::kDrain, prof_drain_pred});
+        }
+      }
+
       Time admit = device_window.admit(ready, device_request.size);
       cpu_free = admit + cpu_serial;
       const Time issue = cpu_free + added_latency;
@@ -190,16 +229,32 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
         // request is done when both the media and the wire have finished.
         Time media_arrival = issue;
         if (network_dma_) media_arrival = rpc_window.admit(issue, device_request.size);
+        if (prof && network_dma_) {
+          prof->request_segment(prof_id, obs::PathKind::kNetworkRpc, prof_rpc, issue,
+                                media_arrival);
+        }
         media = ssd_->submit(device_request, media_arrival);
         media_done = media.media_end;
         const Reservation dma = host_dma_->transfer(media.media_begin, device_request.size);
         completion = std::max(media.media_end, dma.end);
+        if (prof) {
+          prof->request_segment(prof_id, obs::PathKind::kLinkWait, prof_host,
+                                media.media_begin, dma.start);
+          prof->request_segment(prof_id, obs::PathKind::kLinkBusy, prof_host, dma.start,
+                                dma.end);
+        }
         if (network_dma_) {
           const Reservation net =
               network_dma_->transfer(std::max(media.media_begin, dma.start),
                                      device_request.size);
           completion = std::max(completion, net.end);
           rpc_window.launch(completion, device_request.size);
+          if (prof) {
+            prof->request_segment(prof_id, obs::PathKind::kLinkWait, prof_net,
+                                  std::max(media.media_begin, dma.start), net.start);
+            prof->request_segment(prof_id, obs::PathKind::kLinkBusy, prof_net, net.start,
+                                  net.end);
+          }
         }
         if (media.uncorrectable_units > 0) {
           if (media.hard_failure) {
@@ -214,6 +269,12 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             const Reservation replica =
                 degraded_dma_->transfer(media.media_end, media.uncorrectable_bytes);
             completion = std::max(completion, replica.end);
+            if (prof) {
+              prof->request_segment(prof_id, obs::PathKind::kLinkWait, prof_degraded,
+                                    media.media_end, replica.start);
+              prof->request_segment(prof_id, obs::PathKind::kLinkBusy, prof_degraded,
+                                    replica.start, replica.end);
+            }
             ++degraded_requests;
             degraded_bytes += media.uncorrectable_bytes;
             if (recorder) {
@@ -239,8 +300,22 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
           const Time slot = rpc_window.admit(issue, device_request.size);
           const Reservation net = network_dma_->transfer(slot, device_request.size);
           at_device = net.end;
+          if (prof) {
+            prof->request_segment(prof_id, obs::PathKind::kNetworkRpc, prof_rpc, issue,
+                                  slot);
+            prof->request_segment(prof_id, obs::PathKind::kLinkWait, prof_net, slot,
+                                  net.start);
+            prof->request_segment(prof_id, obs::PathKind::kLinkBusy, prof_net, net.start,
+                                  net.end);
+          }
         }
         const Reservation dma = host_dma_->transfer(at_device, device_request.size);
+        if (prof) {
+          prof->request_segment(prof_id, obs::PathKind::kLinkWait, prof_host, at_device,
+                                dma.start);
+          prof->request_segment(prof_id, obs::PathKind::kLinkBusy, prof_host, dma.start,
+                                dma.end);
+        }
         media = ssd_->submit(device_request, dma.end);
         completion = media.media_end;
         media_done = media.media_end;
@@ -310,6 +385,23 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             .add(device_request.size.value());
       }
 
+      if (prof) {
+        // Host-side prefix of the causal chain: flow-control wait, core
+        // serialisation, I/O-path software latency. Together with the
+        // branch-recorded link/media segments these cover [ready,
+        // completion] contiguously.
+        prof->request_segment(prof_id, obs::PathKind::kEngineWindow, prof_window, ready,
+                              admit);
+        prof->request_segment(prof_id, obs::PathKind::kEngineCpu, prof_cpu, admit,
+                              cpu_free);
+        prof->request_segment(prof_id, obs::PathKind::kIoPathSoftware, prof_software,
+                              cpu_free, issue);
+        prof->request_complete(prof_id, ready, issue, completion, media.media_begin,
+                               media.media_end);
+        prof_cpu_pred = prof_id;
+        if (completion >= all_done) prof_drain_pred = prof_id;
+        if (device_request.barrier) prof_barrier_pred = prof_id;
+      }
       device_window.launch(completion, device_request.size);
       queue_depth_series.sample(admit, static_cast<double>(device_window.outstanding()));
       all_done = std::max(all_done, completion);
@@ -349,13 +441,16 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
 
   // Write-only replays have no read samples; skip the quantile calls so
   // the empty-histogram warning (common/stats.cpp) stays meaningful.
+  result.read_latency.count = read_latency_us.total();
+  result.read_latency.mean = read_latency_stats.mean();
+  result.read_latency.min = read_latency_stats.min();
+  result.read_latency.max = read_latency_stats.max();
   if (read_latency_us.total() > 0) {
-    result.read_latency_p50_us = read_latency_us.quantile(0.5);
-    result.read_latency_p95_us = read_latency_us.quantile(0.95);
-    result.read_latency_p99_us = read_latency_us.quantile(0.99);
+    result.read_latency.p50 = read_latency_us.quantile(0.5);
+    result.read_latency.p90 = read_latency_us.quantile(0.9);
+    result.read_latency.p95 = read_latency_us.quantile(0.95);
+    result.read_latency.p99 = read_latency_us.quantile(0.99);
   }
-  result.read_latency_max_us = read_latency_stats.max();
-  result.read_latency_mean_us = read_latency_stats.mean();
 
   std::array<double, kPhaseCount> phase_times{};
   phase_times[static_cast<int>(Phase::kNonOverlappedDma)] =
@@ -408,6 +503,30 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     registry->gauge("engine.makespan_ms").set(static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));
     registry->gauge("engine.achieved_mbps").set(result.achieved_mbps);
     result.metrics = registry->snapshot();
+  }
+  if (prof) {
+    result.profile = prof->report(result.makespan);
+    // The blame report is a partition of the makespan: its buckets must
+    // sum to the replay's end time exactly, in integer picoseconds. A
+    // mismatch means a hook site broke the contiguity contract — under
+    // --audit that is an invariant violation like any other.
+    if (aud != nullptr && result.profile.attributed != result.makespan) {
+      aud->violation("profile",
+                     "critical-path blame (" +
+                         std::to_string(result.profile.attributed.ps()) +
+                         " ps) != makespan (" +
+                         std::to_string(result.makespan.ps()) + " ps)");
+    }
+    if (recorder) {
+      // Utilization timelines double as Perfetto counter tracks so the
+      // windowed busy fractions line up under the span view.
+      for (const obs::UtilizationSeries& series : result.profile.utilization) {
+        const std::uint32_t track = recorder->track("profile." + series.resource);
+        for (const auto& [t, v] : series.points) {
+          recorder->counter(track, "profile", series.kind.c_str(), t, v);
+        }
+      }
+    }
   }
   if (aud != nullptr) {
     // End-of-replay FTL sweep, then snapshot the verdict into the result.

@@ -53,13 +53,7 @@ std::string ExperimentResult::to_json() const {
   w.field("package_utilization", package_utilization);
 
   w.key("read_latency_us");
-  w.begin_object();
-  w.field("p50", read_latency_p50_us);
-  w.field("p95", read_latency_p95_us);
-  w.field("p99", read_latency_p99_us);
-  w.field("max", read_latency_max_us);
-  w.field("mean", read_latency_mean_us);
-  w.end_object();
+  write_histogram_summary(w, read_latency);
 
   w.key("phase_fraction");
   w.begin_object();
@@ -143,6 +137,51 @@ std::string ExperimentResult::to_json() const {
       w.begin_object();
       w.field("invariant", v.invariant);
       w.field("detail", v.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  // Same contract as "audit": only profiled replays carry the section.
+  if (profile.enabled) {
+    w.key("profile");
+    w.begin_object();
+    w.field("makespan_ps", (profile.makespan).ps());
+    w.field("attributed_ps", (profile.attributed).ps());
+    w.field("unattributed_ps", (profile.unattributed).ps());
+    w.field("requests", profile.requests);
+    w.field("segments", profile.segments);
+    w.field("gates", profile.gates);
+    w.field("dropped_edges", profile.dropped_edges);
+    w.field("critical_path_hops", profile.critical_path_hops);
+    w.field("io_path_device_requests", profile.io_path_device_requests);
+    w.field("io_path_internal_requests", profile.io_path_internal_requests);
+    w.field("window_ps", (profile.window).ps());
+    w.key("blame");
+    w.begin_array();
+    for (const obs::BlameEntry& b : profile.blame) {
+      w.begin_object();
+      w.field("layer", b.layer);
+      w.field("kind", b.kind);
+      w.field("resource", b.resource);
+      w.field("time_ps", (b.time).ps());
+      w.field("share", profile.makespan > Time{}
+                           ? static_cast<double>(b.time) /
+                                 static_cast<double>(profile.makespan)
+                           : 0.0);
+      w.field("hops", b.hops);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("utilization");
+    w.begin_array();
+    for (const obs::UtilizationSeries& s : profile.utilization) {
+      w.begin_object();
+      w.field("resource", s.resource);
+      w.field("kind", s.kind);
+      w.key("points");
+      write_points(w, s.points);
       w.end_object();
     }
     w.end_array();

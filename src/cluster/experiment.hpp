@@ -13,6 +13,7 @@
 #include "interconnect/pcie.hpp"
 #include "nvm/bus.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "ssd/ssd.hpp"
 
 namespace nvmooc {
@@ -59,12 +60,9 @@ struct ExperimentResult {
   double channel_utilization = 0.0;  ///< Figure 9a (fraction 0-1).
   double package_utilization = 0.0;  ///< Figure 9b.
 
-  /// Application-observed read latency (ready-to-completion), µs.
-  double read_latency_p50_us = 0.0;
-  double read_latency_p95_us = 0.0;
-  double read_latency_p99_us = 0.0;
-  double read_latency_max_us = 0.0;
-  double read_latency_mean_us = 0.0;
+  /// Application-observed read latency (ready-to-completion), µs: the
+  /// full quantile summary, serialised like every other log-histogram.
+  obs::HistogramSummary read_latency;
 
   /// Figure 10a/10c: fractions over the six phases, summing to 1.
   std::array<double, kPhaseCount> phase_fraction{};
@@ -97,6 +95,12 @@ struct ExperimentResult {
   /// replay (--audit on the CLI surfaces). Serialised by to_json() under
   /// "audit" when enabled, omitted otherwise.
   check::AuditReport audit;
+
+  /// Critical-path blame + utilization timelines; enabled only when an
+  /// obs::ProfileSession was installed for the replay (--profile on the
+  /// CLI surfaces). Serialised by to_json() under "profile" when
+  /// enabled, omitted otherwise — the unprofiled schema is unchanged.
+  obs::ProfileReport profile;
 
   /// Machine-readable export of everything above (schema documented in
   /// docs/OBSERVABILITY.md; stable field names, versioned).

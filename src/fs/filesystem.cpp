@@ -184,6 +184,11 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
       }
     }
   }
+  if (obs::Profiler* p = obs::profiler()) {
+    std::uint64_t internal = 0;
+    for (const BlockRequest& r : out) internal += r.internal ? 1 : 0;
+    p->io_path_expansion(out.size() - internal, internal);
+  }
   return out;
 }
 

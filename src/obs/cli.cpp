@@ -27,7 +27,8 @@ std::unique_ptr<ObsSession> make_session(const CliOptions& options) {
   ObsSession::Options session;
   session.trace = !options.trace_out.empty();
   session.metrics = !options.metrics_out.empty();
-  if (!session.trace && !session.metrics) return nullptr;
+  session.profile = options.profile;
+  if (!session.trace && !session.metrics && !session.profile) return nullptr;
   return std::make_unique<ObsSession>(session);
 }
 

@@ -14,14 +14,16 @@ struct CliOptions {
   std::string trace_out;    ///< Chrome trace_event JSON path ("" = off).
   std::string metrics_out;  ///< Metrics registry JSON path ("" = off).
   std::string log_level;    ///< debug|info|warn|error|off ("" = leave as is).
+  bool profile = false;     ///< Causal critical-path profiler (--profile).
 };
 
 /// Applies `--log-level`; returns false (and logs) on an unknown name.
 bool apply_log_level(const std::string& name);
 
 /// Builds an ObsSession matching the options: tracing on when trace_out
-/// is set, metrics on when metrics_out is set, null when neither is.
-/// The session installs itself on the calling thread.
+/// is set, metrics on when metrics_out is set, the causal profiler on
+/// when profile is set, null when none is. The session installs itself
+/// on the calling thread.
 std::unique_ptr<ObsSession> make_session(const CliOptions& options);
 
 /// Writes whatever the session collected to the requested paths.

@@ -9,6 +9,9 @@ ObsSession::ObsSession(Options options) {
   if (options.metrics) {
     metrics_ = std::make_unique<MetricsRegistry>();
   }
+  if (options.profile) {
+    profile_ = std::make_unique<ProfileSession>();
+  }
   context_.trace = trace_.get();
   context_.metrics = metrics_.get();
   if (trace_ || metrics_) {

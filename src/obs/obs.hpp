@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace nvmooc::obs {
@@ -71,13 +72,16 @@ class ScopedObsContext {
 };
 
 /// Owns a recorder and/or registry and installs them on the constructing
-/// thread. The CLI surface (--trace-out / --metrics-out) builds one of
-/// these around a replay and writes the exports afterwards.
+/// thread. The CLI surface (--trace-out / --metrics-out / --profile)
+/// builds one of these around a replay and writes the exports
+/// afterwards. The causal profiler (profiler.hpp) rides along on its own
+/// thread-local so --profile works with or without tracing.
 class ObsSession {
  public:
   struct Options {
     bool trace = false;
     bool metrics = false;
+    bool profile = false;
     std::size_t max_trace_events = 2'000'000;
   };
 
@@ -89,11 +93,13 @@ class ObsSession {
 
   TraceRecorder* trace() { return trace_.get(); }
   MetricsRegistry* metrics() { return metrics_.get(); }
+  Profiler* profile() { return profile_ ? &profile_->profiler() : nullptr; }
   const ObsContext& obs_context() const { return context_; }
 
  private:
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<ProfileSession> profile_;
   ObsContext context_;
   std::unique_ptr<ScopedObsContext> installed_;
 };

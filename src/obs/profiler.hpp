@@ -1,0 +1,232 @@
+// Causal event-graph profiler: records, per replayed request, the
+// contiguous chain of time segments it spent in each layer of the I/O
+// stack (engine flow control, CPU serialisation, FS/UFS software,
+// network RPC, interconnect links, channel buses, flash buses, die
+// planes) plus the dependency gates between requests (CPU pipelining,
+// barriers, whole-trace drains, application think time). From those it
+// extracts the whole-run critical path — the single backward chain of
+// segments from the makespan to t=0 — and produces a blame report: how
+// many picoseconds of the makespan each layer/resource is responsible
+// for. This is the run-level generalisation of the per-request Figure-10
+// phase accounting in src/ssd/request.hpp: instead of "what did a
+// request wait on, on average", it answers "what actually bounded the
+// run".
+//
+// Same contract as the rest of src/obs (see obs.hpp): a thread-local
+// pointer whose null test is the enable check, installed by a
+// ProfileSession (or ObsSession with Options::profile). Hook sites never
+// mutate simulation state; with no session installed every site is a
+// load-and-branch.
+//
+// Lifecycle discipline (enforced by simlint SL006): a translation unit
+// that records profiler edges for a request — request_gate(),
+// request_segment(), request_complete() — must be the one that minted
+// the request with request_begin(). Device-side hooks (media_segment,
+// timeline_busy, io_path_expansion) attach to the request the engine
+// currently has open and are exempt: the engine owns the lifecycle, the
+// device layers only add occupancy to it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nvmooc::obs {
+
+/// What a critical-path (or busy) segment was doing. Determines the
+/// blame-report layer and whether the segment counts as resource
+/// occupancy for the utilization timelines.
+enum class PathKind : std::uint8_t {
+  kEngineWindow = 0,    ///< Flow-control window admission wait.
+  kEngineCpu = 1,       ///< Submission-core serialisation.
+  kIoPathSoftware = 2,  ///< FS/UFS per-request software latency.
+  kNetworkRpc = 3,      ///< Parallel-FS RPC concurrency window.
+  kLinkWait = 4,        ///< DMA protocol latency + link queueing.
+  kLinkBusy = 5,        ///< Wire time on a host/network link.
+  kChannelWait = 6,     ///< Channel-bus contention (incl. stalls).
+  kChannelBus = 7,      ///< Command/data cycles on the channel bus.
+  kFlashBusWait = 8,    ///< Package-port contention.
+  kFlashBus = 9,        ///< Register<->pads transfer on the package port.
+  kCellWait = 10,       ///< Plane contention.
+  kCellBusy = 11,       ///< Cell activation (incl. ECC retry senses).
+  kApplication = 12,    ///< Trace think time (not_before gaps).
+  kUnattributed = 13,   ///< Walk fallback; a nonzero total is a bug.
+};
+inline constexpr int kPathKindCount = 14;
+
+/// Blame-report layer for a PathKind ("engine", "io_path", "network",
+/// "interconnect", "controller.channel", "controller.flash_bus",
+/// "media.cell", "application", "unattributed").
+const char* path_layer(PathKind kind);
+
+/// Why a request's `ready` time was what it was: the dependency-edge
+/// taxonomy between requests.
+enum class GateKind : std::uint8_t {
+  kCpu = 0,      ///< Predecessor's submission-core release (pipelining).
+  kBarrier = 1,  ///< Completion of the last barrier request.
+  kDrain = 2,    ///< Whole-trace drain (this request is a barrier).
+  kApp = 3,      ///< Application not_before (prefetch think time).
+};
+
+struct GateCandidate {
+  Time at;                  ///< The time this dependency released.
+  GateKind kind = GateKind::kApp;
+  std::uint64_t pred = 0;   ///< Releasing request id; 0 = none (kApp).
+};
+
+/// One critical-path blame bucket: time the makespan spent on one
+/// resource, through one kind of occupancy.
+struct BlameEntry {
+  std::string layer;     ///< path_layer() of the kind.
+  std::string kind;      ///< Machine key, e.g. "channel_bus".
+  std::string resource;  ///< e.g. "ssd.ch3", "link.host", "engine.cpu".
+  Time time;             ///< Exact critical-path picoseconds.
+  std::uint64_t hops = 0;  ///< Walk steps folded into this bucket.
+};
+
+/// One windowed utilization (or queue-depth) series.
+struct UtilizationSeries {
+  std::string resource;  ///< e.g. "ssd.ch0", "link.host", "ssd.inflight".
+  std::string kind;      ///< "busy_fraction" | "queue_depth".
+  std::vector<std::pair<Time, double>> points;  ///< (window start, value).
+};
+
+/// Everything the profiler derives from one replay. Carried in
+/// ExperimentResult and serialised under "profile" when enabled.
+struct ProfileReport {
+  bool enabled = false;
+  Time makespan;
+  /// Sum over blame[] — the self-check invariant is attributed ==
+  /// makespan, exact in integer picoseconds.
+  Time attributed;
+  /// Critical-path time the walk could not map to a recorded segment
+  /// (also present in blame[] under layer "unattributed"). Always 0 when
+  /// every hook site holds its contiguity contract.
+  Time unattributed;
+  std::uint64_t requests = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t gates = 0;
+  /// Device-side edges that arrived with no open request (dropped).
+  std::uint64_t dropped_edges = 0;
+  std::uint64_t critical_path_hops = 0;
+  /// I/O-path fan-out totals: device requests the FS/UFS produced for
+  /// the application stream, and the internal (metadata/journal) traffic
+  /// it added on top.
+  std::uint64_t io_path_device_requests = 0;
+  std::uint64_t io_path_internal_requests = 0;
+  Time window;  ///< Utilization window width.
+  std::vector<BlameEntry> blame;  ///< Sorted by time desc, then names.
+  std::vector<UtilizationSeries> utilization;
+  /// Human-readable blame table + utilization digest.
+  std::string summary() const;
+};
+
+class Profiler {
+ public:
+  /// Resource-name interning: hook sites pass ids, not strings, so the
+  /// per-segment cost is independent of name length. Stable for the
+  /// profiler's lifetime.
+  std::uint32_t intern(const std::string& name);
+  const std::string& name_of(std::uint32_t id) const { return names_[id]; }
+
+  // --- Engine-side request lifecycle -----------------------------------
+  /// Mints a request id and opens it as the current request device-side
+  /// hooks attach to. Ids start at 1; 0 means "no request".
+  std::uint64_t request_begin();
+  /// Records one dependency candidate for the request's ready time.
+  void request_gate(std::uint64_t id, GateCandidate candidate);
+  /// Records one contiguous time segment of the request's causal chain.
+  /// Empty segments (end <= start) are dropped.
+  void request_segment(std::uint64_t id, PathKind kind, std::uint32_t resource,
+                       Time start, Time end);
+  /// Seals the request: its gate-resolution, issue and completion times
+  /// plus the device-residency interval for queue-depth accounting.
+  void request_complete(std::uint64_t id, Time ready, Time issue, Time completion,
+                        Time media_begin, Time media_end);
+
+  // --- Device-side hooks (attach to the currently open request) --------
+  /// Occupancy/wait segment from the controller (channel, port, plane).
+  /// With no open request the edge is dropped and counted.
+  void media_segment(PathKind kind, std::uint32_t resource, Time start, Time end);
+  /// Busy interval on a labelled timeline (links): feeds the utilization
+  /// sampler only, never the critical path (the engine's own link
+  /// segments carry the causal chain).
+  void timeline_busy(const std::string& label, Time start, Time end);
+  /// I/O-path expansion edge: one application request fanned out into
+  /// `device_requests` + `internal_requests` device requests.
+  void io_path_expansion(std::uint64_t device_requests, std::uint64_t internal_requests);
+
+  /// Extracts the critical path and utilization timelines. `makespan` is
+  /// the replay's all-done time; `windows` is the timeline resolution.
+  ProfileReport report(Time makespan, std::uint32_t windows = 64) const;
+
+  std::uint64_t request_count() const { return requests_.size(); }
+  std::uint64_t dropped_edges() const { return dropped_edges_; }
+
+ private:
+  struct Segment {
+    Time start;
+    Time end;
+    std::uint32_t resource = 0;
+    PathKind kind = PathKind::kUnattributed;
+  };
+  struct RequestRecord {
+    Time ready;
+    Time issue;
+    Time completion;
+    Time media_begin;
+    Time media_end;
+    bool complete = false;
+    std::vector<Segment> segments;
+    std::vector<GateCandidate> gates;
+  };
+
+  RequestRecord* record(std::uint64_t id) {
+    return id >= 1 && id <= requests_.size() ? &requests_[id - 1] : nullptr;
+  }
+
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t> name_ids_;
+  std::vector<RequestRecord> requests_;
+  std::uint64_t open_request_ = 0;
+  std::uint64_t segment_count_ = 0;
+  std::uint64_t gate_count_ = 0;
+  std::uint64_t dropped_edges_ = 0;
+  std::uint64_t expanded_device_requests_ = 0;
+  std::uint64_t expanded_internal_requests_ = 0;
+  /// Busy intervals from labelled timelines, keyed by interned label.
+  std::map<std::uint32_t, std::vector<std::pair<Time, Time>>> timeline_intervals_;
+};
+
+namespace detail {
+inline thread_local Profiler* tls_profiler = nullptr;
+}
+
+/// The calling thread's active profiler, or null. The null test *is* the
+/// enable check — identical contract to obs::tracer()/obs::metrics().
+inline Profiler* profiler() { return detail::tls_profiler; }
+
+/// RAII install of a profiler on the constructing thread (the --profile
+/// CLI surface builds one per replay; mirrors check::AuditSession).
+class ProfileSession {
+ public:
+  ProfileSession() : previous_(detail::tls_profiler) {
+    detail::tls_profiler = &profiler_;
+  }
+  ~ProfileSession() { detail::tls_profiler = previous_; }
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+  Profiler& profiler() { return profiler_; }
+
+ private:
+  Profiler profiler_;
+  Profiler* previous_;
+};
+
+}  // namespace nvmooc::obs

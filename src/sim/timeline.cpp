@@ -47,7 +47,12 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
         gaps_.erase(gaps_.begin() + static_cast<std::ptrdiff_t>(i));
         if (old.start < grant.start) gaps_.push_back({old.start, grant.start});
         if (grant.end < old.end) gaps_.push_back({grant.end, old.end});
-        if (!trace_label_.empty()) emit_span(grant, earliest, duration);
+        if (!trace_label_.empty()) {
+          emit_span(grant, earliest, duration);
+          if (obs::Profiler* prof = obs::profiler()) {
+            prof->timeline_busy(trace_label_, grant.start, grant.end);
+          }
+        }
         if (check::Auditor* aud = check::auditor()) {
           aud->timeline_reserved(this, trace_label_, grant.start, grant.end);
         }
@@ -75,7 +80,12 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
     }
   }
   next_free_ = std::max(next_free_, grant.end);
-  if (!trace_label_.empty()) emit_span(grant, earliest, duration);
+  if (!trace_label_.empty()) {
+    emit_span(grant, earliest, duration);
+    if (obs::Profiler* prof = obs::profiler()) {
+      prof->timeline_busy(trace_label_, grant.start, grant.end);
+    }
+  }
   if (check::Auditor* aud = check::auditor()) {
     aud->timeline_reserved(this, trace_label_, grant.start, grant.end);
   }

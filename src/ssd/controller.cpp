@@ -59,6 +59,46 @@ struct TxnTracer {
   }
 };
 
+/// Critical-path segment emission for one transaction: the profiler
+/// receives the same contiguous wait/busy chain the tracer draws, keyed
+/// by interned resource ids (channel bus, package port, die). Only
+/// constructed when a profiler is installed; segments attach to the
+/// request the engine currently has open.
+struct TxnProfiler {
+  obs::Profiler* profiler;
+  std::uint32_t channel_id;
+  std::uint32_t port_id;
+  std::uint32_t die_id;
+
+  TxnProfiler(obs::Profiler* profiler, const PhysicalAddress& address)
+      : profiler(profiler) {
+    const std::string channel = "ssd.ch" + std::to_string(address.channel);
+    const std::string package = channel + ".pkg" + std::to_string(address.package);
+    channel_id = profiler->intern(channel);
+    port_id = profiler->intern(package + ".port");
+    die_id = profiler->intern(package + ".die" + std::to_string(address.die));
+  }
+
+  void channel_wait(Time start, Time end) const {
+    profiler->media_segment(obs::PathKind::kChannelWait, channel_id, start, end);
+  }
+  void channel_bus(Time start, Time end) const {
+    profiler->media_segment(obs::PathKind::kChannelBus, channel_id, start, end);
+  }
+  void port_wait(Time start, Time end) const {
+    profiler->media_segment(obs::PathKind::kFlashBusWait, port_id, start, end);
+  }
+  void port_bus(Time start, Time end) const {
+    profiler->media_segment(obs::PathKind::kFlashBus, port_id, start, end);
+  }
+  void cell_wait(Time start, Time end) const {
+    profiler->media_segment(obs::PathKind::kCellWait, die_id, start, end);
+  }
+  void cell_busy(Time start, Time end) const {
+    profiler->media_segment(obs::PathKind::kCellBusy, die_id, start, end);
+  }
+};
+
 }  // namespace
 
 SsdHardware::SsdHardware(const SsdGeometry& geometry, const NvmTiming& timing,
@@ -159,6 +199,10 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
   if (recorder != nullptr) {
     tracer = std::make_unique<TxnTracer>(recorder, &trace_wait_lanes_, address);
   }
+  std::unique_ptr<TxnProfiler> profiler;
+  if (obs::Profiler* prof = obs::profiler()) {
+    profiler = std::make_unique<TxnProfiler>(prof, address);
+  }
 
   // An injected channel stall pushes the whole transaction back; the
   // delay books as channel contention like any other bus wait.
@@ -170,6 +214,7 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
       ++stats_.reliability.channel_stalls;
       txn.channel_wait += start - arrival;
       if (tracer) tracer->wait(tracer->channel_track, "channel_stall", arrival, start);
+      if (profiler) profiler->channel_wait(arrival, start);
     }
   }
 
@@ -181,6 +226,10 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
     tracer->wait(tracer->channel_track, "channel_contention", start, cmd.start);
     tracer->busy(tracer->channel_track, "phase", "channel_activation", cmd.start,
                  cmd.end);
+  }
+  if (profiler) {
+    profiler->channel_wait(start, cmd.start);
+    profiler->channel_bus(cmd.start, cmd.end);
   }
 
   const Time data_time = package.flash_bus_time(spec.bytes);
@@ -260,6 +309,14 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
           tracer->busy(tracer->channel_track, "phase", "channel_activation",
                        out.start, out.end);
         }
+        if (profiler) {
+          profiler->cell_wait(cursor, cell.start);
+          profiler->cell_busy(cell.start, cell.end);
+          profiler->port_wait(cell.end, fb.start);
+          profiler->port_bus(fb.start, fb.end);
+          profiler->channel_wait(fb.end, out.start);
+          profiler->channel_bus(out.start, out.end);
+        }
         cursor = out.end;
         if (attempt == 0) first_end = cursor;
       }
@@ -291,6 +348,14 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
         tracer->busy(tracer->plane_track, "phase", "cell_activation", cell.start,
                      cell.end);
       }
+      if (profiler) {
+        profiler->channel_wait(cmd.end, in.start);
+        profiler->channel_bus(in.start, in.end);
+        profiler->port_wait(in.end, fb.start);
+        profiler->port_bus(fb.start, fb.end);
+        profiler->cell_wait(fb.end, cell.start);
+        profiler->cell_busy(cell.start, cell.end);
+      }
       break;
     }
     case NvmOp::kErase: {
@@ -304,6 +369,10 @@ TransactionResult Controller::schedule(const TxnSpec& spec, Time arrival, bool i
         tracer->busy(tracer->plane_track, "phase", "cell_activation", cell.start,
                      cell.end,
                      {obs::SpanArg::text("op", "erase")});
+      }
+      if (profiler) {
+        profiler->cell_wait(cmd.end, cell.start);
+        profiler->cell_busy(cell.start, cell.end);
       }
       break;
     }

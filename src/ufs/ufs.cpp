@@ -46,6 +46,9 @@ std::vector<BlockRequest> UnifiedFileSystem::submit_object(ObjectId id,
     m->counter("ufs.requests_out").add(out.size());
     if (out.size() > 1) m->counter("ufs.extent_splits").add(out.size() - 1);
   }
+  if (obs::Profiler* p = obs::profiler()) {
+    p->io_path_expansion(out.size(), 0);
+  }
   return out;
 }
 

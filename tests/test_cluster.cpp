@@ -237,9 +237,9 @@ TEST(Engine, BarriersSlowThingsDown) {
 TEST(Engine, LatencyPercentilesAreOrdered) {
   const Trace trace = small_ooc_trace(32 * MiB);
   const ExperimentResult result = run_experiment(cnl_ufs_config(NvmType::kMlc), trace);
-  EXPECT_GT(result.read_latency_p50_us, 0.0);
-  EXPECT_GE(result.read_latency_p99_us, result.read_latency_p50_us);
-  EXPECT_GT(result.read_latency_mean_us, 0.0);
+  EXPECT_GT(result.read_latency.p50, 0.0);
+  EXPECT_GE(result.read_latency.p99, result.read_latency.p50);
+  EXPECT_GT(result.read_latency.mean, 0.0);
 }
 
 TEST(Engine, IonLatencyDwarfsLocal) {
@@ -248,7 +248,7 @@ TEST(Engine, IonLatencyDwarfsLocal) {
   const Trace trace = random_read_trace(64 * MiB, 8 * KiB, 300, rng);
   const ExperimentResult ion = run_experiment(ion_gpfs_config(NvmType::kPcm), trace);
   const ExperimentResult cnl = run_experiment(cnl_ufs_config(NvmType::kPcm), trace);
-  EXPECT_GT(ion.read_latency_p50_us, cnl.read_latency_p50_us * 5.0);
+  EXPECT_GT(ion.read_latency.p50, cnl.read_latency.p50 * 5.0);
 }
 
 TEST(Energy, ComponentsAddUp) {

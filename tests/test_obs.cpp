@@ -219,11 +219,14 @@ ExperimentResult golden_fixture() {
   r.remaining_mbps = 58.5;
   r.channel_utilization = 0.995;
   r.package_utilization = 0.345;
-  r.read_latency_p50_us = 2100.5;
-  r.read_latency_p95_us = 2650.25;
-  r.read_latency_p99_us = 2700.75;
-  r.read_latency_max_us = 2800.0;
-  r.read_latency_mean_us = 2205.125;
+  r.read_latency.count = 8;
+  r.read_latency.min = 2000.0;
+  r.read_latency.p50 = 2100.5;
+  r.read_latency.p90 = 2600.0;
+  r.read_latency.p95 = 2650.25;
+  r.read_latency.p99 = 2700.75;
+  r.read_latency.max = 2800.0;
+  r.read_latency.mean = 2205.125;
   r.phase_fraction = {0.0, 0.04, 0.36, 0.12, 0.36, 0.12};
   r.pal_fraction = {0.0, 0.0, 0.0, 1.0};
   r.phase_wait[static_cast<int>(Phase::kChannelContention)] = {8, 120.0, 10.0,
@@ -425,8 +428,8 @@ TEST(PerfettoSmoke, FaultInjectedReplayCoversAllPhases) {
   // The metrics half of the session fed the result.
   const ExperimentResult& result = ion_run.result;
   EXPECT_FALSE(result.metrics.empty());
-  EXPECT_GT(result.read_latency_p95_us, 0.0);
-  EXPECT_GE(result.read_latency_max_us, result.read_latency_p95_us);
+  EXPECT_GT(result.read_latency.p95, 0.0);
+  EXPECT_GE(result.read_latency.max, result.read_latency.p95);
   EXPECT_FALSE(result.queue_depth.empty());
   EXPECT_GT(result.phase_wait[static_cast<int>(Phase::kCellActivation)].count, 0u);
 }

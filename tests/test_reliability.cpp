@@ -222,7 +222,7 @@ TEST(Replay, DisabledInjectionIsZeroCost) {
   const ExperimentResult a = run_experiment(plain, trace);
   const ExperimentResult b = run_experiment(configured, trace);
   EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.read_latency_p99_us, b.read_latency_p99_us);
+  EXPECT_EQ(a.read_latency.p99, b.read_latency.p99);
   EXPECT_EQ(b.reliability.read_retries, 0u);
   EXPECT_EQ(b.reliability.corrected_reads, 0u);
   EXPECT_EQ(b.reliability.uncorrectable_reads, 0u);
@@ -250,7 +250,7 @@ TEST(Replay, ModerateRberCausesRetriesButNoLoss) {
   // Retries re-enter contention: the replay takes longer and the tail
   // latency grows.
   EXPECT_GT(result.makespan, clean.makespan);
-  EXPECT_GE(result.read_latency_p99_us, clean.read_latency_p99_us);
+  EXPECT_GE(result.read_latency.p99, clean.read_latency.p99);
   EXPECT_LT(result.achieved_mbps, clean.achieved_mbps);
 }
 

@@ -1,0 +1,142 @@
+// simreport library tests: diff semantics (structure, tolerances,
+// per-field overrides) against the golden fixture pair, and the show
+// renderings. The CLI binary itself is exercised by the
+// simreport_diff_identical / simreport_diff_perturbed ctest entries.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "report.hpp"
+
+namespace {
+
+using namespace nvmooc;
+
+obs::JsonValue load(const std::string& name) {
+  const std::string path = std::string(NVMOOC_TEST_DATA_DIR) + "/golden/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return obs::parse_json(text.str());
+}
+
+TEST(SimreportDiff, IdenticalFilesProduceNoEntries) {
+  const obs::JsonValue a = load("simreport_base.json");
+  const obs::JsonValue b = load("simreport_base.json");
+  EXPECT_TRUE(simreport::diff(a, b, {}).empty());
+  EXPECT_EQ(simreport::render_diff({}), "identical within tolerance\n");
+}
+
+TEST(SimreportDiff, PerturbedFieldIsReportedWithPath) {
+  const obs::JsonValue a = load("simreport_base.json");
+  const obs::JsonValue b = load("simreport_perturbed.json");
+  const auto entries = simreport::diff(a, b, {});
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, "results.CNL-UFS/tlc.achieved_mbps");
+  EXPECT_NE(entries[0].detail.find("a=812.5"), std::string::npos);
+  EXPECT_NE(entries[0].detail.find("b=820.75"), std::string::npos);
+  const std::string report = simreport::render_diff(entries);
+  EXPECT_NE(report.find("1 field(s) differ"), std::string::npos);
+  EXPECT_NE(report.find("results.CNL-UFS/tlc.achieved_mbps"), std::string::npos);
+}
+
+TEST(SimreportDiff, ToleranceIsRelativeAboveOne) {
+  const obs::JsonValue a = load("simreport_base.json");
+  const obs::JsonValue b = load("simreport_perturbed.json");
+  // 812.5 vs 820.75 is ~1.0% off: 2% relative tolerance accepts it,
+  // 0.5% does not.
+  simreport::DiffOptions loose;
+  loose.default_tol = 0.02;
+  EXPECT_TRUE(simreport::diff(a, b, loose).empty());
+  simreport::DiffOptions tight;
+  tight.default_tol = 0.005;
+  EXPECT_EQ(simreport::diff(a, b, tight).size(), 1u);
+}
+
+TEST(SimreportDiff, PerFieldToleranceOverridesDefault) {
+  const obs::JsonValue a = load("simreport_base.json");
+  const obs::JsonValue b = load("simreport_perturbed.json");
+  simreport::DiffOptions options;
+  options.default_tol = 0.0;
+  options.field_tol["achieved_mbps"] = 0.02;  // leaf-name match
+  EXPECT_TRUE(simreport::diff(a, b, options).empty());
+
+  simreport::DiffOptions exact_path;
+  exact_path.field_tol["results.CNL-UFS/tlc.achieved_mbps"] = 0.02;
+  EXPECT_TRUE(simreport::diff(a, b, exact_path).empty());
+
+  // A tolerance on some other field does not cover the perturbation.
+  simreport::DiffOptions unrelated;
+  unrelated.field_tol["makespan_ms"] = 0.5;
+  EXPECT_EQ(simreport::diff(a, b, unrelated).size(), 1u);
+}
+
+TEST(SimreportDiff, ToleranceResolutionOrder) {
+  simreport::DiffOptions options;
+  options.default_tol = 0.1;
+  options.field_tol["achieved_mbps"] = 0.2;
+  options.field_tol["results.X.achieved_mbps"] = 0.3;
+  EXPECT_DOUBLE_EQ(
+      simreport::tolerance_for(options, "results.X.achieved_mbps", "achieved_mbps"),
+      0.3);
+  EXPECT_DOUBLE_EQ(
+      simreport::tolerance_for(options, "results.Y.achieved_mbps", "achieved_mbps"),
+      0.2);
+  EXPECT_DOUBLE_EQ(simreport::tolerance_for(options, "results.Y.other", "other"), 0.1);
+}
+
+TEST(SimreportDiff, StructuralChangesAreAlwaysReported) {
+  obs::JsonValue a = obs::parse_json(R"({"x": 1.0, "y": [1, 2], "s": "keep"})");
+  obs::JsonValue b = obs::parse_json(R"({"x": "1.0", "y": [1, 2, 3], "z": true})");
+  simreport::DiffOptions options;
+  options.default_tol = 100.0;  // tolerance never excuses structure
+  const auto entries = simreport::diff(a, b, options);
+  ASSERT_EQ(entries.size(), 4u);  // type change, array length, s missing, z extra
+  EXPECT_EQ(entries[0].path, "s");
+  EXPECT_EQ(entries[0].detail, "missing in b");
+  EXPECT_EQ(entries[1].path, "x");
+  EXPECT_NE(entries[1].detail.find("type changed"), std::string::npos);
+  EXPECT_EQ(entries[2].path, "y");
+  EXPECT_NE(entries[2].detail.find("array length"), std::string::npos);
+  EXPECT_EQ(entries[3].path, "z");
+  EXPECT_EQ(entries[3].detail, "missing in a");
+}
+
+TEST(SimreportShow, RendersBenchTables) {
+  const obs::JsonValue v = load("simreport_base.json");
+  const std::string text = simreport::show(v, /*markdown=*/false);
+  EXPECT_NE(text.find("bench headline"), std::string::npos);
+  EXPECT_NE(text.find("CNL-UFS/tlc"), std::string::npos);
+  EXPECT_NE(text.find("achieved_mbps"), std::string::npos);
+  const std::string markdown = simreport::show(v, /*markdown=*/true);
+  EXPECT_NE(markdown.find("| claim"), std::string::npos);
+  EXPECT_NE(markdown.find("| ---"), std::string::npos);
+}
+
+TEST(SimreportShow, RendersExperimentResultWithProfile) {
+  const obs::JsonValue v = obs::parse_json(R"({
+    "name": "CNL-UFS", "media": "TLC", "makespan_ms": 21.36,
+    "achieved_mbps": 812.5,
+    "read_latency_us": {"count": 3, "mean": 2205.1, "min": 2000.0,
+                        "p50": 2100.5, "p90": 2600.0, "p95": 2650.2,
+                        "p99": 2700.7, "max": 2800.0},
+    "profile": {
+      "makespan_ps": 21360000000, "attributed_ps": 21360000000,
+      "unattributed_ps": 0, "critical_path_hops": 12,
+      "blame": [{"layer": "media.cell", "kind": "cell_busy",
+                 "resource": "ssd.ch0.pkg0.die0", "time_ps": 11000000000,
+                 "share": 0.515, "hops": 6}],
+      "utilization": [{"resource": "ssd.ch0", "kind": "busy_fraction",
+                       "points": [[0.0, 0.5], [10.0, 0.7]]}]
+    }})");
+  const std::string text = simreport::show(v, /*markdown=*/false);
+  EXPECT_NE(text.find("CNL-UFS on TLC"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("ssd.ch0.pkg0.die0"), std::string::npos);
+  EXPECT_NE(text.find("51.5%"), std::string::npos);
+  EXPECT_NE(text.find("utilization"), std::string::npos);
+}
+
+}  // namespace

@@ -41,7 +41,14 @@ Rules
                             request that can never be completed (or
                             stages with no matching issue), so every
                             audited replay of that code path reports
-                            phantom causality violations.
+                            phantom causality violations.  The causal
+                            profiler (src/obs/profiler.hpp) follows the
+                            same discipline: a TU recording request_gate
+                            / request_segment / request_complete edges
+                            must mint the id with request_begin (the
+                            device-side hooks media_segment /
+                            timeline_busy / io_path_expansion attach to
+                            the engine's open request and are exempt).
   SL007 missing-nodiscard   A header-file API returning Time or Bytes by
                             value without [[nodiscard]].  These types are
                             the unit system's whole point; silently
@@ -298,6 +305,14 @@ FLOAT_TO_TIME_RE = re.compile(
 LIFECYCLE_STAGE_RE = re.compile(
     r"\b(request_(?:admitted|dispatched|media|completed))\s*\(")
 LIFECYCLE_ISSUE_RE = re.compile(r"\brequest_issued\s*\(")
+# The causal profiler's engine-side edges (src/obs/profiler.hpp).  The
+# alternatives are anchored on the open paren so `request_complete(`
+# never half-matches the auditor's `request_completed(`.  Device-side
+# hooks (media_segment / timeline_busy / io_path_expansion) attach to
+# the profiler's open request and are deliberately not listed.
+PROFILE_EDGE_RE = re.compile(
+    r"\b(request_(?:gate|segment|complete))\s*\(")
+PROFILE_BEGIN_RE = re.compile(r"\brequest_begin\s*\(")
 # A bare expression-statement member call whose result vanishes:
 # `aud->request_issued(t);` at the start of a statement.  Assignments,
 # initialisers, returns and ternaries put tokens before the object
@@ -374,6 +389,19 @@ def run_matcher_rules(path: str, lines, graph: IncludeGraph, closure_texts):
                                  f"{m.group(1)}() reported but request_issued() "
                                  "never appears in this translation unit; the "
                                  "auditor will see stages with no issue"))
+
+    # SL006(b): same discipline for the causal profiler — request edges
+    # recorded in a TU that never mints an id with request_begin() can
+    # only reference phantom requests, so the critical-path walk would
+    # drop them (or worse, attach them to someone else's request).
+    if not PROFILE_BEGIN_RE.search(joined):
+        for lineno, line in enumerate(lines, 1):
+            m = PROFILE_EDGE_RE.search(line)
+            if m:
+                findings.append((lineno, "SL006",
+                                 f"{m.group(1)}() recorded but request_begin() "
+                                 "never appears in this translation unit; the "
+                                 "profiler will see edges with no request"))
 
     # SL007: headers only.  The attribute may sit on the declaration line
     # or the line above (clang-format splits long signatures there).

@@ -1,0 +1,323 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nvmooc::simreport {
+
+namespace {
+
+using obs::JsonValue;
+
+std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, format, value);
+  return buffer;
+}
+
+std::string scalar_repr(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kNumber: return obs::json_number(v.number);
+    case JsonValue::Kind::kString: return "\"" + v.string + "\"";
+    case JsonValue::Kind::kArray: return "<array>";
+    case JsonValue::Kind::kObject: return "<object>";
+  }
+  return "?";
+}
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void diff_value(const JsonValue& a, const JsonValue& b, const DiffOptions& options,
+                const std::string& path, const std::string& leaf,
+                std::vector<DiffEntry>& out) {
+  if (a.kind != b.kind) {
+    out.push_back({path, std::string("type changed: ") + kind_name(a.kind) +
+                             " -> " + kind_name(b.kind)});
+    return;
+  }
+  switch (a.kind) {
+    case JsonValue::Kind::kNull:
+      return;
+    case JsonValue::Kind::kBool:
+      if (a.boolean != b.boolean) {
+        out.push_back({path, "a=" + scalar_repr(a) + " b=" + scalar_repr(b)});
+      }
+      return;
+    case JsonValue::Kind::kString:
+      if (a.string != b.string) {
+        out.push_back({path, "a=" + scalar_repr(a) + " b=" + scalar_repr(b)});
+      }
+      return;
+    case JsonValue::Kind::kNumber: {
+      const double tol = tolerance_for(options, path, leaf);
+      const double scale = std::max({1.0, std::fabs(a.number), std::fabs(b.number)});
+      const double delta = std::fabs(a.number - b.number);
+      if (delta > tol * scale) {
+        out.push_back({path, "a=" + obs::json_number(a.number) +
+                                 " b=" + obs::json_number(b.number) + " (|delta|=" +
+                                 obs::json_number(delta) + ", tol=" +
+                                 obs::json_number(tol) + " rel)"});
+      }
+      return;
+    }
+    case JsonValue::Kind::kArray: {
+      if (a.array.size() != b.array.size()) {
+        out.push_back({path, "array length " + std::to_string(a.array.size()) +
+                                 " -> " + std::to_string(b.array.size())});
+        return;
+      }
+      for (std::size_t i = 0; i < a.array.size(); ++i) {
+        diff_value(a.array[i], b.array[i], options,
+                   path + "[" + std::to_string(i) + "]", leaf, out);
+      }
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      for (const auto& [name, value] : a.object) {
+        const std::string child = path.empty() ? name : path + "." + name;
+        const auto it = b.object.find(name);
+        if (it == b.object.end()) {
+          out.push_back({child, "missing in b"});
+          continue;
+        }
+        diff_value(value, it->second, options, child, name, out);
+      }
+      for (const auto& [name, value] : b.object) {
+        (void)value;
+        if (a.object.find(name) == a.object.end()) {
+          out.push_back({path.empty() ? name : path + "." + name, "missing in a"});
+        }
+      }
+      return;
+    }
+  }
+}
+
+double number_at(const JsonValue& v, const std::string& name, double fallback = 0.0) {
+  const JsonValue* member = v.find(name);
+  return member != nullptr && member->is_number() ? member->number : fallback;
+}
+
+std::string string_at(const JsonValue& v, const std::string& name) {
+  const JsonValue* member = v.find(name);
+  return member != nullptr && member->is_string() ? member->string : "";
+}
+
+/// Table helper shared by the text and markdown renderings.
+class Rows {
+ public:
+  explicit Rows(std::vector<std::string> header) : header_(std::move(header)) {}
+  void add(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  std::string render(bool markdown) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    std::string out;
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (markdown) out += c == 0 ? "| " : " | ";
+        else if (c > 0) out += "  ";
+        out += cells[c];
+        if (markdown || c + 1 < cells.size()) {
+          out.append(widths[c] - std::min(widths[c], cells[c].size()), ' ');
+        }
+      }
+      if (markdown) out += " |";
+      out += '\n';
+    };
+    line(header_);
+    if (markdown) {
+      std::vector<std::string> rule;
+      for (std::size_t w : widths) rule.push_back(std::string(w, '-'));
+      line(rule);
+    }
+    for (const auto& row : rows_) line(row);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string show_experiment(const JsonValue& v, bool markdown) {
+  std::string out;
+  out += "# " + string_at(v, "name") + " on " + string_at(v, "media") + "\n\n";
+  Rows headline({"metric", "value"});
+  headline.add({"makespan_ms", fmt("%.3f", number_at(v, "makespan_ms"))});
+  headline.add({"achieved_mbps", fmt("%.1f", number_at(v, "achieved_mbps"))});
+  headline.add({"remaining_mbps", fmt("%.1f", number_at(v, "remaining_mbps"))});
+  headline.add({"channel_utilization", fmt("%.3f", number_at(v, "channel_utilization"))});
+  headline.add({"package_utilization", fmt("%.3f", number_at(v, "package_utilization"))});
+  headline.add({"device_requests", fmt("%.0f", number_at(v, "device_requests"))});
+  headline.add({"transactions", fmt("%.0f", number_at(v, "transactions"))});
+  out += headline.render(markdown);
+
+  if (const JsonValue* latency = v.find("read_latency_us")) {
+    out += "\n## read latency (us)\n\n";
+    Rows rows({"p50", "p90", "p95", "p99", "max", "mean"});
+    rows.add({fmt("%.1f", number_at(*latency, "p50")),
+              fmt("%.1f", number_at(*latency, "p90")),
+              fmt("%.1f", number_at(*latency, "p95")),
+              fmt("%.1f", number_at(*latency, "p99")),
+              fmt("%.1f", number_at(*latency, "max")),
+              fmt("%.1f", number_at(*latency, "mean"))});
+    out += rows.render(markdown);
+  }
+
+  if (const JsonValue* phases = v.find("phase_fraction")) {
+    out += "\n## phase fractions\n\n";
+    Rows rows({"phase", "fraction"});
+    for (const auto& [name, value] : phases->object) {
+      rows.add({name, fmt("%.4f", value.number)});
+    }
+    out += rows.render(markdown);
+  }
+
+  if (const JsonValue* profile = v.find("profile")) {
+    out += "\n## critical path (profile)\n\n";
+    out += "makespan " + fmt("%.0f", number_at(*profile, "makespan_ps")) +
+           " ps, attributed " + fmt("%.0f", number_at(*profile, "attributed_ps")) +
+           " ps, unattributed " + fmt("%.0f", number_at(*profile, "unattributed_ps")) +
+           " ps over " + fmt("%.0f", number_at(*profile, "critical_path_hops")) +
+           " hops\n\n";
+    if (const JsonValue* blame = profile->find("blame")) {
+      Rows rows({"layer", "resource", "kind", "time_ms", "share"});
+      for (const JsonValue& entry : blame->array) {
+        rows.add({string_at(entry, "layer"), string_at(entry, "resource"),
+                  string_at(entry, "kind"),
+                  fmt("%.3f", number_at(entry, "time_ps") / 1e9),
+                  fmt("%.1f%%", 100.0 * number_at(entry, "share"))});
+      }
+      out += rows.render(markdown);
+    }
+    if (const JsonValue* utilization = profile->find("utilization")) {
+      out += "\n## utilization (mean busy fraction / queue depth)\n\n";
+      Rows rows({"resource", "kind", "mean", "peak"});
+      for (const JsonValue& series : utilization->array) {
+        double sum = 0.0;
+        double peak = 0.0;
+        std::size_t n = 0;
+        if (const JsonValue* points = series.find("points")) {
+          for (const JsonValue& point : points->array) {
+            if (point.array.size() == 2) {
+              sum += point.array[1].number;
+              peak = std::max(peak, point.array[1].number);
+              ++n;
+            }
+          }
+        }
+        rows.add({string_at(series, "resource"), string_at(series, "kind"),
+                  fmt("%.3f", n > 0 ? sum / static_cast<double>(n) : 0.0),
+                  fmt("%.3f", peak)});
+      }
+      out += rows.render(markdown);
+    }
+  }
+  return out;
+}
+
+std::string show_bench(const JsonValue& v, bool markdown) {
+  std::string out;
+  out += "# bench " + string_at(v, "bench") + " (" + string_at(v, "workload") +
+         " workload)\n";
+  if (const JsonValue* claims = v.find("claims")) {
+    out += "\n## claims\n\n";
+    Rows rows({"claim", "paper", "measured"});
+    for (const JsonValue& claim : claims->array) {
+      rows.add({string_at(claim, "claim"), string_at(claim, "paper"),
+                string_at(claim, "measured")});
+    }
+    out += rows.render(markdown);
+  }
+  if (const JsonValue* results = v.find("results")) {
+    // Union of the leaf field names across cells = the table columns
+    // (nested objects like phase_fraction are summarised by their size).
+    std::vector<std::string> columns;
+    for (const auto& [key, cell] : results->object) {
+      (void)key;
+      for (const auto& [name, value] : cell.object) {
+        (void)value;
+        if (std::find(columns.begin(), columns.end(), name) == columns.end()) {
+          columns.push_back(name);
+        }
+      }
+    }
+    out += "\n## results\n\n";
+    std::vector<std::string> header = {"config/media"};
+    header.insert(header.end(), columns.begin(), columns.end());
+    Rows rows(header);
+    for (const auto& [key, cell] : results->object) {
+      std::vector<std::string> row = {key};
+      for (const std::string& column : columns) {
+        const JsonValue* value = cell.find(column);
+        if (value == nullptr) row.push_back("-");
+        else if (value->is_number()) row.push_back(fmt("%.2f", value->number));
+        else if (value->is_string()) row.push_back(value->string);
+        else row.push_back("<" + std::to_string(value->object.size()) + " fields>");
+      }
+      rows.add(std::move(row));
+    }
+    out += rows.render(markdown);
+  }
+  return out;
+}
+
+}  // namespace
+
+double tolerance_for(const DiffOptions& options, const std::string& path,
+                     const std::string& leaf) {
+  auto it = options.field_tol.find(path);
+  if (it != options.field_tol.end()) return it->second;
+  it = options.field_tol.find(leaf);
+  if (it != options.field_tol.end()) return it->second;
+  return options.default_tol;
+}
+
+std::vector<DiffEntry> diff(const JsonValue& a, const JsonValue& b,
+                            const DiffOptions& options) {
+  std::vector<DiffEntry> out;
+  diff_value(a, b, options, "", "", out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DiffEntry& x, const DiffEntry& y) { return x.path < y.path; });
+  return out;
+}
+
+std::string render_diff(const std::vector<DiffEntry>& entries) {
+  if (entries.empty()) return "identical within tolerance\n";
+  std::string out = std::to_string(entries.size()) + " field(s) differ:\n";
+  for (const DiffEntry& entry : entries) {
+    out += "  " + entry.path + ": " + entry.detail + "\n";
+  }
+  return out;
+}
+
+std::string show(const JsonValue& document, bool markdown) {
+  // BENCH_*.json carries a "bench" tag; --result-out JSON carries the
+  // experiment name + media. Fall back to the bench layout, which is a
+  // generic field table.
+  if (document.find("name") != nullptr && document.find("makespan_ms") != nullptr) {
+    return show_experiment(document, markdown);
+  }
+  return show_bench(document, markdown);
+}
+
+}  // namespace nvmooc::simreport

@@ -1,0 +1,54 @@
+// simreport: experiment-result reporting and comparison. Consumes the
+// JSON written by --result-out (ExperimentResult::to_json) and the
+// BENCH_*.json sweep files, renders a human-readable breakdown, and
+// diffs two files field by field with per-field numeric tolerances —
+// the structured replacement for byte-diffing benchmark JSON in CI.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace nvmooc::simreport {
+
+/// Tolerances for numeric comparison. A field's tolerance is resolved in
+/// order: exact dotted-path match in `field_tol` ("results.CNL-UFS/tlc.
+/// achieved_mbps"), then leaf-name match ("achieved_mbps"), then
+/// `default_tol`. A value passes when |a-b| <= tol * max(1, |a|, |b|)
+/// (relative above 1, absolute below — benchmark fields span ten orders
+/// of magnitude).
+struct DiffOptions {
+  double default_tol = 0.0;
+  std::map<std::string, double> field_tol;
+};
+
+/// One leaf-level discrepancy between the two documents.
+struct DiffEntry {
+  std::string path;    ///< Dotted path, array indices in brackets.
+  std::string detail;  ///< Human-readable "a=... b=... (tol ...)".
+};
+
+/// Structural + numeric comparison of two parsed JSON documents.
+/// Type mismatches, missing/extra members, and out-of-tolerance numbers
+/// each produce one entry; an empty result means "no regression".
+std::vector<DiffEntry> diff(const obs::JsonValue& a, const obs::JsonValue& b,
+                            const DiffOptions& options);
+
+/// Renders the diff as a per-field report (one line per entry, sorted by
+/// path), or "identical within tolerance" when empty.
+std::string render_diff(const std::vector<DiffEntry>& entries);
+
+/// Renders a breakdown of one experiment/bench JSON: headline numbers,
+/// read-latency summary, phase fractions, and — when present — the
+/// critical-path blame table and utilization digest from the "profile"
+/// section. `markdown` switches the table syntax; the plain form is
+/// aligned monospace text.
+std::string show(const obs::JsonValue& document, bool markdown);
+
+/// Resolves the tolerance for one field (exposed for tests).
+double tolerance_for(const DiffOptions& options, const std::string& path,
+                     const std::string& leaf);
+
+}  // namespace nvmooc::simreport
