@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -62,6 +63,22 @@ inline bool& profile_enabled() {
   return enabled;
 }
 
+/// Whether --speed-report was passed: each replay then runs under its own
+/// obs::HostSession and the host-telemetry report (events/sec, wall-time
+/// attribution, memory) lands in its ExperimentResult.
+inline bool& speed_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+/// --heartbeat-sec value for --speed-report sessions (<= 0 logs a
+/// heartbeat on every progress call — what CI uses to force a non-empty
+/// heartbeat log on fast replays).
+inline double& heartbeat_sec() {
+  static double sec = 5.0;
+  return sec;
+}
+
 inline BenchOptions strip_bench_options(int& argc, char** argv) {
   BenchOptions out;
   int kept = 1;
@@ -76,14 +93,18 @@ inline BenchOptions strip_bench_options(int& argc, char** argv) {
     else if (const char* v = value("--log-level=")) out.obs.log_level = v;
     else if (const char* v = value("--headline-out=")) out.headline_out = v;
     else if (const char* v = value("--results-out=")) out.results_out = v;
+    else if (const char* v = value("--heartbeat-sec=")) out.obs.heartbeat_sec = std::strtod(v, nullptr);
     else if (!std::strcmp(arg, "--quick")) out.quick = true;
     else if (!std::strcmp(arg, "--audit")) out.audit = true;
     else if (!std::strcmp(arg, "--profile")) out.obs.profile = true;
+    else if (!std::strcmp(arg, "--speed-report")) out.obs.speed_report = true;
     else argv[kept++] = argv[i];
   }
   argc = kept;
   audit_enabled() = out.audit;
   profile_enabled() = out.obs.profile;
+  speed_enabled() = out.obs.speed_report;
+  heartbeat_sec() = out.obs.heartbeat_sec;
   return out;
 }
 
@@ -157,6 +178,12 @@ inline void run_config_benchmark(benchmark::State& state, const ExperimentConfig
     if (audit_enabled()) audit = std::make_unique<check::AuditSession>();
     std::unique_ptr<obs::ProfileSession> profile;
     if (profile_enabled()) profile = std::make_unique<obs::ProfileSession>();
+    std::unique_ptr<obs::HostSession> host;
+    if (speed_enabled()) {
+      obs::HostProfiler::Options host_options;
+      host_options.heartbeat_sec = heartbeat_sec();
+      host = std::make_unique<obs::HostSession>(host_options);
+    }
     const ExperimentResult result = run_experiment(config, trace);
     if (audit != nullptr && !result.audit.passed()) {
       audit_violations() += result.audit.violation_count;

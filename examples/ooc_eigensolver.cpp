@@ -5,11 +5,11 @@
 // stacks to see what each architecture would have delivered.
 //
 // Run: ./build/examples/ooc_eigensolver [dimension] [block_size]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "cluster/configs.hpp"
+#include "common/wallclock.hpp"
 #include "cluster/engine.hpp"
 #include "dooc/prefetcher.hpp"
 #include "fs/presets.hpp"
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   options.tolerance = 1e-5;
   options.max_iterations = 300;
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const Time t0 = wallclock::now_ns();
   const LobpcgResult solution = lobpcg(
       [&](const DenseMatrix& x) {
         DenseMatrix y(x.rows(), x.cols());
@@ -66,8 +66,7 @@ int main(int argc, char** argv) {
         return y;
       },
       h.rows(), options);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double seconds = wallclock::to_seconds(wallclock::now_ns() - t0);
 
   std::printf("\nLOBPCG: %s in %zu iterations (%zu H applications, %.2f s wall)\n",
               solution.converged ? "converged" : "NOT converged", solution.iterations,

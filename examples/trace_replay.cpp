@@ -34,6 +34,13 @@ const char* kUsage =
     "                    [--profile] (record the causal event graph, print the\n"
     "                                 critical-path blame report, and add the\n"
     "                                 \"profile\" section to --result-out)\n"
+    "                    [--speed-report] (host telemetry: events/sec speedometer,\n"
+    "                                 wall-time attribution, memory accounting;\n"
+    "                                 prints the speed report and adds the \"host\"\n"
+    "                                 section to --result-out)\n"
+    "                    [--heartbeat-sec=N] (progress-heartbeat period for\n"
+    "                                 --speed-report; 0 logs every request;\n"
+    "                                 default 5)\n"
     "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
     "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
     "         cnl-native-8, cnl-native-16\n";
@@ -100,6 +107,9 @@ int main(int argc, char** argv) {
   obs_options.metrics_out = option(argc, argv, "metrics-out", "");
   obs_options.log_level = option(argc, argv, "log-level", "");
   obs_options.profile = flag(argc, argv, "profile");
+  obs_options.speed_report = flag(argc, argv, "speed-report");
+  obs_options.heartbeat_sec =
+      std::strtod(option(argc, argv, "heartbeat-sec", "5").c_str(), nullptr);
   const std::string result_out = option(argc, argv, "result-out", "");
   if (!obs::apply_log_level(obs_options.log_level)) {
     std::fputs(kUsage, stderr);
@@ -196,6 +206,9 @@ int main(int argc, char** argv) {
   }
   if (result.profile.enabled) {
     std::printf("%s", result.profile.summary().c_str());
+  }
+  if (result.host.enabled) {
+    std::printf("%s", result.host.summary().c_str());
   }
   if (audit) {
     std::printf("%s\n", result.audit.summary().c_str());

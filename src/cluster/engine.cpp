@@ -132,6 +132,13 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   // on) and its contiguous host-side segments; the controller and the
   // link hooks add the device-side occupancy.
   obs::Profiler* prof = obs::profiler();
+  // Host telemetry (--speed-report): same null-check contract again. The
+  // engine ticks the speedometer per request, reports progress for the
+  // heartbeat, and scopes the replay loop as the "engine" wall-time
+  // bucket; the inner models (SSD, DMA, timeline) open their own
+  // sections, which the self-time accounting subtracts back out.
+  obs::HostProfiler* host = obs::host_profiler();
+  if (host) host->begin_run(trace.requests().size());
   std::uint32_t prof_window = 0;
   std::uint32_t prof_cpu = 0;
   std::uint32_t prof_software = 0;
@@ -173,9 +180,17 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   // total only when an abort truncates the replay.
   Bytes completed_payload;
 
+  {
+  // Nested scope so the engine's wall-time section is closed (and thus
+  // counted) before the derivation tail asks for the host report.
+  obs::HostSection replay_section(obs::HostSubsystem::kEngine);
   for (const PosixRequest& posix : trace.requests()) {
     if (aborted) break;
-    const std::vector<BlockRequest> device_requests = path_->submit(posix);
+    if (host) host->count(obs::HostEvent::kPosixRequest);
+    const std::vector<BlockRequest> device_requests = [&] {
+      obs::HostSection io_section(obs::HostSubsystem::kIoPath);
+      return path_->submit(posix);
+    }();
     if (aud != nullptr) {
       // Conservation at the OoC/FS boundary: the I/O path must expand
       // every application request into exactly its payload (journal and
@@ -190,6 +205,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     }
     for (const BlockRequest& device_request : device_requests) {
       if (device_request.size == Bytes{}) continue;
+      if (host) host->count(obs::HostEvent::kDeviceRequest);
 
       Time ready = std::max({cpu_free, barrier_gate, posix.not_before});
       if (device_request.barrier) ready = std::max(ready, all_done);
@@ -257,6 +273,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
           }
         }
         if (media.uncorrectable_units > 0) {
+          obs::HostSection reliability_section(obs::HostSubsystem::kReliability);
           if (media.hard_failure) {
             aborted = true;
             abort_reason = "device hard failure: capacity lost past the spare "
@@ -352,6 +369,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       }
 
       if (recorder) {
+        obs::HostSection obs_section(obs::HostSubsystem::kObs);
         const std::uint32_t lane = lanes->acquire(ready, completion);
         std::vector<obs::SpanArg> args;
         args.push_back(obs::SpanArg::integer(
@@ -409,7 +427,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       if (aborted) break;  // Replay stops; diagnostics ride in the result.
     }
     if (!aborted) completed_payload += posix.size;
+    if (host) host->progress(all_done);
   }
+  }  // replay_section (engine wall-time bucket) closes here.
 
   if (aud != nullptr && aborted) aud->replay_aborted();
 
@@ -532,6 +552,9 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     // End-of-replay FTL sweep, then snapshot the verdict into the result.
     ssd_->ftl().audit(*aud);
     result.audit = aud->report();
+  }
+  if (host) {
+    result.host = host->report(result.makespan);
   }
   return result;
 }

@@ -188,6 +188,68 @@ std::string ExperimentResult::to_json() const {
     w.end_object();
   }
 
+  // Same contract again: only --speed-report replays carry the section.
+  if (host.enabled) {
+    w.key("host");
+    w.begin_object();
+    w.field("wall_seconds", host.wall_seconds);
+    w.field("sim_time_ms",
+            static_cast<double>(host.sim_time) / static_cast<double>(kMillisecond));
+    w.field("events_total", host.events_total);
+    w.field("events_per_sec", host.events_per_sec);
+    w.field("sim_time_per_wall_second", host.sim_time_per_wall_second);
+    w.key("event_counts");
+    w.begin_object();
+    for (int e = 0; e < obs::kHostEventCount; ++e) {
+      w.field(obs::host_event_name(static_cast<obs::HostEvent>(e)),
+              host.events[static_cast<std::size_t>(e)]);
+    }
+    w.end_object();
+    w.field("requests_total", host.requests_total);
+    w.field("requests_completed", host.requests_completed);
+    w.field("heartbeats", host.heartbeats);
+    w.field("peak_rss_bytes", host.peak_rss_bytes);
+    w.key("event_queue");
+    w.begin_object();
+    w.field("scheduled", host.queue.scheduled);
+    w.field("executed", host.queue.executed);
+    w.field("cleared", host.queue.cleared);
+    w.field("depth_high_water", host.queue.depth_high_water);
+    w.key("scheduled_by_kind");
+    w.begin_object();
+    for (const auto& [kind, count] : host.queue.scheduled_by_kind) {
+      w.field(kind, count);
+    }
+    w.end_object();
+    w.key("depth_log2");
+    w.begin_object();
+    for (const auto& [bucket, count] : host.queue.depth_log2) {
+      w.field(bucket, count);
+    }
+    w.end_object();
+    w.field("alloc_bytes", host.event_queue_alloc.allocated_bytes);
+    w.field("alloc_count", host.event_queue_alloc.allocations);
+    w.field("alloc_peak_live_bytes", host.event_queue_alloc.peak_live_bytes);
+    w.end_object();
+    w.key("timeline_alloc");
+    w.begin_object();
+    w.field("alloc_bytes", host.timeline_alloc.allocated_bytes);
+    w.field("alloc_count", host.timeline_alloc.allocations);
+    w.field("alloc_peak_live_bytes", host.timeline_alloc.peak_live_bytes);
+    w.end_object();
+    w.key("sections");
+    w.begin_array();
+    for (const obs::HostSectionStat& s : host.sections) {
+      w.begin_object();
+      w.field("name", s.name);
+      w.field("wall_seconds", s.wall_seconds);
+      w.field("enters", s.enters);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.key("metrics");
   w.begin_array();
   for (const obs::MetricSnapshot& m : metrics) {

@@ -12,6 +12,7 @@
 #include "interconnect/network.hpp"
 #include "interconnect/pcie.hpp"
 #include "nvm/bus.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "ssd/ssd.hpp"
@@ -101,6 +102,13 @@ struct ExperimentResult {
   /// CLI surfaces). Serialised by to_json() under "profile" when
   /// enabled, omitted otherwise — the unprofiled schema is unchanged.
   obs::ProfileReport profile;
+
+  /// Host-side telemetry (events/sec speedometer, wall-time attribution,
+  /// memory accounting); enabled only when an obs::HostSession was
+  /// installed for the replay (--speed-report on the CLI surfaces).
+  /// Serialised by to_json() under "host" when enabled, omitted
+  /// otherwise — the schema without the flag is unchanged.
+  obs::HostReport host;
 
   /// Machine-readable export of everything above (schema documented in
   /// docs/OBSERVABILITY.md; stable field names, versioned).

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/alloc_counter.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc {
@@ -92,8 +94,14 @@ class BusyTracker {
   /// Unioned busy time common to this tracker and `other` — the overlap.
   [[nodiscard]] Time intersect_time(const BusyTracker& other) const;
 
+  /// Busy intervals charge the host profiler's timeline memory tally:
+  /// they are the dominant per-timeline storage on long replays.
+  using IntervalStore =
+      std::vector<std::pair<Time, Time>,
+                  CountingAllocator<std::pair<Time, Time>, AllocDomain::kTimeline>>;
+
   /// Flattened (sorted, disjoint) interval list.
-  const std::vector<std::pair<Time, Time>>& intervals() const {
+  const IntervalStore& intervals() const {
     flatten();
     return intervals_;
   }
@@ -103,7 +111,7 @@ class BusyTracker {
 
   void flatten() const;
 
-  mutable std::vector<std::pair<Time, Time>> intervals_;
+  mutable IntervalStore intervals_;
   mutable bool dirty_ = false;
   /// Next size at which add_interval compacts; doubles when a compaction
   /// fails to shrink the set, keeping insertion amortised O(log n).

@@ -28,7 +28,11 @@ std::unique_ptr<ObsSession> make_session(const CliOptions& options) {
   session.trace = !options.trace_out.empty();
   session.metrics = !options.metrics_out.empty();
   session.profile = options.profile;
-  if (!session.trace && !session.metrics && !session.profile) return nullptr;
+  session.speed = options.speed_report;
+  session.heartbeat_sec = options.heartbeat_sec;
+  if (!session.trace && !session.metrics && !session.profile && !session.speed) {
+    return nullptr;
+  }
   return std::make_unique<ObsSession>(session);
 }
 

@@ -15,6 +15,8 @@ struct CliOptions {
   std::string metrics_out;  ///< Metrics registry JSON path ("" = off).
   std::string log_level;    ///< debug|info|warn|error|off ("" = leave as is).
   bool profile = false;     ///< Causal critical-path profiler (--profile).
+  bool speed_report = false;  ///< Host telemetry (--speed-report).
+  double heartbeat_sec = 5.0;  ///< Heartbeat period (--heartbeat-sec=N).
 };
 
 /// Applies `--log-level`; returns false (and logs) on an unknown name.

@@ -12,6 +12,11 @@ ObsSession::ObsSession(Options options) {
   if (options.profile) {
     profile_ = std::make_unique<ProfileSession>();
   }
+  if (options.speed) {
+    HostProfiler::Options host_options;
+    host_options.heartbeat_sec = options.heartbeat_sec;
+    host_ = std::make_unique<HostSession>(host_options);
+  }
   context_.trace = trace_.get();
   context_.metrics = metrics_.get();
   if (trace_ || metrics_) {

@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "obs/host_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_recorder.hpp"
@@ -82,6 +83,10 @@ class ObsSession {
     bool trace = false;
     bool metrics = false;
     bool profile = false;
+    /// Host telemetry (--speed-report): events/sec, wall-time
+    /// attribution, memory accounting, heartbeat.
+    bool speed = false;
+    double heartbeat_sec = 5.0;
     std::size_t max_trace_events = 2'000'000;
   };
 
@@ -94,12 +99,14 @@ class ObsSession {
   TraceRecorder* trace() { return trace_.get(); }
   MetricsRegistry* metrics() { return metrics_.get(); }
   Profiler* profile() { return profile_ ? &profile_->profiler() : nullptr; }
+  HostProfiler* host() { return host_ ? &host_->profiler() : nullptr; }
   const ObsContext& obs_context() const { return context_; }
 
  private:
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<ProfileSession> profile_;
+  std::unique_ptr<HostSession> host_;
   ObsContext context_;
   std::unique_ptr<ScopedObsContext> installed_;
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <sstream>
 
+#include "common/wallclock.hpp"
 #include "obs/json.hpp"
 
 namespace nvmooc::obs {
@@ -43,7 +44,7 @@ SpanArg SpanArg::text(std::string key, const std::string& v) {
 
 TraceRecorder::TraceRecorder(std::size_t max_events)
     : max_events_(max_events), id_(next_recorder_id()),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(wallclock::now_ns()) {}
 
 TraceRecorder::~TraceRecorder() = default;
 
@@ -110,11 +111,7 @@ void TraceRecorder::counter(std::uint32_t track, const char* category,
   emit(std::move(event));
 }
 
-Time TraceRecorder::wall_now() const {
-  return Time{std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - epoch_)
-                  .count()};
-}
+Time TraceRecorder::wall_now() const { return wallclock::now_ns() - epoch_; }
 
 std::size_t TraceRecorder::event_count() const {
   return event_count_.load(std::memory_order_relaxed);

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -100,7 +99,10 @@ class TraceRecorder {
 
   const std::size_t max_events_;
   const std::uint64_t id_;  ///< Globally unique; keys the TLS buffer cache.
-  const std::chrono::steady_clock::time_point epoch_;
+  /// wallclock::now_ns() at construction (common/wallclock.hpp) — wall
+  /// timestamps are relative to recorder creation on the shared
+  /// monotone time base.
+  const Time epoch_;
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;

@@ -1,11 +1,43 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace nvmooc {
 
-void EventQueue::schedule(Time when, Callback callback) {
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGeneric: return "generic";
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kCompletion: return "completion";
+    case EventKind::kTimer: return "timer";
+    case EventKind::kControl: return "control";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Floor log2 of a nonzero depth, clamped to the last bucket.
+int depth_bucket(std::size_t depth) {
+  int bucket = 0;
+  while (depth > 1 && bucket < EventQueueStats::kDepthBuckets - 1) {
+    depth >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void EventQueue::schedule(Time when, Callback callback, EventKind kind) {
   heap_.push(Event{when, next_sequence_++, std::move(callback)});
+  ++stats_.scheduled;
+  ++stats_.scheduled_by_kind[static_cast<int>(kind)];
+  const std::size_t depth = heap_.size();
+  stats_.depth_high_water =
+      std::max<std::uint64_t>(stats_.depth_high_water, depth);
+  ++stats_.depth_log2[depth_bucket(depth)];
 }
 
 Time EventQueue::pop_and_run() {
@@ -13,12 +45,14 @@ Time EventQueue::pop_and_run() {
   // events (including at the same timestamp) safely.
   Event event = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
+  ++stats_.executed;
   const Time when = event.when;
   event.callback();
   return when;
 }
 
 void EventQueue::clear() {
+  stats_.cleared += heap_.size();
   heap_ = {};
   next_sequence_ = 0;
 }

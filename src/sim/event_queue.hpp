@@ -3,23 +3,68 @@
 // Events at the same timestamp are delivered in insertion order (a strict
 // tiebreak on a monotone sequence number) so simulations are bit-for-bit
 // reproducible regardless of heap internals.
+//
+// The queue keeps always-on statistics (push/pop volume, per-kind
+// breakdown, depth high-water and a log2 depth distribution) for the
+// host-telemetry speed report: the counters are plain integers derived
+// from the same deterministic event stream, so two identical runs
+// produce identical stats and the accounting can never perturb replay.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/alloc_counter.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc {
+
+/// Coarse taxonomy of scheduled events, for the host speed report's
+/// per-kind breakdown. Purely descriptive — delivery order never
+/// depends on the kind.
+enum class EventKind : std::uint8_t {
+  kGeneric = 0,     ///< Untagged schedule() calls.
+  kArrival = 1,     ///< Open-system request arrivals.
+  kCompletion = 2,  ///< Device/middleware completions.
+  kTimer = 3,       ///< Periodic timers and timeouts.
+  kControl = 4,     ///< Simulation control (phase changes, drains).
+};
+inline constexpr int kEventKindCount = 5;
+
+const char* event_kind_name(EventKind kind);
+
+/// Deterministic event-loop accounting, cumulative over the queue's
+/// lifetime (clear() does not reset it — the stats describe everything
+/// the queue ever processed).
+struct EventQueueStats {
+  std::uint64_t scheduled = 0;  ///< Heap pushes.
+  std::uint64_t executed = 0;   ///< Events popped and run.
+  std::uint64_t cleared = 0;    ///< Pending events dropped by clear().
+  std::uint64_t depth_high_water = 0;  ///< Max heap size ever observed.
+  std::array<std::uint64_t, kEventKindCount> scheduled_by_kind{};
+  /// Depth distribution: bucket i counts the pushes that left the heap
+  /// with size in [2^i, 2^(i+1)).
+  static constexpr int kDepthBuckets = 20;
+  std::array<std::uint64_t, kDepthBuckets> depth_log2{};
+
+  bool operator==(const EventQueueStats& other) const {
+    return scheduled == other.scheduled && executed == other.executed &&
+           cleared == other.cleared && depth_high_water == other.depth_high_water &&
+           scheduled_by_kind == other.scheduled_by_kind &&
+           depth_log2 == other.depth_log2;
+  }
+};
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
   /// Schedules `callback` at absolute time `when`.
-  void schedule(Time when, Callback callback);
+  void schedule(Time when, Callback callback,
+                EventKind kind = EventKind::kGeneric);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -31,6 +76,8 @@ class EventQueue {
   [[nodiscard]] Time pop_and_run();
 
   void clear();
+
+  const EventQueueStats& stats() const { return stats_; }
 
  private:
   struct Event {
@@ -44,9 +91,14 @@ class EventQueue {
       return a.sequence > b.sequence;
     }
   };
+  /// The heap's backing store charges the host profiler's event-queue
+  /// memory tally (common/alloc_counter.hpp).
+  using Store =
+      std::vector<Event, CountingAllocator<Event, AllocDomain::kEventQueue>>;
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::priority_queue<Event, Store, Later> heap_;
   std::uint64_t next_sequence_ = 0;
+  EventQueueStats stats_;
 };
 
 }  // namespace nvmooc

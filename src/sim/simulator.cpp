@@ -1,39 +1,81 @@
 #include "sim/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/host_profiler.hpp"
 
 namespace nvmooc {
 
-void Simulator::at(Time when, EventQueue::Callback callback) {
+namespace {
+
+/// Converts the queue's fixed-size accounting into the host report's
+/// generic shape (nonzero entries only).
+obs::HostQueueStats host_view(const EventQueueStats& stats) {
+  obs::HostQueueStats out;
+  out.scheduled = stats.scheduled;
+  out.executed = stats.executed;
+  out.cleared = stats.cleared;
+  out.depth_high_water = stats.depth_high_water;
+  for (int k = 0; k < kEventKindCount; ++k) {
+    if (stats.scheduled_by_kind[k] == 0) continue;
+    out.scheduled_by_kind.emplace_back(event_kind_name(static_cast<EventKind>(k)),
+                                       stats.scheduled_by_kind[k]);
+  }
+  for (int b = 0; b < EventQueueStats::kDepthBuckets; ++b) {
+    if (stats.depth_log2[b] == 0) continue;
+    const std::uint64_t lo = std::uint64_t{1} << b;
+    out.depth_log2.emplace_back(
+        std::to_string(lo) + "-" + std::to_string(lo * 2 - 1),
+        stats.depth_log2[b]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Simulator::at(Time when, EventQueue::Callback callback, EventKind kind) {
   if (when < now_) {
     throw std::logic_error("Simulator::at: scheduling into the past");
   }
-  queue_.schedule(when, std::move(callback));
+  queue_.schedule(when, std::move(callback), kind);
 }
 
-void Simulator::after(Time delay, EventQueue::Callback callback) {
+void Simulator::after(Time delay, EventQueue::Callback callback, EventKind kind) {
   if (delay < Time{}) {
     throw std::logic_error("Simulator::after: negative delay");
   }
-  queue_.schedule(now_ + delay, std::move(callback));
+  queue_.schedule(now_ + delay, std::move(callback), kind);
+}
+
+void Simulator::publish_host_stats(std::uint64_t executed_before) {
+  obs::HostProfiler* host = obs::host_profiler();
+  if (host == nullptr) return;
+  host->count(obs::HostEvent::kQueueEvent,
+              queue_.stats().executed - executed_before);
+  host->record_queue(host_view(queue_.stats()));
 }
 
 Time Simulator::run() {
+  const std::uint64_t executed_before = queue_.stats().executed;
   while (!queue_.empty()) {
     // The clock must advance *before* the callback runs (callbacks read
     // now()), so the returned event time is already in now_.
     now_ = queue_.next_time();
     static_cast<void>(queue_.pop_and_run());
   }
+  publish_host_stats(executed_before);
   return now_;
 }
 
 Time Simulator::run_until(Time deadline) {
+  const std::uint64_t executed_before = queue_.stats().executed;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     now_ = queue_.next_time();
     static_cast<void>(queue_.pop_and_run());
   }
   if (now_ < deadline) now_ = deadline;
+  publish_host_stats(executed_before);
   return now_;
 }
 

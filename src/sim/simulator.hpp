@@ -15,11 +15,14 @@ class Simulator {
  public:
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules at absolute simulation time (must be >= now()).
-  void at(Time when, EventQueue::Callback callback);
+  /// Schedules at absolute simulation time (must be >= now()). `kind`
+  /// feeds the queue's per-kind statistics only.
+  void at(Time when, EventQueue::Callback callback,
+          EventKind kind = EventKind::kGeneric);
 
   /// Schedules `delay` after now().
-  void after(Time delay, EventQueue::Callback callback);
+  void after(Time delay, EventQueue::Callback callback,
+             EventKind kind = EventKind::kGeneric);
 
   /// Runs until the queue empties. Returns the final clock value.
   [[nodiscard]] Time run();
@@ -31,9 +34,16 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Cumulative event-loop accounting (see EventQueueStats).
+  const EventQueueStats& stats() const { return queue_.stats(); }
+
   void reset();
 
  private:
+  /// Reports the drained events to the host profiler (obs), when one is
+  /// installed — the speedometer's queue-event feed.
+  void publish_host_stats(std::uint64_t executed_before);
+
   Time now_;
   EventQueue queue_;
 };

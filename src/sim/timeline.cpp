@@ -32,6 +32,15 @@ Reservation Timeline::reserve(Time earliest, Time duration) {
     return grant;
   }
 
+  // Host telemetry (--speed-report): attribute the bookkeeping below to
+  // the timeline wall-time bucket and tick the speedometer. Both reduce
+  // to a thread-local null test when no HostSession is installed, and
+  // neither touches the simulated arithmetic.
+  obs::HostSection host_section(obs::HostSubsystem::kTimeline);
+  if (obs::HostProfiler* host = obs::host_profiler()) {
+    host->count(obs::HostEvent::kTimelineReservation);
+  }
+
   // Try to backfill an earlier gap first.
   if (backfill_) {
     for (std::size_t i = 0; i < gaps_.size(); ++i) {

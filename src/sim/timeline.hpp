@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_counter.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 
@@ -73,7 +74,9 @@ class Timeline {
   bool backfill_;
   std::size_t max_gaps_;
   Time next_free_;
-  std::vector<Gap> gaps_;
+  /// Gap bookkeeping charges the host profiler's timeline memory tally
+  /// (the busy intervals charge it via BusyTracker::IntervalStore).
+  std::vector<Gap, CountingAllocator<Gap, AllocDomain::kTimeline>> gaps_;
   BusyTracker busy_;
   std::uint64_t reservation_count_ = 0;
   std::string trace_label_;

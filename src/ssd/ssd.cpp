@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/host_profiler.hpp"
+
 namespace nvmooc {
 
 Ssd::Ssd(const SsdConfig& config)
@@ -20,6 +22,10 @@ Ssd::Ssd(const SsdConfig& config)
 void Ssd::preload(Bytes dataset_bytes) { ftl_->set_preloaded(dataset_bytes); }
 
 RequestResult Ssd::submit(const BlockRequest& request, Time arrival) {
+  // Host telemetry (--speed-report): everything below the device boundary
+  // — controller, FTL, media model — bills to the "controller" wall-time
+  // bucket; nested timeline sections are subtracted back out.
+  obs::HostSection host_section(obs::HostSubsystem::kController);
   return controller_->submit(request, arrival);
 }
 

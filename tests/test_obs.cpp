@@ -21,10 +21,12 @@
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "obs/cli.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_recorder.hpp"
+#include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
 
 namespace nvmooc {
@@ -445,6 +447,133 @@ TEST(PerfettoSmoke, TracingDoesNotPerturbTheSimulation) {
   }
   EXPECT_EQ(baseline.makespan, traced_makespan)
       << "enabling observability changed the simulated timeline";
+}
+
+// ---------- host telemetry (--speed-report) ------------------------------
+
+TEST(HostTelemetry, SpeedReportDoesNotPerturbTheSimulation) {
+  ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  const ExperimentResult baseline = run_experiment(config, trace);
+  ExperimentResult metered;
+  {
+    obs::HostProfiler::Options options;
+    options.heartbeat_sec = 3600.0;  // Keep the log quiet under ctest.
+    obs::HostSession session(options);
+    metered = run_experiment(config, trace);
+  }
+  // The headline contract: bit-identical simulated results with the
+  // speedometer on — wall-clock sampling must never leak into Time.
+  EXPECT_EQ(baseline.makespan, metered.makespan)
+      << "the host profiler changed the simulated timeline";
+  EXPECT_EQ(baseline.device_requests, metered.device_requests);
+  EXPECT_EQ(baseline.transactions, metered.transactions);
+  EXPECT_FALSE(baseline.host.enabled);
+  ASSERT_TRUE(metered.host.enabled);
+  EXPECT_EQ(baseline.to_json().find("\"host\""), std::string::npos);
+  EXPECT_NE(metered.to_json().find("\"host\""), std::string::npos);
+}
+
+TEST(HostTelemetry, ReportCountsTheReplay) {
+  ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  obs::HostProfiler::Options options;
+  options.heartbeat_sec = 0.0;  // Heartbeat on every progress call.
+  obs::HostSession session(options);
+  const ExperimentResult result = run_experiment(config, trace);
+
+  const obs::HostReport& host = result.host;
+  ASSERT_TRUE(host.enabled);
+  EXPECT_EQ(host.requests_total, trace.size());
+  EXPECT_EQ(host.requests_completed, trace.size());
+  EXPECT_EQ(host.heartbeats, trace.size());
+  EXPECT_EQ(host.events[static_cast<int>(obs::HostEvent::kPosixRequest)],
+            trace.size());
+  EXPECT_EQ(host.events[static_cast<int>(obs::HostEvent::kDeviceRequest)],
+            result.device_requests);
+  EXPECT_GT(host.events[static_cast<int>(obs::HostEvent::kTimelineReservation)],
+            0u);
+  EXPECT_EQ(host.events_total,
+            host.events[0] + host.events[1] + host.events[2] + host.events[3]);
+  EXPECT_GT(host.wall_seconds, 0.0);
+  EXPECT_GT(host.events_per_sec, 0.0);
+  EXPECT_GT(host.sim_time_per_wall_second, 0.0);
+  EXPECT_GT(host.timeline_alloc.allocated_bytes, 0u);
+
+  // Every engine-side subsystem the replay exercises shows up, and the
+  // summary renders without blowing up.
+  std::vector<std::string> names;
+  names.reserve(host.sections.size());
+  for (const obs::HostSectionStat& s : host.sections) names.push_back(s.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "engine"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "controller"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "timeline"), names.end());
+  EXPECT_NE(host.summary().find("host speed report"), std::string::npos);
+}
+
+TEST(HostTelemetry, EventCountsAreDeterministicAcrossReplays) {
+  ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  const auto run = [&] {
+    obs::HostProfiler::Options options;
+    options.heartbeat_sec = 3600.0;
+    obs::HostSession session(options);
+    return run_experiment(config, trace).host;
+  };
+  const obs::HostReport first = run();
+  const obs::HostReport second = run();
+  // Wall-clock numbers vary run to run; the counted work must not.
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.events_total, second.events_total);
+  EXPECT_EQ(first.requests_completed, second.requests_completed);
+  EXPECT_EQ(first.timeline_alloc.allocations, second.timeline_alloc.allocations);
+}
+
+TEST(HostTelemetry, SectionSelfTimeSubtractsNestedSections) {
+  obs::HostSession session;
+  obs::HostProfiler& profiler = session.profiler();
+  {
+    obs::HostSection outer(obs::HostSubsystem::kEngine);
+    {
+      obs::HostSection inner(obs::HostSubsystem::kController);
+      // Burn a little wall time inside the nested section.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+    }
+  }
+  const obs::HostReport report = profiler.report(Time{});
+  double engine_self = -1.0;
+  double controller_self = -1.0;
+  for (const obs::HostSectionStat& s : report.sections) {
+    if (s.name == "engine") engine_self = s.wall_seconds;
+    if (s.name == "controller") controller_self = s.wall_seconds;
+  }
+  ASSERT_GE(engine_self, 0.0);
+  ASSERT_GE(controller_self, 0.0);
+  // The nested burn bills to the controller; the parent keeps only its
+  // (tiny) self time. Self times must stay non-negative by construction.
+  EXPECT_GE(controller_self, 0.0);
+  EXPECT_LE(engine_self, controller_self + report.wall_seconds);
+}
+
+TEST(HostTelemetry, QueueStatsFlowThroughTheSimulator) {
+  obs::HostSession session;
+  Simulator sim;
+  sim.at(Time{10}, [] {}, EventKind::kArrival);
+  sim.at(Time{20}, [] {}, EventKind::kCompletion);
+  sim.run();
+  const obs::HostReport report = session.profiler().report(Time{20});
+  EXPECT_EQ(report.queue.scheduled, 2u);
+  EXPECT_EQ(report.queue.executed, 2u);
+  EXPECT_EQ(report.events[static_cast<int>(obs::HostEvent::kQueueEvent)], 2u);
+  bool saw_arrival = false;
+  for (const auto& [kind, count] : report.queue.scheduled_by_kind) {
+    if (kind == "arrival") {
+      saw_arrival = true;
+      EXPECT_EQ(count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_arrival);
 }
 
 }  // namespace

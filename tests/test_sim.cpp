@@ -48,6 +48,67 @@ TEST(EventQueue, EventMaySchedule) {
   EXPECT_EQ(last, Time{2});
 }
 
+TEST(EventQueueStats, CountsScheduledExecutedAndKinds) {
+  EventQueue queue;
+  queue.schedule(Time{10}, [] {}, EventKind::kArrival);
+  queue.schedule(Time{20}, [] {}, EventKind::kArrival);
+  queue.schedule(Time{30}, [] {}, EventKind::kCompletion);
+  queue.schedule(Time{40}, [] {});  // Defaults to kGeneric.
+  while (!queue.empty()) static_cast<void>(queue.pop_and_run());
+
+  const EventQueueStats& stats = queue.stats();
+  EXPECT_EQ(stats.scheduled, 4u);
+  EXPECT_EQ(stats.executed, 4u);
+  EXPECT_EQ(stats.cleared, 0u);
+  EXPECT_EQ(stats.scheduled_by_kind[static_cast<int>(EventKind::kArrival)], 2u);
+  EXPECT_EQ(stats.scheduled_by_kind[static_cast<int>(EventKind::kCompletion)], 1u);
+  EXPECT_EQ(stats.scheduled_by_kind[static_cast<int>(EventKind::kGeneric)], 1u);
+  EXPECT_EQ(stats.scheduled_by_kind[static_cast<int>(EventKind::kTimer)], 0u);
+}
+
+TEST(EventQueueStats, DepthHighWaterTracksPeakNotFinal) {
+  EventQueue queue;
+  for (int i = 0; i < 5; ++i) queue.schedule(Time{i + 1}, [] {});
+  EXPECT_EQ(queue.stats().depth_high_water, 5u);
+  while (!queue.empty()) static_cast<void>(queue.pop_and_run());
+  // Draining does not lower the high-water mark.
+  EXPECT_EQ(queue.stats().depth_high_water, 5u);
+  // Re-filling to a lower depth leaves the previous peak standing.
+  queue.schedule(Time{100}, [] {});
+  EXPECT_EQ(queue.stats().depth_high_water, 5u);
+}
+
+TEST(EventQueueStats, ClearAccountsDroppedEvents) {
+  EventQueue queue;
+  for (int i = 0; i < 3; ++i) queue.schedule(Time{i + 1}, [] {});
+  static_cast<void>(queue.pop_and_run());
+  queue.clear();
+  const EventQueueStats& stats = queue.stats();
+  EXPECT_EQ(stats.scheduled, 3u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.cleared, 2u);
+}
+
+TEST(EventQueueStats, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    EventQueue queue;
+    for (int i = 0; i < 200; ++i) {
+      queue.schedule(Time{(i * 37) % 101}, [] {},
+                     i % 3 == 0 ? EventKind::kArrival : EventKind::kCompletion);
+      if (i % 5 == 0 && !queue.empty()) static_cast<void>(queue.pop_and_run());
+    }
+    while (!queue.empty()) static_cast<void>(queue.pop_and_run());
+    return queue.stats();
+  };
+  EXPECT_TRUE(run() == run());
+}
+
+TEST(EventQueueStats, EventKindNamesAreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::kGeneric), "generic");
+  EXPECT_STREQ(event_kind_name(EventKind::kArrival), "arrival");
+  EXPECT_STREQ(event_kind_name(EventKind::kCompletion), "completion");
+}
+
 TEST(Simulator, ClockAdvancesMonotonically) {
   Simulator sim;
   std::vector<Time> seen;

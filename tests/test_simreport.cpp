@@ -87,6 +87,82 @@ TEST(SimreportDiff, ToleranceResolutionOrder) {
   EXPECT_DOUBLE_EQ(simreport::tolerance_for(options, "results.Y.other", "other"), 0.1);
 }
 
+TEST(SimreportDiff, RatioToleranceGatesByFactor) {
+  const obs::JsonValue a = load("simreport_base.json");
+  const obs::JsonValue b = load("simreport_perturbed.json");
+  // 812.5 vs 820.75 is a ~1.01x swing: a 1.02x ratio gate accepts it,
+  // a 1.005x gate does not.
+  simreport::DiffOptions loose;
+  loose.field_ratio["achieved_mbps"] = 1.02;
+  EXPECT_TRUE(simreport::diff(a, b, loose).empty());
+  simreport::DiffOptions tight;
+  tight.field_ratio["achieved_mbps"] = 1.005;
+  const auto entries = simreport::diff(a, b, tight);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(entries[0].detail.find("ratio tol"), std::string::npos);
+}
+
+TEST(SimreportDiff, RatioToleranceReplacesAbsoluteTolerance) {
+  const obs::JsonValue a = load("simreport_base.json");
+  const obs::JsonValue b = load("simreport_perturbed.json");
+  // With a zero absolute tolerance, only the ratio gate keeps the
+  // wall-clock-style field green — proof the ratio check replaces the
+  // tol check rather than stacking on top of it.
+  simreport::DiffOptions options;
+  options.default_tol = 0.0;
+  options.field_ratio["achieved_mbps"] = 100.0;
+  EXPECT_TRUE(simreport::diff(a, b, options).empty());
+
+  // Exact-path resolution wins over the leaf name, mirroring field_tol.
+  simreport::DiffOptions exact_path;
+  exact_path.default_tol = 0.0;
+  exact_path.field_ratio["results.CNL-UFS/tlc.achieved_mbps"] = 100.0;
+  EXPECT_TRUE(simreport::diff(a, b, exact_path).empty());
+}
+
+TEST(SimreportDiff, RatioToleranceRejectsSignFlips) {
+  const obs::JsonValue a = obs::parse_json(R"({"rate": 5.0})");
+  const obs::JsonValue b = obs::parse_json(R"({"rate": -5.0})");
+  // Same magnitude, opposite sign: no factor excuses a sign flip.
+  simreport::DiffOptions options;
+  options.field_ratio["rate"] = 1e9;
+  EXPECT_EQ(simreport::diff(a, b, options).size(), 1u);
+}
+
+TEST(SimreportDiff, RatioToleranceFloorsTinyValuesAtOne) {
+  // Both magnitudes under the 1.0 floor: 0.001 vs 0.5 is a 500x raw
+  // ratio but max(|a|,|b|) <= ratio * max(1, min(|a|,|b|)) passes at
+  // ratio 1 because the floor absorbs sub-unit jitter (idle-run rates).
+  const obs::JsonValue a = obs::parse_json(R"({"rate": 0.001})");
+  const obs::JsonValue b = obs::parse_json(R"({"rate": 0.5})");
+  simreport::DiffOptions options;
+  options.field_ratio["rate"] = 1.0;
+  EXPECT_TRUE(simreport::diff(a, b, options).empty());
+  // Above the floor the factor bites again: 1.0 vs 3.0 needs ratio >= 3.
+  const obs::JsonValue c = obs::parse_json(R"({"rate": 1.0})");
+  const obs::JsonValue d = obs::parse_json(R"({"rate": 3.0})");
+  simreport::DiffOptions tight;
+  tight.field_ratio["rate"] = 2.0;
+  EXPECT_EQ(simreport::diff(c, d, tight).size(), 1u);
+  simreport::DiffOptions wide;
+  wide.field_ratio["rate"] = 3.0;
+  EXPECT_TRUE(simreport::diff(c, d, wide).empty());
+}
+
+TEST(SimreportDiff, RatioResolutionOrder) {
+  simreport::DiffOptions options;
+  options.field_ratio["events_per_sec"] = 100.0;
+  options.field_ratio["results.X.events_per_sec"] = 50.0;
+  EXPECT_DOUBLE_EQ(
+      simreport::ratio_for(options, "results.X.events_per_sec", "events_per_sec"),
+      50.0);
+  EXPECT_DOUBLE_EQ(
+      simreport::ratio_for(options, "results.Y.events_per_sec", "events_per_sec"),
+      100.0);
+  // No default: an unlisted field gets 0 (meaning "use the tol path").
+  EXPECT_DOUBLE_EQ(simreport::ratio_for(options, "results.Y.other", "other"), 0.0);
+}
+
 TEST(SimreportDiff, StructuralChangesAreAlwaysReported) {
   obs::JsonValue a = obs::parse_json(R"({"x": 1.0, "y": [1, 2], "s": "keep"})");
   obs::JsonValue b = obs::parse_json(R"({"x": "1.0", "y": [1, 2, 3], "z": true})");

@@ -1,0 +1,22 @@
+// Fixture: SL001 reject — engine/simulation code must not read the host
+// clock even now that the tree has a sanctioned helper. The allowlist
+// (simlint.conf) scopes the exemption to src/common/wallclock.cpp alone;
+// this fixture models a replay-engine file that bypasses it and must
+// still be reported. The conf-scope itself is asserted by extra checks
+// in `simlint.py --self-test`.
+#include <chrono>
+
+namespace fixture_engine {
+
+// A hook site timing itself "just this once" — exactly the drift that
+// turns bit-identical replay into machine-dependent replay.
+double replay_loop_seconds() {
+  const auto begin = std::chrono::steady_clock::now();  // simlint-expect: SL001
+  double makespan_ps = 0.0;
+  for (int i = 0; i < 1024; ++i) makespan_ps += 1.0;
+  const auto end = std::chrono::steady_clock::now();  // simlint-expect: SL001
+  return std::chrono::duration<double>(end - begin).count() +  // simlint-expect: SL001
+         makespan_ps * 0.0;
+}
+
+}  // namespace fixture_engine

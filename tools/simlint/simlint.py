@@ -646,6 +646,32 @@ def self_test() -> int:
         else:
             label = f"{len(expected)} expected finding(s)" if expected else "clean"
             print(f"PASS {name} ({label})")
+    # Conf-scope assertions: the checked-in allowlist must exempt exactly
+    # the sanctioned wall-clock site and nothing that executes simulation
+    # arithmetic. A conf edit that silently widens the wall-clock scope
+    # (back to a whole directory, say) fails here before it lands.
+    allowlist = load_conf(DEFAULT_CONF)
+    scope_cases = [
+        ("SL001", "src/common/wallclock.cpp", True),
+        ("SL001", "src/common/stats.cpp", False),
+        ("SL001", "src/obs/host_profiler.cpp", False),
+        ("SL001", "src/obs/trace_recorder.cpp", False),
+        ("SL001", "src/cluster/engine.cpp", False),
+        ("SL001", "src/sim/simulator.cpp", False),
+        ("SL001", "examples/ooc_eigensolver.cpp", False),
+        ("SL004", "src/common/units.hpp", True),
+        ("SL004", "src/cluster/engine.cpp", False),
+    ]
+    for rule, rel, want in scope_cases:
+        got_allowed = conf_allows(allowlist, rule, rel)
+        if got_allowed != want:
+            failures += 1
+            verb = "exempts" if got_allowed else "does not exempt"
+            print(f"FAIL conf-scope: allowlist {verb} {rule} in {rel} "
+                  f"(expected {'exempt' if want else 'reported'})")
+        else:
+            print(f"PASS conf-scope: {rule} {rel} "
+                  f"({'exempt' if want else 'reported'})")
     if failures:
         print(f"simlint --self-test: {failures} fixture(s) failed")
         return 1

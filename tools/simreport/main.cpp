@@ -2,13 +2,16 @@
 //
 //   simreport show FILE [--markdown]
 //   simreport diff A B [--default-tol=REL] [--tol=FIELD=REL ...]
+//                      [--ratio=FIELD=FACTOR ...]
 //
 // `show` renders a breakdown of a --result-out or BENCH_*.json file.
 // `diff` compares two such files field by field: exit 0 when every
 // numeric field matches within its tolerance (and all structure/strings
 // match exactly), exit 1 with a per-field report otherwise, exit 2 on
 // usage or I/O errors. Tolerances are relative above magnitude 1,
-// absolute below (see DiffOptions in report.hpp).
+// absolute below (see DiffOptions in report.hpp). --ratio marks a field
+// as rate-type: the values may differ by up to FACTORx (either way)
+// instead of additively — for wall-clock numbers like events_per_sec.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,10 +26,13 @@ using namespace nvmooc;
 const char* kUsage =
     "usage: simreport show FILE [--markdown]\n"
     "       simreport diff A B [--default-tol=REL] [--tol=FIELD=REL ...]\n"
+    "                          [--ratio=FIELD=FACTOR ...]\n"
     "\n"
     "FIELD is a leaf name (\"achieved_mbps\") or a full dotted path\n"
     "(\"results.CNL-UFS/tlc.achieved_mbps\"). diff exits 0 when the files\n"
-    "match within tolerance, 1 when any field regressed, 2 on bad usage.\n";
+    "match within tolerance, 1 when any field regressed, 2 on bad usage.\n"
+    "--ratio FIELDs pass when the values agree within a multiplicative\n"
+    "FACTOR (use for machine-dependent rates like events_per_sec).\n";
 
 bool load_json(const char* path, obs::JsonValue& out) {
   std::ifstream in(path, std::ios::binary);
@@ -91,6 +97,14 @@ int main(int argc, char** argv) {
           return 2;
         }
         options.field_tol[std::string(spec, equals)] = std::strtod(equals + 1, nullptr);
+      } else if (!std::strncmp(arg, "--ratio=", 8)) {
+        const char* spec = arg + 8;
+        const char* equals = std::strrchr(spec, '=');
+        if (equals == nullptr || equals == spec) {
+          std::fprintf(stderr, "simreport: bad --ratio '%s' (want FIELD=FACTOR)\n", spec);
+          return 2;
+        }
+        options.field_ratio[std::string(spec, equals)] = std::strtod(equals + 1, nullptr);
       } else if (path_count < 2) {
         paths[path_count++] = arg;
       } else {

@@ -62,6 +62,21 @@ void diff_value(const JsonValue& a, const JsonValue& b, const DiffOptions& optio
       }
       return;
     case JsonValue::Kind::kNumber: {
+      // A resolved ratio tolerance replaces the additive check: rate-type
+      // fields (events/sec, wall seconds) legitimately swing by factors
+      // between machines, where any additive tol is either vacuous or
+      // flappy.
+      if (const double ratio = ratio_for(options, path, leaf); ratio > 0.0) {
+        const double lo = std::min(std::fabs(a.number), std::fabs(b.number));
+        const double hi = std::max(std::fabs(a.number), std::fabs(b.number));
+        const bool sign_ok = a.number * b.number >= 0.0;
+        if (!sign_ok || hi > ratio * std::max(1.0, lo)) {
+          out.push_back({path, "a=" + obs::json_number(a.number) +
+                                   " b=" + obs::json_number(b.number) +
+                                   " (ratio tol " + obs::json_number(ratio) + "x)"});
+        }
+        return;
+      }
       const double tol = tolerance_for(options, path, leaf);
       const double scale = std::max({1.0, std::fabs(a.number), std::fabs(b.number)});
       const double delta = std::fabs(a.number - b.number);
@@ -290,6 +305,15 @@ double tolerance_for(const DiffOptions& options, const std::string& path,
   it = options.field_tol.find(leaf);
   if (it != options.field_tol.end()) return it->second;
   return options.default_tol;
+}
+
+double ratio_for(const DiffOptions& options, const std::string& path,
+                 const std::string& leaf) {
+  auto it = options.field_ratio.find(path);
+  if (it != options.field_ratio.end()) return it->second;
+  it = options.field_ratio.find(leaf);
+  if (it != options.field_ratio.end()) return it->second;
+  return 0.0;
 }
 
 std::vector<DiffEntry> diff(const JsonValue& a, const JsonValue& b,

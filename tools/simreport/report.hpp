@@ -22,6 +22,14 @@ namespace nvmooc::simreport {
 struct DiffOptions {
   double default_tol = 0.0;
   std::map<std::string, double> field_tol;
+  /// Relative (ratio) tolerances for rate-type fields — wall-clock
+  /// dependent numbers like events_per_sec whose legitimate run-to-run
+  /// swing is multiplicative, not additive. Resolved like `field_tol`
+  /// (exact dotted path, then leaf name) but with no default; when a
+  /// ratio resolves for a field it REPLACES the tol check. A pair passes
+  /// when the signs agree and max(|a|,|b|) <= ratio * max(1, min(|a|,|b|))
+  /// — the floor of 1 mirrors the tol model so near-zero rates don't flap.
+  std::map<std::string, double> field_ratio;
 };
 
 /// One leaf-level discrepancy between the two documents.
@@ -50,5 +58,10 @@ std::string show(const obs::JsonValue& document, bool markdown);
 /// Resolves the tolerance for one field (exposed for tests).
 double tolerance_for(const DiffOptions& options, const std::string& path,
                      const std::string& leaf);
+
+/// Resolves the ratio tolerance for one field, or 0 when none applies
+/// (exposed for tests).
+double ratio_for(const DiffOptions& options, const std::string& path,
+                 const std::string& leaf);
 
 }  // namespace nvmooc::simreport
