@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
 
   // Per-request-size traces: same total volume, different granularity.
+  SIM_SHARD_SHARED("built on the main thread before benchmarks register; read-only while workers replay")
   static std::map<Bytes, Trace> traces;
   for (Bytes size : kSizes) traces[size] = sequential_read_trace(256 * MiB, size);
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/audit.hpp"
+#include "common/shard_domain.hpp"
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "common/table.hpp"
@@ -46,11 +47,13 @@ struct BenchOptions {
 /// passed, and how many invariant violations the audited replays
 /// accumulated (a nonzero total fails the binary).
 inline bool& audit_enabled() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
   static bool enabled = false;
   return enabled;
 }
 
 inline std::atomic<std::uint64_t>& audit_violations() {
+  SIM_SHARD_SHARED("relaxed atomic tally of audit violations across sweep workers; only read after the pool drains")
   static std::atomic<std::uint64_t> total{0};
   return total;
 }
@@ -59,6 +62,7 @@ inline std::atomic<std::uint64_t>& audit_violations() {
 /// obs::ProfileSession (the profiler is per-replay state, like the
 /// auditor) and the critical-path report lands in its ExperimentResult.
 inline bool& profile_enabled() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
   static bool enabled = false;
   return enabled;
 }
@@ -67,6 +71,7 @@ inline bool& profile_enabled() {
 /// obs::HostSession and the host-telemetry report (events/sec, wall-time
 /// attribution, memory) lands in its ExperimentResult.
 inline bool& speed_enabled() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
   static bool enabled = false;
   return enabled;
 }
@@ -75,6 +80,7 @@ inline bool& speed_enabled() {
 /// heartbeat on every progress call — what CI uses to force a non-empty
 /// heartbeat log on fast replays).
 inline double& heartbeat_sec() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
   static double sec = 5.0;
   return sec;
 }
@@ -163,6 +169,7 @@ class ResultBoard {
 };
 
 inline ResultBoard& board() {
+  SIM_SHARD_SHARED("magic-static singleton; every ResultBoard method takes its internal mutex")
   static ResultBoard instance;
   return instance;
 }

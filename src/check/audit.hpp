@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/shard_domain.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc::check {
@@ -219,6 +220,7 @@ class Auditor {
 };
 
 namespace detail {
+SIM_SHARD_SHARED("thread-local install slot; AuditSession swaps it on its own thread and hook sites only dereference their own thread's pointer")
 inline thread_local Auditor* tls_auditor = nullptr;
 }
 

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <new>
 
+#include "common/shard_domain.hpp"
+
 namespace nvmooc {
 
 /// Which subsystem a counted container belongs to.
@@ -45,6 +47,7 @@ struct AllocTally {
 };
 
 namespace detail {
+SIM_SHARD_SHARED("thread-local; each thread mutates only its own tally slots and the host profiler snapshots them on the owning thread")
 inline thread_local std::array<AllocTally, kAllocDomainCount> tls_alloc_tallies{};
 }
 

@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/shard_domain.hpp"
+
 namespace nvmooc {
 namespace {
 
+SIM_SHARD_SHARED("process-wide log level; relaxed atomic, set at startup and read-only on the simulated event path")
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {

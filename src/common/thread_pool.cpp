@@ -9,18 +9,37 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed spawn (resource exhaustion) must not leak the workers
+    // already running: their std::thread destructors would terminate
+    // the process. Stop and join them, then let the error escape.
+    shutdown();
+    throw;
   }
 }
 
 ThreadPool::~ThreadPool() {
+  // Drains the queue (workers exit only once stopping_ && queue empty),
+  // then joins. A task exception still parked in first_error_ at this
+  // point is dropped: destructors cannot rethrow. Call wait() first if
+  // task failures matter.
+  shutdown();
+}
+
+void ThreadPool::shutdown() noexcept {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -56,13 +75,16 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::wait() {
+std::exception_ptr ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
-  if (first_error_) {
-    const std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  return error;
+}
+
+void ThreadPool::wait() {
+  if (std::exception_ptr error = wait_idle()) {
     std::rethrow_exception(error);
   }
 }
@@ -73,14 +95,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t span = end - begin;
   const std::size_t chunks = std::min(span, thread_count() * 3);
   const std::size_t chunk_size = (span + chunks - 1) / chunks;
-  for (std::size_t lo = begin; lo < end; lo += chunk_size) {
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    submit([&body, lo, hi] { body(lo, hi); });
+  // Workers capture &body, which may refer to a temporary in the
+  // caller's full-expression. If enqueueing a later chunk throws
+  // (allocation failure), the earlier chunks are still running — the
+  // exception must not unwind past the caller while they do. Drain
+  // first, then rethrow whichever error came first.
+  try {
+    for (std::size_t lo = begin; lo < end; lo += chunk_size) {
+      const std::size_t hi = std::min(end, lo + chunk_size);
+      submit([&body, lo, hi] { body(lo, hi); });
+    }
+  } catch (...) {
+    static_cast<void>(wait_idle());  // Submit failure outranks task errors here.
+    throw;
   }
   wait();
 }
 
 ThreadPool& global_thread_pool() {
+  SIM_SHARD_SHARED("process-wide lazily-built pool; construction is magic-static guarded and all state is mutex-protected inside the pool")
   static ThreadPool pool;
   return pool;
 }

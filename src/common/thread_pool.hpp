@@ -6,6 +6,22 @@
 // parallel_for helper chunks an index range so that the per-task overhead
 // amortises; exceptions thrown by tasks are captured and rethrown on
 // wait() so failures in worker threads are never silently dropped.
+//
+// Shutdown contract (ordering matters under exceptions):
+//   - The constructor is exception-safe: if spawning the Nth worker
+//     throws, the N-1 already-running workers are stopped and joined
+//     before the exception escapes (otherwise their std::thread
+//     destructors would call std::terminate).
+//   - The destructor drains every queued task, then joins. A task error
+//     still pending at destruction (wait() never called) cannot be
+//     rethrown from a destructor; it is dropped by design — call wait()
+//     if you care about failures.
+//   - parallel_for never lets an exception escape while workers still
+//     reference its `body` argument: both a failing submit() and a
+//     failing task first drain in-flight chunks, then rethrow.
+//   - Submitting concurrently with destruction is undefined behaviour
+//     (as for any object); tasks submitted before the destructor starts
+//     are guaranteed to run.
 #pragma once
 
 #include <condition_variable>
@@ -17,11 +33,17 @@
 #include <thread>
 #include <vector>
 
+#include "common/shard_domain.hpp"
+
 namespace nvmooc {
 
-class ThreadPool {
+// Host-side work distribution only (sweep workers, numeric kernels): it
+// must never be reachable from an event handler — the event loop is
+// single-threaded today and will shard per channel, not per task.
+class SIM_SHARD_SHARED("mutex plus condvars guard queue, in-flight count and error slot; workers joined before destruction completes") ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  /// Exception-safe: a failed spawn joins the already-started workers.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -38,12 +60,21 @@ class ThreadPool {
   void wait();
 
   /// Splits [begin, end) into ~3x thread_count chunks and runs
-  /// body(chunk_begin, chunk_end) across the pool, then waits.
+  /// body(chunk_begin, chunk_end) across the pool, then waits. No
+  /// exception — from a task or from enqueueing itself — escapes until
+  /// every already-queued chunk has finished, so `body` is never
+  /// referenced by a worker after parallel_for returns or throws.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
  private:
   void worker_loop();
+  /// Stops accepting the idle-wait, wakes every worker, joins. Safe to
+  /// call with partially-constructed worker sets; never throws.
+  void shutdown() noexcept;
+  /// wait() without rethrow: blocks until idle, returns the pending
+  /// error (cleared) if any.
+  std::exception_ptr wait_idle();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

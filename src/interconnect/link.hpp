@@ -9,13 +9,16 @@
 #include <string>
 #include <utility>
 
+#include "common/shard_domain.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "sim/timeline.hpp"
 
 namespace nvmooc {
 
-struct LinkConfig {
+// Pure rate/latency configuration: adopts the domain of the DMA engine
+// or network path that embeds it.
+struct SIM_SHARD_DOMAIN("owner") LinkConfig {
   std::string name = "link";
   /// Raw signalling rate per lane in transfers (bits) per second.
   double gigatransfers_per_sec = 5.0;  // PCIe 2.0.
@@ -42,7 +45,7 @@ struct LinkConfig {
 /// Serially-occupied DMA engine over a link. Transfers queue on the link
 /// timeline; the caller learns when each transfer starts/ends so it can
 /// overlap media work with host DMA.
-class DmaEngine {
+class SIM_SHARD_DOMAIN("node") DmaEngine {
  public:
   explicit DmaEngine(const LinkConfig& config);
 

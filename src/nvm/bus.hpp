@@ -9,11 +9,14 @@
 
 #include <string>
 
+#include "common/shard_domain.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc {
 
-struct BusConfig {
+// Pure rate configuration, immutable after setup: adopts the domain of
+// the channel or package port that embeds it.
+struct SIM_SHARD_DOMAIN("owner") BusConfig {
   double frequency_hz = 400e6;
   bool double_data_rate = false;
   unsigned width_bits = 8;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/shard_domain.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "nvm/timing.hpp"
@@ -25,7 +26,9 @@ struct CellActivation {
   Time waited;  ///< Cell contention: start - earliest.
 };
 
-class Die {
+// All state (plane timelines, wear) is confined to this one die; a
+// shard that owns the enclosing channel owns it transitively.
+class SIM_SHARD_DOMAIN("die") Die {
  public:
   Die(const NvmTiming& timing, bool backfill);
 

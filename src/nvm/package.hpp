@@ -13,13 +13,16 @@
 #include <memory>
 #include <vector>
 
+#include "common/shard_domain.hpp"
 #include "nvm/bus.hpp"
 #include "nvm/die.hpp"
 #include "sim/timeline.hpp"
 
 namespace nvmooc {
 
-class Package {
+// Port timeline plus this package's dies: confined to one package (and
+// therefore to the channel shard above it).
+class SIM_SHARD_DOMAIN("package") Package {
  public:
   Package(const NvmTiming& timing, const BusConfig& bus, std::uint32_t dies,
           bool backfill);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/alloc_counter.hpp"
+#include "common/shard_domain.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc::obs {
@@ -185,6 +186,7 @@ class HostProfiler {
 };
 
 namespace detail {
+SIM_SHARD_SHARED("thread-local install slot; HostSession swaps it on its own thread and hooks only dereference their own thread's pointer")
 inline thread_local HostProfiler* tls_host_profiler = nullptr;
 }
 

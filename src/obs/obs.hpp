@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "common/shard_domain.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -36,6 +37,7 @@ struct ObsContext {
 };
 
 namespace detail {
+SIM_SHARD_SHARED("thread-local install slot; ObsScope swaps it on its own thread and instrumentation only reads its own thread's pointer")
 inline thread_local const ObsContext* tls_context = nullptr;
 }
 

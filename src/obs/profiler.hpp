@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/shard_domain.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc::obs {
@@ -203,6 +204,7 @@ class Profiler {
 };
 
 namespace detail {
+SIM_SHARD_SHARED("thread-local install slot; ProfileSession swaps it on its own thread and hooks only dereference their own thread's pointer")
 inline thread_local Profiler* tls_profiler = nullptr;
 }
 

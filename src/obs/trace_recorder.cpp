@@ -4,6 +4,7 @@
 #include <atomic>
 #include <sstream>
 
+#include "common/shard_domain.hpp"
 #include "common/wallclock.hpp"
 #include "obs/json.hpp"
 
@@ -12,6 +13,7 @@ namespace nvmooc::obs {
 namespace {
 
 std::uint64_t next_recorder_id() {
+  SIM_SHARD_SHARED("process-wide recorder id source; relaxed atomic fetch-add, ids feed the tls cache key only and never simulated state")
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
@@ -26,6 +28,7 @@ struct TlsCache {
   std::unordered_map<std::string, std::uint32_t> tracks;
 };
 
+SIM_SHARD_SHARED("thread-local span-buffer cache; each thread reads and writes only its own entry and the recorder validates it by id")
 thread_local TlsCache tls_cache;
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/alloc_counter.hpp"
+#include "common/shard_domain.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc {
@@ -58,7 +59,9 @@ struct EventQueueStats {
   }
 };
 
-class EventQueue {
+// The serial event spine. The parallel DES will shard this per channel;
+// until then every handler in every domain drains through this one queue.
+class SIM_SHARD_DOMAIN("global") EventQueue {
  public:
   using Callback = std::function<void()>;
 

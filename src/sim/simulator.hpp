@@ -6,12 +6,15 @@
 // host-side arrival processes and middleware behaviour.
 #pragma once
 
+#include "common/shard_domain.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
 
 namespace nvmooc {
 
-class Simulator {
+// Clock + queue: the cross-domain passage point. Handlers touch another
+// shard's state only by scheduling a continuation here (at/after).
+class SIM_SHARD_DOMAIN("global") Simulator {
  public:
   [[nodiscard]] Time now() const { return now_; }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/shard_domain.hpp"
 #include "nvm/bus.hpp"
 #include "nvm/package.hpp"
 #include "reliability/ecc.hpp"
@@ -22,8 +23,10 @@
 namespace nvmooc {
 
 /// The physical resources of the device: per-channel shared buses, and
-/// the packages (each with its port and dies) hanging off them.
-class SsdHardware {
+/// the packages (each with its port and dies) hanging off them. The
+/// container spans every channel (node domain); each Channel inside is
+/// exactly one future shard.
+class SIM_SHARD_DOMAIN("node") SsdHardware {
  public:
   SsdHardware(const SsdGeometry& geometry, const NvmTiming& timing,
               const BusConfig& bus, bool backfill);
@@ -42,7 +45,7 @@ class SsdHardware {
   const BusConfig& bus() const { return bus_; }
 
  private:
-  struct Channel {
+  struct SIM_SHARD_DOMAIN("channel") Channel {
     explicit Channel(bool backfill) : bus(backfill) {}
     Timeline bus;
     std::vector<Package> packages;
@@ -92,7 +95,10 @@ struct ControllerStats {
   ReliabilityStats reliability;
 };
 
-class Controller {
+// Dispatches across every channel and owns cross-channel accounting, so
+// it stays node-wide; the parallel DES hands its per-channel scheduling
+// decisions to the owning shards via the event queue.
+class SIM_SHARD_DOMAIN("node") Controller {
  public:
   /// `injector` may be null (the default): no faults, no per-sense
   /// draws, the fault-free fast path.

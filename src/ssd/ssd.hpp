@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/shard_domain.hpp"
 #include "nvm/bus.hpp"
 #include "nvm/wear.hpp"
 #include "ssd/controller.hpp"
@@ -40,7 +41,7 @@ struct DeviceStats {
   double remaining_bandwidth = 0.0;
 };
 
-class Ssd {
+class SIM_SHARD_DOMAIN("node") Ssd {
  public:
   explicit Ssd(const SsdConfig& config);
 

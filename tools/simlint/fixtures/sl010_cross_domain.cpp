@@ -1,0 +1,59 @@
+// Reject fixture: SL010 cross-domain-access — one shard domain touching
+// another domain's state without going through the event queue. Not
+// compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+// Stand-in for the real passage type: exempt by name, holding one is how
+// a handler reaches other domains.
+class SIM_SHARD_DOMAIN("global") Simulator {
+ public:
+  void at();
+};
+
+class SIM_SHARD_DOMAIN("global") Registry {
+ public:
+  void bump() { ++count_; }
+
+ private:
+  long count_ = 0;
+};
+
+SIM_SHARD_DOMAIN("global")
+int g_fleet_epoch = 0;
+
+class SIM_SHARD_DOMAIN("channel") ChannelArbiter {
+ public:
+  void on_grant();
+
+ private:
+  Registry registry_;  // simlint-expect: SL010
+  int credits_ = 4;
+};
+
+void ChannelArbiter::on_grant() {
+  g_fleet_epoch += 1;  // simlint-expect: SL010
+  credits_ -= 1;
+}
+
+class SIM_SHARD_DOMAIN("die") PlaneState {
+ public:
+  void tick();
+
+ private:
+  Simulator& sim_;
+  Registry registry_;  // simlint-expect: SL010
+};
+
+void PlaneState::tick() {
+  // Routing through the event queue is the sanctioned cross-domain path.
+  sim_.at();
+}
+
+// Containment in the natural direction (coarser embeds finer) is fine.
+class SIM_SHARD_DOMAIN("package") PackageState {
+ private:
+  PlaneState* planes_;
+};
+
+}  // namespace fixture

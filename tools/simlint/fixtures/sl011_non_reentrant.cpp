@@ -1,0 +1,38 @@
+// Reject fixture: SL011 non-reentrant-std — facilities with hidden
+// process-wide state on the dispatch path. Not compiled; exercised by
+// `simlint --self-test` only.
+
+namespace fixture {
+
+char* first_token(char* line) {
+  return std::strtok(line, " ");  // simlint-expect: SL011
+}
+
+const char* describe_errno(int err) {
+  return strerror(err);  // simlint-expect: SL011
+}
+
+const char* timestamp_text(long* t) {
+  return std::ctime(t);  // simlint-expect: SL011
+}
+
+void set_locale_for_report() {
+  setlocale(0, "");  // simlint-expect: SL011
+}
+
+void export_mode() {
+  setenv("NVMOOC_MODE", "replay", 1);  // simlint-expect: SL011
+}
+
+const std::string& scratch_label() {
+  static std::string buffer;  // simlint-expect: SL009, SL011
+  buffer = "label";
+  return buffer;
+}
+
+// Reentrant / caller-owned alternatives stay quiet.
+void format_into(std::string& out) {
+  out = "caller-owned buffer";
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Reject fixture: SL012 shard-annotation hygiene — unknown domains,
+// non-literal arguments, and shared annotations with no synchronisation
+// story. Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class SIM_SHARD_DOMAIN("lane") BogusDomain {  // simlint-expect: SL012
+};
+
+SIM_SHARD_DOMAIN(kComputedDomain)  // simlint-expect: SL012
+int g_dynamic_domain = 0;
+
+SIM_SHARD_SHARED("")  // simlint-expect: SL012
+int g_unexplained = 0;
+
+SIM_SHARD_SHARED("mutex")  // simlint-expect: SL012
+int g_terse_note = 0;
+
+// Well-formed annotations stay quiet.
+class SIM_SHARD_DOMAIN("package") GoodDomain {
+};
+
+SIM_SHARD_SHARED("guarded by the pool mutex; writers drain in-flight work first")
+int g_explained = 0;
+
+}  // namespace fixture

@@ -5,7 +5,12 @@ The simulator's headline guarantee is *bit-identical replay*: the same
 scenario and seed must produce the same ExperimentResult on every run,
 on every machine.  The rules here reject the constructs that historically
 break that guarantee, plus unit-safety escapes around the strong Time /
-Bytes wrapper types (src/common/units.hpp).
+Bytes wrapper types (src/common/units.hpp), plus — since v3 — the
+shard-safety contract (src/common/shard_domain.hpp) that clears the
+runway for the conservative parallel DES mode: every piece of mutable
+state reachable from event dispatch must declare which shard domain owns
+it, and the machine-readable inventory (--shard-report) is the artifact
+the future parallel scheduler consumes.
 
 Rules
 -----
@@ -65,6 +70,39 @@ Rules
                             narrowing reintroduces exactly the silent
                             truncation the wrappers exist to prevent.
                             Cast to double / int64_t / uint64_t instead.
+  SL009 shard-inventory     A mutable namespace-scope global, static
+                            local, class-static, or thread_local without
+                            a SIM_SHARD_DOMAIN / SIM_SHARD_SHARED
+                            annotation.  The parallel DES can only be
+                            proven race-free if every piece of long-lived
+                            mutable state declares its owning shard
+                            domain; the inventory is a sound
+                            over-approximation of "reachable from event
+                            dispatch" (everything linked into the
+                            simulator is scanned — no call-graph
+                            heroics, no silent gaps).
+  SL010 cross-domain-access Code in one shard domain touching another
+                            domain's state without going through the
+                            event queue: a domain-annotated class whose
+                            member embeds a *coarser* domain's annotated
+                            type (Simulator / EventQueue are exempt —
+                            they ARE the passage point), or a method of a
+                            domain-annotated class naming a
+                            domain-annotated global of a different
+                            domain on a line with no Simulator::at /
+                            after / schedule call.
+  SL011 non-reentrant-std   Non-reentrant C/C++ facilities on the
+                            dispatch path: strtok, strerror, asctime /
+                            ctime, setlocale, tmpnam, setenv/putenv, or
+                            a function-local `static std::string`
+                            scratch buffer.  All of these carry hidden
+                            process-wide state that races the moment the
+                            event loop shards.
+  SL012 shard-annotation    Annotation hygiene: SIM_SHARD_DOMAIN with an
+                            unknown domain name (vocabulary: die,
+                            package, channel, node, global, owner) or a
+                            non-literal argument, and SIM_SHARD_SHARED
+                            without a meaningful synchronisation note.
 
 Engines
 -------
@@ -79,6 +117,27 @@ Engines
                      The matcher engine is the one CI gates on so results
                      do not depend on toolchain availability.
 
+Shard report
+------------
+  --shard-report FILE  Writes the machine-readable state inventory
+                       (domain -> files -> symbols, shared entries with
+                       their synchronisation notes, unannotated strays)
+                       aggregated over the scanned roots.  The checked-in
+                       SHARD_REPORT.json is generated over src/ and is
+                       the contract the parallel scheduler consumes.
+  --shard-check FILE   Regenerates the inventory and fails (exit 1) on
+                       any drift against FILE — new shared state is an
+                       explicit reviewed decision, not an accident.
+
+Parallelism & output
+--------------------
+  --jobs N          Lint translation units in parallel (default: the
+                    machine's CPU count; findings and the report stay
+                    deterministically sorted regardless of N).
+  --format json     Machine-readable findings (file/line/rule/name/
+                    message) instead of the gcc-style text lines the
+                    GitHub problem matcher consumes.
+
 Suppression
 -----------
   Inline:     // simlint: allow(unordered-iter) -- reason
@@ -87,7 +146,8 @@ Suppression
               (e.g. the observability layer may read the wall clock to
               stamp Chrome-trace exports).
 
-Exit status: 0 clean, 1 findings, 2 usage/config error.
+Exit status: 0 clean, 1 findings (or shard-report drift), 2 usage/config
+error.
 """
 
 from __future__ import annotations
@@ -112,6 +172,10 @@ RULE_NAMES = {
     "SL006": "request-lifecycle",
     "SL007": "missing-nodiscard",
     "SL008": "unit-narrowing",
+    "SL009": "shard-inventory",
+    "SL010": "cross-domain-access",
+    "SL011": "non-reentrant-std",
+    "SL012": "shard-annotation",
 }
 NAME_TO_ID = {v: k for k, v in RULE_NAMES.items()}
 
@@ -131,20 +195,25 @@ class Finding:
 # --------------------------------------------------------------------------
 # Source preprocessing: strip comments and string/char literals so rules
 # never fire on prose, while keeping line numbers stable.  Inline allow
-# annotations are harvested from comments *before* stripping.
+# annotations are harvested from comments *before* stripping.  A second
+# buffer keeps string literals intact (comments still blanked) so the
+# shard rules can read SIM_SHARD_DOMAIN("channel") arguments, which live
+# inside string literals by design.
 
 ALLOW_RE = re.compile(r"simlint:\s*allow\(([\w\-*,\s]+)\)")
 
 
 def preprocess(text: str):
-    """Return (stripped_lines, allows) where allows maps line-no -> set of
-    rule ids suppressed on that line and the next."""
+    """Return (stripped_lines, allows, keep_lines) where allows maps
+    line-no -> set of rule ids suppressed on that line and the next, and
+    keep_lines is the comment-stripped text with string literals kept."""
     out = []
     allows = {}
     i = 0
     n = len(text)
     line = 1
     buf = []
+    keep = []
 
     def note_allow(comment: str, lineno: int) -> None:
         m = ALLOW_RE.search(comment)
@@ -169,6 +238,7 @@ def preprocess(text: str):
                 j = n
             note_allow(text[i:j], line)
             buf.append(" " * (j - i))
+            keep.append(" " * (j - i))
             i = j
         elif c == "/" and i + 1 < n and text[i + 1] == "*":
             j = text.find("*/", i + 2)
@@ -176,7 +246,9 @@ def preprocess(text: str):
             comment = text[i:j]
             note_allow(comment, line)
             for ch in comment:
-                buf.append("\n" if ch == "\n" else " ")
+                blanked = "\n" if ch == "\n" else " "
+                buf.append(blanked)
+                keep.append(blanked)
             line += comment.count("\n")
             i = j
         elif c == '"' or (c == "'" and not (i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"))):
@@ -200,17 +272,20 @@ def preprocess(text: str):
                 buf.append(quote + " " * (j - i - 2) + quote)
             else:
                 buf.append(quote + " " * (j - i - 1))
+            keep.append(text[i:j])
             i = j
         else:
             if c == "\n":
                 line += 1
             buf.append(c)
+            keep.append(c)
             i += 1
-    return "".join(buf).split("\n"), allows
+    return "".join(buf).split("\n"), allows, "".join(keep).split("\n")
 
 
 # --------------------------------------------------------------------------
-# Include-closure resolution (for SL003 member-type lookup).
+# Include-closure resolution (for SL003 member-type lookup and the shard
+# rules' cross-TU class/inventory maps).
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
@@ -262,6 +337,27 @@ class IncludeGraph:
             stack.extend(self.direct(p))
         self._closure[path] = seen
         return seen
+
+
+# Per-process cache of preprocessed files: path -> (lines, allows,
+# keep_lines).  Closure texts were previously re-preprocessed for every
+# linted TU; memoizing them is most of simlint's serial speedup and makes
+# the shard-rule closure lookups essentially free.
+_PRE_CACHE = {}
+_HARVEST_CACHE = {}
+
+
+def _preprocessed(path: str):
+    cached = _PRE_CACHE.get(path)
+    if cached is None:
+        try:
+            text = open(path, encoding="utf-8", errors="replace").read()
+        except OSError:
+            cached = ([], {}, [])
+        else:
+            cached = preprocess(text)
+        _PRE_CACHE[path] = cached
+    return cached
 
 
 # --------------------------------------------------------------------------
@@ -338,6 +434,78 @@ UNIT_NARROW_RE = re.compile(
     r"static_cast\s*<\s*(?:const\s+)?" + NARROW_DEST +
     r"\s*>\s*\(\s*[^()]*\.\s*(?:ps|value)\s*\(\s*\)")
 
+# --------------------------------------------------------------------------
+# Shard-safety vocabulary (SL009-SL012).  See src/common/shard_domain.hpp
+# for the authoritative domain semantics.
+
+SHARD_DOMAINS = ("die", "package", "channel", "node", "global", "owner")
+# Containment order for the cross-domain member check; "owner" has no
+# rank (it adopts the embedding object's domain).
+DOMAIN_RANK = {"die": 0, "package": 1, "channel": 2, "node": 3, "global": 4}
+# Types that ARE the cross-domain passage mechanism: holding one is how a
+# handler reaches the event queue, never a violation by itself.
+QUEUE_PASSAGE_TYPES = {"Simulator", "EventQueue"}
+EVENT_QUEUE_CALL_RE = re.compile(r"(?:\.|->)\s*(?:at|after|schedule)\s*\(")
+
+# The value group only matches a string literal; a macro invoked with an
+# identifier (SIM_SHARD_DOMAIN(kDomain)) matches with value=None, which
+# SL012 reports — the matcher reads domains textually, so only literals
+# participate in the inventory.
+SHARD_ANNOT_RE = re.compile(
+    r"\bSIM_SHARD_(?P<kind>DOMAIN|SHARED)\s*\(\s*(?:\"(?P<value>[^\"]*)\"|[^)\"]*)\s*\)")
+CLASS_DOMAIN_RE = re.compile(
+    r"\b(?:class|struct)\s+SIM_SHARD_DOMAIN\s*\(\s*\"(?P<domain>\w*)\"\s*\)\s+(?P<name>[A-Za-z_]\w*)")
+CLASS_SHARED_RE = re.compile(
+    r"\b(?:class|struct)\s+SIM_SHARD_SHARED\s*\(\s*\"(?P<note>[^\"]*)\"\s*\)\s+(?P<name>[A-Za-z_]\w*)")
+METHOD_DEF_RE = re.compile(
+    r"^[^#\n]*?\b(?P<cls>[A-Za-z_]\w*)\s*::\s*~?[A-Za-z_]\w*\s*\(", re.MULTILINE)
+
+# The SL009 inventory: long-lived mutable state.  Three shapes, all
+# line-local (the matcher does not parse declarations across lines — the
+# project style keeps variable declarations on one line):
+#   - thread_local at any scope;
+#   - `static` non-const variables (function-local statics and class
+#     statics alike — both are global state);
+#   - namespace-scope definitions at zero indentation with an
+#     initializer or a plain `Type name;` shape (function definitions
+#     and declarations carry parentheses and never match).
+_ANNOT_PREFIX = r'(?:SIM_SHARD_\w+\s*\(\s*"[^"]*"\s*\)\s*)?'
+TLS_VAR_RE = re.compile(
+    r"^\s*" + _ANNOT_PREFIX +
+    r"(?:inline\s+)?(?:static\s+)?thread_local\s+"
+    r"(?P<type>[\w:<>,*&\s]+?)[\s*&]+(?P<name>[A-Za-z_]\w*)\s*(?:;|=[^=]|\{)")
+STATIC_VAR_RE = re.compile(
+    r"^\s*" + _ANNOT_PREFIX +
+    r"(?:inline\s+)?static\s+(?!const\b|constexpr\b|inline\b|thread_local\b|assert\b)"
+    r"(?P<type>[\w:<>,*&\s]+?)[\s*&]+(?P<name>[A-Za-z_]\w*)\s*(?:;|=[^=]|\{)")
+NS_GLOBAL_RE = re.compile(
+    r"^" + _ANNOT_PREFIX +
+    r"(?:inline\s+)?"
+    r"(?!const\b|constexpr\b|static\b|thread_local\b|using\b|typedef\b|class\b|struct\b"
+    r"|enum\b|namespace\b|template\b|extern\b|return\b|friend\b|case\b|if\b|for\b"
+    r"|while\b|else\b|do\b|switch\b|break\b|continue\b|goto\b|delete\b|new\b|inline\b"
+    r"|public\b|private\b|protected\b|void\b|concept\b|requires\b)"
+    r"(?P<type>(?:std\s*::\s*)?[A-Za-z_][\w:]*(?:\s*<[^;()]*>)?)[\s*&]+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:\{[^;()]*\}\s*;|=[^;()]*;|;)\s*$")
+
+NON_REENTRANT_PATTERNS = [
+    (re.compile(r"(?<![\w.>])(?:std\s*::\s*)?strtok\s*\("),
+     "strtok(): hidden static parse state"),
+    (re.compile(r"(?<![\w.>])(?:std\s*::\s*)?strerror\s*\("),
+     "strerror(): static result buffer"),
+    (re.compile(r"(?<![\w.>])(?:std\s*::\s*)?(?:asctime|ctime)\s*\("),
+     "asctime()/ctime(): static result buffer"),
+    (re.compile(r"(?<![\w.>])(?:std\s*::\s*)?setlocale\s*\("),
+     "setlocale(): process-wide locale mutation"),
+    (re.compile(r"(?<![\w.>])(?:std\s*::\s*)?tmpnam\s*\("),
+     "tmpnam(): static name buffer"),
+    (re.compile(r"(?<![\w.>])(?:setenv|putenv|unsetenv)\s*\("),
+     "environment mutation is process-wide and unsynchronised"),
+    (re.compile(r"^\s*static\s+(?:std\s*::\s*)?"
+                r"(?:string|stringstream|ostringstream|wstring)\s+[A-Za-z_]\w*\s*(?:;|=[^=]|\{)"),
+     "function-local static string scratch buffer"),
+]
+
 
 def _sequence_name(expr: str):
     """Extract a trailing identifier from a range-for sequence expression
@@ -347,7 +515,237 @@ def _sequence_name(expr: str):
     return m.group(1) if m else None
 
 
-def run_matcher_rules(path: str, lines, graph: IncludeGraph, closure_texts):
+# --------------------------------------------------------------------------
+# Shard harvesting: annotations, domain-annotated classes, and the
+# mutable-state inventory of one file (computed on the keep-strings view
+# so annotation arguments survive).
+
+def harvest_shard(path: str):
+    cached = _HARVEST_CACHE.get(path)
+    if cached is not None:
+        return cached
+    _, _, keep_lines = _preprocessed(path)
+    annotations = []   # (lineno, kind, value-or-None)
+    classes = []       # {line, name, domain}
+    shared_classes = []  # {line, name, note}
+    entries = []       # {line, name, kind, annot: None | (kind, value)}
+    annot_by_line = {}
+    for lineno, line in enumerate(keep_lines, 1):
+        if line.lstrip().startswith("#"):
+            # The macro definitions themselves (and conditional-compilation
+            # plumbing) live on preprocessor lines; they are vocabulary,
+            # not annotations.
+            continue
+        for m in SHARD_ANNOT_RE.finditer(line):
+            value = m.group("value")
+            annotations.append((lineno, m.group("kind"), value))
+            annot_by_line[lineno] = (m.group("kind"), value)
+        m = CLASS_DOMAIN_RE.search(line)
+        if m:
+            classes.append({"line": lineno, "name": m.group("name"),
+                            "domain": m.group("domain")})
+        m = CLASS_SHARED_RE.search(line)
+        if m:
+            shared_classes.append({"line": lineno, "name": m.group("name"),
+                                   "note": m.group("note")})
+    class_lines = {c["line"] for c in classes} | {c["line"] for c in shared_classes}
+    for lineno, line in enumerate(keep_lines, 1):
+        if lineno in class_lines:
+            continue
+        kind = None
+        m = TLS_VAR_RE.match(line)
+        if m:
+            kind = "thread_local"
+        else:
+            m = STATIC_VAR_RE.match(line)
+            if m:
+                kind = "static"
+            else:
+                m = NS_GLOBAL_RE.match(line)
+                if m:
+                    kind = "global"
+        if not kind:
+            continue
+        annot = annot_by_line.get(lineno) or annot_by_line.get(lineno - 1)
+        entries.append({"line": lineno, "name": m.group("name"), "kind": kind,
+                        "annot": annot})
+    result = {"annotations": annotations, "classes": classes,
+              "shared_classes": shared_classes, "entries": entries}
+    _HARVEST_CACHE[path] = result
+    return result
+
+
+def closure_shard_maps(graph: IncludeGraph, path: str):
+    """Class-name -> domain and global-name -> domain maps over the TU's
+    include closure (shared classes/entries tracked separately)."""
+    class_domains = {}
+    shared_types = set()
+    entry_domains = {}
+    shared_entries = set()
+    for dep in graph.closure(path):
+        h = harvest_shard(dep)
+        for c in h["classes"]:
+            class_domains[c["name"]] = c["domain"]
+        for c in h["shared_classes"]:
+            shared_types.add(c["name"])
+        for e in h["entries"]:
+            if e["annot"] and e["annot"][0] == "DOMAIN" and e["annot"][1]:
+                entry_domains[e["name"]] = e["annot"][1]
+            elif e["annot"] and e["annot"][0] == "SHARED":
+                shared_entries.add(e["name"])
+    return class_domains, shared_types, entry_domains, shared_entries
+
+
+def _brace_regions(joined: str, open_idx: int):
+    """Given the index of a '{', return the index just past its matching
+    '}' (or len(joined) if unbalanced)."""
+    depth = 0
+    for i in range(open_idx, len(joined)):
+        c = joined[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(joined)
+
+
+def _find_body_open(joined: str, start: int):
+    """First '{' at or after `start`, unless a ';' (declaration) comes
+    first; returns -1 when there is no body."""
+    for i in range(start, len(joined)):
+        if joined[i] == "{":
+            return i
+        if joined[i] == ";":
+            return -1
+    return -1
+
+
+def shard_contexts(joined: str, class_domains):
+    """Regions of `joined` (keep-strings view) that execute in a declared
+    shard domain: bodies of domain-annotated classes defined here, and
+    bodies of out-of-class method definitions of annotated classes.
+    Returns [(start_line, end_line, domain, kind)] with kind in
+    {"class", "method"}; inner regions come later so a linear scan can
+    let the innermost context win."""
+    contexts = []
+    for m in CLASS_DOMAIN_RE.finditer(joined):
+        domain = m.group("domain")
+        body = _find_body_open(joined, m.end())
+        if body < 0:
+            continue
+        end = _brace_regions(joined, body)
+        start_line = joined.count("\n", 0, body) + 1
+        end_line = joined.count("\n", 0, end) + 1
+        contexts.append((start_line, end_line, domain, "class"))
+    for m in METHOD_DEF_RE.finditer(joined):
+        domain = class_domains.get(m.group("cls"))
+        if domain is None:
+            continue
+        body = _find_body_open(joined, m.end())
+        if body < 0:
+            continue
+        end = _brace_regions(joined, body)
+        start_line = joined.count("\n", 0, body) + 1
+        end_line = joined.count("\n", 0, end) + 1
+        contexts.append((start_line, end_line, domain, "method"))
+    contexts.sort(key=lambda c: (c[0], -c[1]))
+    return contexts
+
+
+def run_shard_rules(path: str, keep_lines, graph: IncludeGraph):
+    """SL009-SL012 over one file."""
+    findings = []
+    harvest = harvest_shard(path)
+
+    # SL012: annotation hygiene first — a malformed annotation must not
+    # silently satisfy SL009.
+    for lineno, kind, value in harvest["annotations"]:
+        if kind == "DOMAIN":
+            if value is None:
+                findings.append((lineno, "SL012",
+                                 "SIM_SHARD_DOMAIN needs a string-literal domain "
+                                 "name (the matcher reads it textually)"))
+            elif value not in SHARD_DOMAINS:
+                findings.append((lineno, "SL012",
+                                 f"unknown shard domain \"{value}\"; vocabulary: "
+                                 + ", ".join(SHARD_DOMAINS)))
+        else:  # SHARED
+            if value is None or len(value.strip()) < 8:
+                findings.append((lineno, "SL012",
+                                 "SIM_SHARD_SHARED needs a synchronisation note "
+                                 "saying how cross-shard access is made safe"))
+
+    # SL009: unannotated inventory entries.
+    for entry in harvest["entries"]:
+        if entry["annot"] is None:
+            findings.append((entry["line"], "SL009",
+                             f"mutable {entry['kind']} `{entry['name']}` has no "
+                             "shard annotation; declare SIM_SHARD_DOMAIN(...) or "
+                             "SIM_SHARD_SHARED(\"how access is synchronised\") "
+                             "on or above this line"))
+
+    # SL010: cross-domain access.
+    class_domains, shared_types, entry_domains, shared_entries = \
+        closure_shard_maps(graph, path)
+    joined = "\n".join(keep_lines)
+    contexts = shard_contexts(joined, class_domains)
+    if contexts:
+        ranked_types = {name: dom for name, dom in class_domains.items()
+                        if dom in DOMAIN_RANK and name not in QUEUE_PASSAGE_TYPES}
+        type_word_res = {name: re.compile(r"\b" + re.escape(name) + r"\b")
+                         for name in ranked_types}
+        entry_word_res = {name: re.compile(r"\b" + re.escape(name) + r"\b")
+                          for name in entry_domains}
+        entry_decl_lines = {e["line"] for e in harvest["entries"]}
+        # Innermost-context map per line.
+        line_ctx = {}
+        for start, end, domain, kind in contexts:
+            for ln in range(start, end + 1):
+                line_ctx[ln] = (domain, kind)
+        for lineno, line in enumerate(keep_lines, 1):
+            ctx = line_ctx.get(lineno)
+            if ctx is None:
+                continue
+            domain, kind = ctx
+            # (a) Structural: a member declaration embedding a coarser
+            # domain's type.  Member declarations are paren-free and end
+            # with ';'; parameters and calls carry parentheses.
+            if (kind == "class" and domain in DOMAIN_RANK
+                    and "(" not in line and line.rstrip().endswith(";")
+                    and "SIM_SHARD_" not in line):
+                for name, member_domain in ranked_types.items():
+                    if DOMAIN_RANK[member_domain] <= DOMAIN_RANK[domain]:
+                        continue
+                    if type_word_res[name].search(line):
+                        findings.append((lineno, "SL010",
+                                         f"`{name}` is {member_domain}-domain state "
+                                         f"embedded in a {domain}-domain class; reach "
+                                         "coarser domains through the event queue "
+                                         "(Simulator::at/after) or annotate the member "
+                                         "SIM_SHARD_SHARED with its synchronisation"))
+                        break
+            # (b) A domain context naming another domain's annotated
+            # global without an event-queue call on the same line.
+            if domain in DOMAIN_RANK and lineno not in entry_decl_lines:
+                for name, entry_domain in entry_domains.items():
+                    if entry_domain == domain or entry_domain not in DOMAIN_RANK:
+                        continue
+                    if name in shared_entries:
+                        continue
+                    if entry_word_res[name].search(line) and \
+                            not EVENT_QUEUE_CALL_RE.search(line):
+                        findings.append((lineno, "SL010",
+                                         f"`{name}` belongs to the {entry_domain} "
+                                         f"domain but is touched from {domain}-domain "
+                                         "code; route the access through the event "
+                                         "queue or annotate it SIM_SHARD_SHARED"))
+    return findings
+
+
+def run_matcher_rules(path: str, lines, keep_lines, graph: IncludeGraph,
+                      closure_texts):
     findings = []
     joined = "\n".join(lines)
 
@@ -363,6 +761,13 @@ def run_matcher_rules(path: str, lines, graph: IncludeGraph, closure_texts):
                 findings.append((lineno, "SL002",
                                  f"{what}: ambient randomness; thread a seeded "
                                  "nvmooc::Rng through instead"))
+                break
+        for pattern, what in NON_REENTRANT_PATTERNS:
+            if pattern.search(line):
+                findings.append((lineno, "SL011",
+                                 f"{what}; non-reentrant state races once the "
+                                 "event loop shards — use a reentrant or "
+                                 "caller-owned alternative"))
                 break
         if DEFAULT_SEEDED_RE.search(line):
             findings.append((lineno, "SL005",
@@ -473,6 +878,7 @@ def run_matcher_rules(path: str, lines, graph: IncludeGraph, closure_texts):
                              f"iterator walk over `{name}`, declared as an "
                              "unordered container; order is not replay-stable"))
 
+    findings.extend(run_shard_rules(path, keep_lines, graph))
     return findings
 
 
@@ -550,7 +956,9 @@ def conf_allows(allowlist, rule: str, rel_path: str) -> bool:
 def discover_files(compile_commands: str, roots):
     """TU sources from compile_commands.json plus all project headers under
     the given roots; falls back to a plain glob when the database is
-    missing (e.g. tree not configured yet)."""
+    missing (e.g. tree not configured yet).  The simlint reject fixtures
+    are deliberately-violating inputs for --self-test, never tree
+    findings, so they are excluded even when a root contains them."""
     files = set()
     if compile_commands and os.path.isfile(compile_commands):
         with open(compile_commands, encoding="utf-8") as f:
@@ -563,26 +971,23 @@ def discover_files(compile_commands: str, roots):
             for name in names:
                 if name.endswith((".hpp", ".h", ".cpp", ".cc")):
                     files.add(os.path.join(dirpath, name))
-    return sorted(files)
+    fixture_prefix = FIXTURE_DIR + os.sep
+    return sorted(f for f in files if not f.startswith(fixture_prefix))
 
 
 def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: str):
-    try:
-        text = open(path, encoding="utf-8", errors="replace").read()
-    except OSError as e:
-        print(f"simlint: cannot read {path}: {e}", file=sys.stderr)
+    lines, inline_allows, keep_lines = _preprocessed(path)
+    if not lines and not keep_lines:
+        print(f"simlint: cannot read {path}", file=sys.stderr)
         return []
-    lines, inline_allows = preprocess(text)
 
     closure_texts = []
     for dep in graph.closure(path):
-        try:
-            dep_lines, _ = preprocess(open(dep, encoding="utf-8", errors="replace").read())
+        dep_lines, _, _ = _preprocessed(dep)
+        if dep_lines:
             closure_texts.append("\n".join(dep_lines))
-        except OSError:
-            pass
 
-    raw = run_matcher_rules(path, lines, graph, closure_texts)
+    raw = run_matcher_rules(path, lines, keep_lines, graph, closure_texts)
     if engine == "libclang":
         try:
             raw += run_libclang_rules(path, ["-std=c++20", f"-I{src_root}"])
@@ -604,6 +1009,133 @@ def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: 
         if conf_allows(allowlist, rule, rel):
             continue
         findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Shard report: the machine-readable inventory the parallel scheduler
+# consumes.  Regenerated with --shard-report, gated with --shard-check.
+# Line numbers are deliberately omitted so unrelated edits do not churn
+# the checked-in contract; symbols are keyed by file and kind.
+
+SHARD_REPORT_SCHEMA = "nvmooc-shard-report-v1"
+
+
+def build_shard_report(files):
+    domains = {}
+    shared = []
+    unannotated = []
+    for path in files:
+        rel = os.path.relpath(path, REPO_ROOT)
+        h = harvest_shard(path)
+        for c in h["classes"]:
+            if c["domain"] in SHARD_DOMAINS:
+                domains.setdefault(c["domain"], {}).setdefault(rel, []).append(
+                    "class:" + c["name"])
+        for c in h["shared_classes"]:
+            shared.append({"file": rel, "symbol": c["name"], "kind": "class",
+                           "note": c["note"]})
+        for e in h["entries"]:
+            annot = e["annot"]
+            symbol = f"{e['kind']}:{e['name']}"
+            if annot and annot[0] == "DOMAIN" and annot[1] in SHARD_DOMAINS:
+                domains.setdefault(annot[1], {}).setdefault(rel, []).append(symbol)
+            elif annot and annot[0] == "SHARED":
+                shared.append({"file": rel, "symbol": e["name"],
+                               "kind": e["kind"], "note": annot[1] or ""})
+            else:
+                unannotated.append({"file": rel, "symbol": e["name"],
+                                    "kind": e["kind"]})
+    for domain in domains:
+        for rel in domains[domain]:
+            domains[domain][rel] = sorted(set(domains[domain][rel]))
+    shared.sort(key=lambda s: (s["file"], s["symbol"]))
+    unannotated.sort(key=lambda s: (s["file"], s["symbol"]))
+    return {
+        "schema": SHARD_REPORT_SCHEMA,
+        "domain_vocabulary": list(SHARD_DOMAINS),
+        "domains": domains,
+        "shared": shared,
+        "unannotated": unannotated,
+    }
+
+
+def shard_report_json(report) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def diff_shard_reports(old, new):
+    """Human-readable drift lines between two report dicts (empty = same)."""
+    lines = []
+    if old == new:
+        return lines
+
+    def flatten(report):
+        flat = set()
+        for domain, files in report.get("domains", {}).items():
+            for rel, symbols in files.items():
+                for symbol in symbols:
+                    flat.add(f"domain={domain} {rel} {symbol}")
+        for entry in report.get("shared", []):
+            flat.add(f"shared {entry['file']} {entry['kind']}:{entry['symbol']}")
+        for entry in report.get("unannotated", []):
+            flat.add(f"unannotated {entry['file']} {entry['kind']}:{entry['symbol']}")
+        return flat
+
+    old_flat, new_flat = flatten(old), flatten(new)
+    for item in sorted(new_flat - old_flat):
+        lines.append(f"  + {item}")
+    for item in sorted(old_flat - new_flat):
+        lines.append(f"  - {item}")
+    if not lines:
+        lines.append("  (note text or schema metadata changed)")
+    return lines
+
+
+# --------------------------------------------------------------------------
+# Parallel scanning.  Workers are processes (the regex engine holds the
+# GIL); each builds its own include-graph lazily and memoizes closures,
+# and results are reassembled in input order so output is deterministic
+# for any --jobs value.
+
+_WORKER = {}
+
+
+def _worker_init(src_root, allowlist, engine):
+    _WORKER["graph"] = IncludeGraph(src_root)
+    _WORKER["allowlist"] = allowlist
+    _WORKER["engine"] = engine
+    _WORKER["src_root"] = src_root
+
+
+def _lint_one(path):
+    findings = lint_file(path, _WORKER["graph"], _WORKER["engine"],
+                         _WORKER["allowlist"], _WORKER["src_root"])
+    return [(f.path, f.line, f.rule, f.message) for f in findings]
+
+
+def lint_tree(files, graph, engine, allowlist, src_root, jobs):
+    """Lint every file, in parallel when jobs > 1; returns Findings in
+    deterministic (path, line) order regardless of worker count."""
+    per_file = None
+    if jobs > 1 and len(files) >= 4:
+        try:
+            import multiprocessing as mp
+            ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
+                else mp.get_context()
+            with ctx.Pool(processes=min(jobs, len(files)),
+                          initializer=_worker_init,
+                          initargs=(src_root, allowlist, engine)) as pool:
+                per_file = pool.map(_lint_one, files, chunksize=4)
+        except (ImportError, OSError) as e:
+            print(f"simlint: parallel scan unavailable ({e}); running serially",
+                  file=sys.stderr)
+            per_file = None
+    if per_file is None:
+        _worker_init(src_root, allowlist, engine)
+        per_file = [_lint_one(path) for path in files]
+    findings = [Finding(*tup) for tups in per_file for tup in tups]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
 
@@ -661,6 +1193,10 @@ def self_test() -> int:
         ("SL001", "examples/ooc_eigensolver.cpp", False),
         ("SL004", "src/common/units.hpp", True),
         ("SL004", "src/cluster/engine.cpp", False),
+        ("SL009", "src/sim/event_queue.hpp", False),
+        ("SL010", "src/ssd/controller.hpp", False),
+        ("SL011", "src/cluster/engine.cpp", False),
+        ("SL012", "src/common/shard_domain.hpp", False),
     ]
     for rule, rel, want in scope_cases:
         got_allowed = conf_allows(allowlist, rule, rel)
@@ -672,6 +1208,21 @@ def self_test() -> int:
         else:
             print(f"PASS conf-scope: {rule} {rel} "
                   f"({'exempt' if want else 'reported'})")
+    # Shard-report smoke: the reject fixtures must aggregate into a
+    # report that carries their domains, shared notes, and unannotated
+    # strays — the same code path CI's drift gate runs over src/.
+    report = build_shard_report(fixtures)
+    report_cases = [
+        (bool(report["unannotated"]), "unannotated strays from sl009 fixture"),
+        (any(e["note"] for e in report["shared"]), "shared note round-trip"),
+        ("channel" in report["domains"], "channel domain from sl010 fixture"),
+    ]
+    for ok, what in report_cases:
+        if not ok:
+            failures += 1
+            print(f"FAIL shard-report: missing {what}")
+        else:
+            print(f"PASS shard-report: {what}")
     if failures:
         print(f"simlint --self-test: {failures} fixture(s) failed")
         return 1
@@ -689,6 +1240,15 @@ def main(argv=None) -> int:
     parser.add_argument("--config", default=DEFAULT_CONF, help="allowlist file")
     parser.add_argument("--engine", choices=("auto", "matcher", "libclang"),
                         default="auto")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="parallel worker processes (default: CPU count; "
+                             "output order is deterministic either way)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="finding output format (json for machine consumers)")
+    parser.add_argument("--shard-report", metavar="FILE",
+                        help="write the shard-domain state inventory JSON")
+    parser.add_argument("--shard-check", metavar="FILE",
+                        help="fail on inventory drift against a checked-in report")
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule against the checked-in fixtures")
     parser.add_argument("--list-rules", action="store_true")
@@ -727,15 +1287,57 @@ def main(argv=None) -> int:
     files = discover_files(args.compile_commands, roots) if roots else []
     files = sorted(set(files) | set(explicit_files))
 
-    all_findings = []
-    for path in files:
-        all_findings.extend(lint_file(path, graph, engine, allowlist, src_root))
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    all_findings = lint_tree(files, graph, engine, allowlist, src_root, jobs)
 
-    for finding in sorted(all_findings, key=lambda f: (f.path, f.line)):
-        print(finding)
+    if args.format == "json":
+        payload = {
+            "engine": engine,
+            "files_scanned": len(files),
+            "findings": [
+                {"file": os.path.relpath(f.path, REPO_ROOT), "line": f.line,
+                 "rule": f.rule, "name": RULE_NAMES[f.rule], "message": f.message}
+                for f in all_findings
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in all_findings:
+            print(finding)
+
+    drift = False
+    if args.shard_report or args.shard_check:
+        report = build_shard_report(files)
+        if args.shard_report:
+            with open(args.shard_report, "w", encoding="utf-8") as f:
+                f.write(shard_report_json(report))
+            print(f"simlint: shard report written to {args.shard_report}",
+                  file=sys.stderr)
+        if args.shard_check:
+            try:
+                with open(args.shard_check, encoding="utf-8") as f:
+                    pinned = json.load(f)
+            except (OSError, ValueError) as e:
+                print(f"simlint: cannot load shard report {args.shard_check}: {e}",
+                      file=sys.stderr)
+                return 2
+            diff_lines = diff_shard_reports(pinned, report)
+            if diff_lines:
+                drift = True
+                print(f"simlint: shard inventory drift vs {args.shard_check} — "
+                      "new shared/domain state must be reviewed and the report "
+                      "regenerated with --shard-report:", file=sys.stderr)
+                for line in diff_lines:
+                    print(line, file=sys.stderr)
+            else:
+                print(f"simlint: shard inventory matches {args.shard_check}",
+                      file=sys.stderr)
+
     if all_findings:
         print(f"simlint: {len(all_findings)} finding(s) in {len(files)} file(s) "
               f"[engine={engine}]", file=sys.stderr)
+        return 1
+    if drift:
         return 1
     print(f"simlint: clean ({len(files)} files) [engine={engine}]", file=sys.stderr)
     return 0
