@@ -13,6 +13,7 @@
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "common/random.hpp"
+#include "common/shard_guard.hpp"
 #include "fs/presets.hpp"
 #include "obs/cli.hpp"
 #include "trace/scenario.hpp"
@@ -31,6 +32,11 @@ const char* kUsage =
     "                    [--audit]  (verify conservation/causality/occupancy/FTL\n"
     "                                invariants during the replay; exit 3 on any\n"
     "                                violation)\n"
+    "                    [--shard-guard] (dynamic shard-domain sanitizer: assert\n"
+    "                                 every media access happens on behalf of the\n"
+    "                                 owning channel/package/die; exit 4 on any\n"
+    "                                 cross-domain touch. Default-on in the\n"
+    "                                 `guard` CMake preset)\n"
     "                    [--profile] (record the causal event graph, print the\n"
     "                                 critical-path blame report, and add the\n"
     "                                 \"profile\" section to --result-out)\n"
@@ -147,11 +153,20 @@ int main(int argc, char** argv) {
               stats.sequentiality, 100.0 * stats.read_fraction);
 
   const bool audit = flag(argc, argv, "audit");
+#if defined(NVMOOC_SHARD_GUARD_DEFAULT) && NVMOOC_SHARD_GUARD_DEFAULT
+  const bool shard_guard = true;  // `guard` preset: always sanitized.
+#else
+  const bool shard_guard = flag(argc, argv, "shard-guard");
+#endif
   const std::unique_ptr<obs::ObsSession> session = obs::make_session(obs_options);
   // The audit session installs the thread-local auditor the hook sites
   // check; the engine snapshots the verdict into result.audit.
   std::unique_ptr<check::AuditSession> audit_session;
   if (audit) audit_session = std::make_unique<check::AuditSession>();
+  // Same install pattern for the shard sanitizer; the session outlives
+  // the replay and we read its report back directly.
+  std::unique_ptr<shard::ShardGuardSession> guard_session;
+  if (shard_guard) guard_session = std::make_unique<shard::ShardGuardSession>();
   const ExperimentResult result = run_experiment(config, trace);
   if (!obs::write_outputs(session.get(), obs_options)) return 1;
   if (!result_out.empty()) {
@@ -213,6 +228,11 @@ int main(int argc, char** argv) {
   if (audit) {
     std::printf("%s\n", result.audit.summary().c_str());
     if (!result.audit.passed()) return 3;
+  }
+  if (guard_session != nullptr) {
+    const shard::ShardGuardReport& guard_report = guard_session->report();
+    std::printf("%s\n", guard_report.summary().c_str());
+    if (!guard_report.passed()) return 4;
   }
   return 0;
 }

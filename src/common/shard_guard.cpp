@@ -1,0 +1,86 @@
+#include "common/shard_guard.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+
+namespace nvmooc::shard {
+
+const char* ShardRef::domain_name() const {
+  if (channel == kAny) return "node";
+  if (package == kAny) return "channel";
+  if (die == kAny) return "package";
+  return "die";
+}
+
+std::string ShardRef::label() const {
+  if (channel == kAny) return "node";
+  if (package == kAny) return format("channel[%d]", channel);
+  if (die == kAny) return format("package[%d.%d]", channel, package);
+  return format("die[%d.%d.%d]", channel, package, die);
+}
+
+std::string ShardViolation::describe() const {
+  return format("shard-guard: %s-domain frame '%s' touched %s-domain state "
+                "`%s` (active %s, owner %s); route the access through the "
+                "event queue or move the state into the frame's domain",
+                active.c_str(), frame.c_str(), owner.c_str(), symbol.c_str(),
+                active.c_str(), owner.c_str());
+}
+
+void ShardGuard::enter(const ShardRef& ref, const char* what) {
+  frames_.push_back(Frame{ref, what});
+  ++report_.frames_entered;
+}
+
+void ShardGuard::exit() {
+  // A stray exit() without a matching enter() is a hook-plumbing bug;
+  // tolerate it rather than crash the replay the guard is observing.
+  if (!frames_.empty()) frames_.pop_back();
+}
+
+void ShardGuard::check(const ShardRef& owner, const char* symbol) {
+  ++report_.accesses_checked;
+  if (frames_.empty()) return;
+  const Frame& active = frames_.back();
+  if (active.ref.same_lineage(owner)) return;
+  ++report_.violation_count;
+  ShardViolation violation;
+  violation.active = active.ref.label();
+  violation.owner = owner.label();
+  violation.symbol = symbol;
+  violation.frame = active.what == nullptr ? "?" : active.what;
+#if defined(NVMOOC_SHARD_GUARD_FATAL) && NVMOOC_SHARD_GUARD_FATAL
+  std::fprintf(stderr, "%s\n", violation.describe().c_str());
+  std::abort();
+#endif
+  if (report_.violations.size() < ShardGuardReport::kMaxRecordedViolations) {
+    report_.violations.push_back(std::move(violation));
+  }
+}
+
+std::string ShardGuardReport::summary() const {
+  std::string out = format(
+      "shard-guard: %llu frame(s), %llu access(es) checked, %llu violation(s)\n",
+      static_cast<unsigned long long>(frames_entered),
+      static_cast<unsigned long long>(accesses_checked),
+      static_cast<unsigned long long>(violation_count));
+  for (const ShardViolation& violation : violations) {
+    out += "  " + violation.describe() + "\n";
+  }
+  if (violation_count > violations.size()) {
+    out += format("  ... and %llu more\n",
+                  static_cast<unsigned long long>(violation_count - violations.size()));
+  }
+  return out;
+}
+
+ShardGuardSession::ShardGuardSession()
+    : guard_(std::make_unique<ShardGuard>()), previous_(detail::tls_shard_guard) {
+  detail::tls_shard_guard = guard_.get();
+}
+
+ShardGuardSession::~ShardGuardSession() { detail::tls_shard_guard = previous_; }
+
+}  // namespace nvmooc::shard

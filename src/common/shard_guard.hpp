@@ -1,0 +1,210 @@
+// ShardGuard: the dynamic half of the shard-domain contract — a
+// zero-overhead-when-off sanitizer that checks, while a replay runs,
+// that work executing on behalf of one shard domain never touches state
+// another domain owns.
+//
+// The static half (simlint SL009-SL015, src/common/shard_domain.hpp)
+// proves the *code* declares and respects ownership; this runtime proves
+// each *run* does. Together they are the gate ROADMAP item 2's
+// conservative parallel DES must pass before the event loop shards: the
+// first parallel run should be checked, not hoped-for.
+//
+// Model. Shard ownership follows the hardware containment tree
+// (die < package < channel < node/global). A ShardRef names a point in
+// that tree as a (channel, package, die) index path with kAny meaning
+// "unconstrained from here down"; the empty path is node/global scope.
+// Two refs are compatible when one path is a prefix of the other — they
+// sit on the same containment chain, so the same future shard owns both.
+// A channel-2 event touching channel-2's packages and dies is fine; the
+// same event touching channel 3's bus is exactly the race the parallel
+// mode cannot replay, and the guard reports it.
+//
+// Mechanics mirror src/check and src/obs:
+//  1. Zero overhead when off (the default): every hook reduces to one
+//     thread-local pointer load and a branch, and the guard never
+//     mutates simulation state, so guarded replays are bit-identical to
+//     unguarded ones (CI enforces this on the headline sweep).
+//  2. Per-thread install (ShardGuardSession), so concurrent replays —
+//     and the future per-shard workers — track domains independently.
+//
+// Active-domain tracking is a stack of frames: EventQueue::pop_and_run
+// pushes the dispatched event's declared ShardRef for the duration of
+// its callback, and Controller::schedule pushes the target channel
+// around each media transaction. The innermost frame is the active
+// domain; annotated objects' accessors call check() against it.
+//
+// Typical hook site:
+//   if (shard::ShardGuard* g = shard::guard()) {
+//     g->check(shard_ref_, "Die::activate");
+//   }
+//
+// A violation records both domains, the touched symbol, and the frame
+// (event) it happened under; drivers print the report and exit nonzero
+// (trace_replay --shard-guard exits 4). Building with
+// -DNVMOOC_SHARD_GUARD_FATAL=1 (the `guard` CMake preset) aborts at the
+// first violation instead, for debugger-friendly stacks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/shard_domain.hpp"
+
+namespace nvmooc::shard {
+
+/// A point in the hardware containment tree, as a channel/package/die
+/// index path. kAny at a level means the ref does not constrain that
+/// level (and, since the path is hierarchical, none below it either).
+struct ShardRef {
+  static constexpr std::int32_t kAny = -1;
+  std::int32_t channel = kAny;
+  std::int32_t package = kAny;
+  std::int32_t die = kAny;
+
+  /// Node/global scope: constrains nothing, compatible with everything.
+  static constexpr ShardRef node() { return ShardRef{}; }
+  static constexpr ShardRef of_channel(std::uint32_t c) {
+    return ShardRef{static_cast<std::int32_t>(c), kAny, kAny};
+  }
+  static constexpr ShardRef of_package(std::uint32_t c, std::uint32_t p) {
+    return ShardRef{static_cast<std::int32_t>(c), static_cast<std::int32_t>(p), kAny};
+  }
+  static constexpr ShardRef of_die(std::uint32_t c, std::uint32_t p, std::uint32_t d) {
+    return ShardRef{static_cast<std::int32_t>(c), static_cast<std::int32_t>(p),
+                    static_cast<std::int32_t>(d)};
+  }
+
+  [[nodiscard]] constexpr bool unconstrained() const { return channel == kAny; }
+
+  /// The shard-domain vocabulary name of the deepest constrained level.
+  [[nodiscard]] const char* domain_name() const;
+
+  /// Human label for diagnostics: "node", "channel[2]", "die[2.1.3]".
+  [[nodiscard]] std::string label() const;
+
+  /// True when one path is a prefix of the other: both refs lie on one
+  /// containment chain, so a single shard owns them both. This is the
+  /// dynamic mirror of the "ancestor domains are sanctioned" rule the
+  /// static side (SL013) applies.
+  [[nodiscard]] constexpr bool same_lineage(const ShardRef& other) const {
+    if (channel == kAny || other.channel == kAny) return true;
+    if (channel != other.channel) return false;
+    if (package == kAny || other.package == kAny) return true;
+    if (package != other.package) return false;
+    if (die == kAny || other.die == kAny) return true;
+    return die == other.die;
+  }
+
+  constexpr bool operator==(const ShardRef& other) const {
+    return channel == other.channel && package == other.package && die == other.die;
+  }
+};
+
+/// One cross-domain touch: the active frame's domain, the owner of the
+/// state that was touched, the symbol (hook-site label), and the frame
+/// under which it happened (event kind or transaction scope).
+struct ShardViolation {
+  std::string active;
+  std::string owner;
+  std::string symbol;
+  std::string frame;
+
+  /// The one-line diagnostic the drivers print.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// What the guard saw over one session. The counters prove the checks
+/// ran; the violation list is capped but the count is exact.
+struct ShardGuardReport {
+  bool enabled = false;
+  std::uint64_t frames_entered = 0;    ///< Events dispatched + txn scopes.
+  std::uint64_t accesses_checked = 0;  ///< Accessor hooks evaluated.
+  std::uint64_t violation_count = 0;   ///< Exact total.
+  static constexpr std::size_t kMaxRecordedViolations = 64;
+  std::vector<ShardViolation> violations;  ///< First kMaxRecordedViolations.
+
+  [[nodiscard]] bool passed() const { return violation_count == 0; }
+  /// Multi-line human summary (the trace_replay --shard-guard footer).
+  [[nodiscard]] std::string summary() const;
+};
+
+class ShardGuard {
+ public:
+  ShardGuard() { report_.enabled = true; }
+
+  /// Pushes an active-domain frame; `what` must outlive the frame (hook
+  /// sites pass string literals / interned kind names).
+  void enter(const ShardRef& ref, const char* what);
+  void exit();
+
+  /// Asserts the innermost active frame may touch `owner`-owned state.
+  /// With no frame active (setup, teardown, un-tagged host code) every
+  /// access is allowed — the guard checks dispatch, not construction.
+  void check(const ShardRef& owner, const char* symbol);
+
+  [[nodiscard]] const ShardGuardReport& report() const { return report_; }
+
+ private:
+  struct Frame {
+    ShardRef ref;
+    const char* what;
+  };
+  std::vector<Frame> frames_;
+  ShardGuardReport report_;
+};
+
+namespace detail {
+SIM_SHARD_SHARED("thread-local install slot; ShardGuardSession swaps it on its own thread and hook sites only dereference their own thread's pointer; via guard and ShardGuardSession and ShardScope only")
+inline thread_local ShardGuard* tls_shard_guard = nullptr;
+}  // namespace detail
+
+/// The calling thread's active guard; null when guarding is off. The
+/// null test *is* the enable check at every hook site.
+inline ShardGuard* guard() { return detail::tls_shard_guard; }
+
+/// Owns a ShardGuard and installs it on the constructing thread for its
+/// lifetime (restoring any previous one). Build one per replay: the CLI
+/// surface (--shard-guard) wraps the run in a session and reads the
+/// report back afterwards.
+class ShardGuardSession {
+ public:
+  ShardGuardSession();
+  ~ShardGuardSession();
+
+  ShardGuardSession(const ShardGuardSession&) = delete;
+  ShardGuardSession& operator=(const ShardGuardSession&) = delete;
+
+  [[nodiscard]] const ShardGuardReport& report() const { return guard_->report(); }
+
+ private:
+  std::unique_ptr<ShardGuard> guard_;
+  ShardGuard* previous_;
+};
+
+/// RAII active-domain frame. The dispatch and transaction hook sites use
+/// this so an exception unwinding through a handler still pops the frame.
+class ShardScope {
+ public:
+  ShardScope(const ShardRef& ref, const char* what) : guard_(guard()) {
+    if (guard_ != nullptr) guard_->enter(ref, what);
+  }
+  ~ShardScope() {
+    if (guard_ != nullptr) guard_->exit();
+  }
+
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  ShardGuard* guard_;
+};
+
+/// The standard accessor hook: one thread-local load and a branch when
+/// guarding is off.
+inline void check_access(const ShardRef& owner, const char* symbol) {
+  if (ShardGuard* g = guard()) g->check(owner, symbol);
+}
+
+}  // namespace nvmooc::shard

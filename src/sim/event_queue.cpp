@@ -30,8 +30,9 @@ int depth_bucket(std::size_t depth) {
 
 }  // namespace
 
-void EventQueue::schedule(Time when, Callback callback, EventKind kind) {
-  heap_.push(Event{when, next_sequence_++, std::move(callback)});
+void EventQueue::schedule(Time when, Callback callback, EventKind kind,
+                          shard::ShardRef domain) {
+  heap_.push(Event{when, next_sequence_++, std::move(callback), kind, domain});
   ++stats_.scheduled;
   ++stats_.scheduled_by_kind[static_cast<int>(kind)];
   const std::size_t depth = heap_.size();
@@ -47,7 +48,13 @@ Time EventQueue::pop_and_run() {
   heap_.pop();
   ++stats_.executed;
   const Time when = event.when;
-  event.callback();
+  {
+    // Dispatch hook for the dynamic shard sanitizer: the event's declared
+    // domain is active while its handler runs. One thread-local load and
+    // a branch when no guard is installed.
+    shard::ShardScope frame(event.domain, event_kind_name(event.kind));
+    event.callback();
+  }
   return when;
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/alloc_counter.hpp"
 #include "common/shard_domain.hpp"
+#include "common/shard_guard.hpp"
 #include "common/units.hpp"
 
 namespace nvmooc {
@@ -65,9 +66,13 @@ class SIM_SHARD_DOMAIN("global") EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `callback` at absolute time `when`.
+  /// Schedules `callback` at absolute time `when`. `domain` declares the
+  /// shard on whose behalf the handler runs — the dynamic shard-guard
+  /// (common/shard_guard.hpp) makes it the active domain for the
+  /// callback's duration; the default (node scope) constrains nothing.
   void schedule(Time when, Callback callback,
-                EventKind kind = EventKind::kGeneric);
+                EventKind kind = EventKind::kGeneric,
+                shard::ShardRef domain = {});
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -87,6 +92,8 @@ class SIM_SHARD_DOMAIN("global") EventQueue {
     Time when;
     std::uint64_t sequence;
     Callback callback;
+    EventKind kind;
+    shard::ShardRef domain;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -34,18 +34,20 @@ obs::HostQueueStats host_view(const EventQueueStats& stats) {
 
 }  // namespace
 
-void Simulator::at(Time when, EventQueue::Callback callback, EventKind kind) {
+void Simulator::at(Time when, EventQueue::Callback callback, EventKind kind,
+                   shard::ShardRef domain) {
   if (when < now_) {
     throw std::logic_error("Simulator::at: scheduling into the past");
   }
-  queue_.schedule(when, std::move(callback), kind);
+  queue_.schedule(when, std::move(callback), kind, domain);
 }
 
-void Simulator::after(Time delay, EventQueue::Callback callback, EventKind kind) {
+void Simulator::after(Time delay, EventQueue::Callback callback, EventKind kind,
+                      shard::ShardRef domain) {
   if (delay < Time{}) {
     throw std::logic_error("Simulator::after: negative delay");
   }
-  queue_.schedule(now_ + delay, std::move(callback), kind);
+  queue_.schedule(now_ + delay, std::move(callback), kind, domain);
 }
 
 void Simulator::publish_host_stats(std::uint64_t executed_before) {

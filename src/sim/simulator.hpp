@@ -19,13 +19,17 @@ class SIM_SHARD_DOMAIN("global") Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules at absolute simulation time (must be >= now()). `kind`
-  /// feeds the queue's per-kind statistics only.
+  /// feeds the queue's per-kind statistics only; `domain` declares the
+  /// shard the handler runs on behalf of (checked by the dynamic
+  /// shard-guard when one is installed, free otherwise).
   void at(Time when, EventQueue::Callback callback,
-          EventKind kind = EventKind::kGeneric);
+          EventKind kind = EventKind::kGeneric,
+          shard::ShardRef domain = {});
 
   /// Schedules `delay` after now().
   void after(Time delay, EventQueue::Callback callback,
-             EventKind kind = EventKind::kGeneric);
+             EventKind kind = EventKind::kGeneric,
+             shard::ShardRef domain = {});
 
   /// Runs until the queue empties. Returns the final clock value.
   [[nodiscard]] Time run();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/shard_domain.hpp"
+#include "common/shard_guard.hpp"
 #include "nvm/bus.hpp"
 #include "nvm/package.hpp"
 #include "reliability/ecc.hpp"
@@ -31,8 +32,16 @@ class SIM_SHARD_DOMAIN("node") SsdHardware {
   SsdHardware(const SsdGeometry& geometry, const NvmTiming& timing,
               const BusConfig& bus, bool backfill);
 
-  Timeline& channel_bus(std::uint32_t channel) { return channels_[channel]->bus; }
+  Timeline& channel_bus(std::uint32_t channel) {
+    // The bus timeline is the channel shard's own state; mutable access
+    // must come from a frame on that channel's containment chain.
+    shard::check_access(shard::ShardRef::of_channel(channel),
+                        "SsdHardware::channel_bus");
+    return channels_[channel]->bus;
+  }
   Package& package(std::uint32_t channel, std::uint32_t package) {
+    shard::check_access(shard::ShardRef::of_package(channel, package),
+                        "SsdHardware::package");
     return channels_[channel]->packages[package];
   }
   const Package& package(std::uint32_t channel, std::uint32_t package) const {

@@ -1,0 +1,39 @@
+// Reject fixture: SL013 shard-escape — the write hides three calls deep,
+// and two different entry points converge on the same sink. Each method
+// gets exactly one finding per escaped global (path dedup), and the walk
+// must survive multi-hop chains without re-reporting.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+SIM_SHARD_DOMAIN("package")
+long g_package_wear = 0;
+
+void sink_wear_update() { g_package_wear += 8; }
+
+void relay_two() { sink_wear_update(); }
+
+void relay_one() {
+  relay_two();
+  sink_wear_update();  // second path to the same sink: still one finding
+}
+
+class SIM_SHARD_DOMAIN("channel") WearLeveler {
+ public:
+  void rotate();
+  void audit();
+
+ private:
+  int cursor_ = 0;
+};
+
+void WearLeveler::rotate() {  // simlint-expect: SL013
+  cursor_ += 1;
+  relay_one();
+}
+
+void WearLeveler::audit() {  // simlint-expect: SL013
+  relay_two();
+}
+
+}  // namespace fixture

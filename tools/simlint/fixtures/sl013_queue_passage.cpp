@@ -1,0 +1,46 @@
+// Reject fixture: SL013 shard-escape — the event queue is the sanctioned
+// crossing. The same helper is reached twice: once behind Simulator::at
+// on a passage line (clean) and once called directly (escape). Only the
+// direct path may be reported.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class SIM_SHARD_DOMAIN("global") Simulator {
+ public:
+  void at();
+  void after();
+};
+
+SIM_SHARD_DOMAIN("die")
+int g_plane_busy_until = 0;
+
+void extend_plane_busy() { g_plane_busy_until += 40; }
+
+void deferred_extend(Simulator& sim) {
+  // The hop happens on a passage line: calls named here are not walked.
+  sim.after(), extend_plane_busy();
+}
+
+class SIM_SHARD_DOMAIN("channel") BusScheduler {
+ public:
+  void defer(Simulator& sim);
+  void hurry();
+
+ private:
+  int queue_depth_ = 0;
+};
+
+// Routed through the queue: the walk reaches deferred_extend, but the
+// hop to the sink sits on a passage line there, so nothing past the
+// queue is attributed to this method.
+void BusScheduler::defer(Simulator& sim) {
+  queue_depth_ += 1;
+  deferred_extend(sim);
+}
+
+void BusScheduler::hurry() {  // simlint-expect: SL013
+  extend_plane_busy();
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Reject fixture: SL013 shard-escape — a channel-domain method that never
+// names the foreign global itself, but reaches a write to it through a
+// helper one call deep. SL010 cannot see this; the call-graph walk must.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class SIM_SHARD_DOMAIN("global") Simulator {
+ public:
+  void at();
+};
+
+SIM_SHARD_DOMAIN("die")
+int g_die_epoch = 0;
+
+SIM_SHARD_DOMAIN("global")
+int g_fleet_generation = 0;
+
+// The laundering helper: a free function, so no rule fires here — the
+// write is only wrong in the context of who calls it.
+void bump_die_epoch() { g_die_epoch += 1; }
+
+void bump_fleet() { g_fleet_generation += 1; }
+
+class SIM_SHARD_DOMAIN("channel") ChannelArbiter {
+ public:
+  void on_grant();
+  void on_refresh();
+
+ private:
+  Simulator& sim_;
+  int credits_ = 4;
+};
+
+void ChannelArbiter::on_grant() {  // simlint-expect: SL013
+  credits_ -= 1;
+  bump_die_epoch();
+}
+
+// Writing an *ancestor* (coarser) domain's global downstream is the
+// natural containment direction and stays sanctioned.
+void ChannelArbiter::on_refresh() {
+  credits_ = 4;
+  bump_fleet();
+}
+
+}  // namespace fixture

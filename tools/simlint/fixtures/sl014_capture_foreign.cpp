@@ -1,0 +1,31 @@
+// Reject fixture: SL014 handler-purity — a lambda handed to the event
+// queue runs on the *target* shard; naming another shard's global inside
+// it smuggles that state across the crossing the queue exists to police.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class SIM_SHARD_DOMAIN("global") Simulator {
+ public:
+  void at();
+  void after();
+};
+
+SIM_SHARD_DOMAIN("die")
+int g_cell_activations = 0;
+
+SIM_SHARD_DOMAIN("channel")
+int g_bus_grants = 0;
+
+void schedule_all(Simulator& sim) {
+  sim.at([&] { g_cell_activations += 1; });  // simlint-expect: SL014
+  sim.after([] {  // simlint-expect: SL014
+    g_bus_grants = 0;
+  });
+  // Passing the datum by value keeps the handler pure: the lambda body
+  // names only its own parameter.
+  int grants = g_bus_grants;
+  sim.at([grants](int scale) { return grants * scale; });
+}
+
+}  // namespace fixture

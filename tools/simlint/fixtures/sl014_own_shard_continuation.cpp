@@ -1,0 +1,29 @@
+// Reject fixture: SL014 handler-purity — a continuation scheduled from
+// inside a domain's own class body may keep touching that domain's state
+// (it re-enters on the same shard); touching a *different* shard's
+// global from the same spot is still flagged.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class SIM_SHARD_DOMAIN("global") Simulator {
+ public:
+  void at();
+};
+
+SIM_SHARD_DOMAIN("channel")
+int g_active_transfers = 0;
+
+SIM_SHARD_DOMAIN("die")
+int g_program_pulses = 0;
+
+class SIM_SHARD_DOMAIN("channel") TransferEngine {
+ public:
+  void kick(Simulator& sim) {
+    // Own-shard continuation: same domain as the enclosing class.
+    sim.at([] { g_active_transfers -= 1; });
+    sim.at([] { g_program_pulses += 1; });  // simlint-expect: SL014
+  }
+};
+
+}  // namespace fixture

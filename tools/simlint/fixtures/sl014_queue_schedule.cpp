@@ -1,0 +1,28 @@
+// Reject fixture: SL014 handler-purity — the raw EventQueue::schedule
+// spelling (pointer call, mutable lambda, trailing return type) gets the
+// same scrutiny as the Simulator sugar.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class SIM_SHARD_DOMAIN("global") EventQueue {
+ public:
+  void schedule();
+};
+
+SIM_SHARD_DOMAIN("package")
+unsigned g_flash_bus_cycles = 0;
+
+SIM_SHARD_DOMAIN("channel")
+unsigned g_dma_inflight = 0;
+
+void pump(EventQueue* queue) {
+  queue->schedule();  // no handler: nothing to inspect
+  queue->schedule([&]() mutable -> void {  // simlint-expect: SL014
+    g_flash_bus_cycles += 2;
+  });
+  unsigned inflight = g_dma_inflight;
+  queue->schedule([inflight]() -> unsigned { return inflight + 1; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Reject fixture: SL015 shared-state-sync — a via clause can name a
+// class, which covers every member (constructors and destructors
+// included) of that class and nothing else.
+// Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+class Gauge;
+
+SIM_SHARD_SHARED("install slot for the active gauge; via GaugeSession only")
+inline thread_local Gauge* tls_gauge = nullptr;
+
+class GaugeSession {
+ public:
+  GaugeSession() : previous_(tls_gauge) { tls_gauge = this->make(); }
+  ~GaugeSession() { tls_gauge = previous_; }
+
+ private:
+  Gauge* make();
+  Gauge* previous_ = nullptr;
+};
+
+class Meter {
+ public:
+  void sample() {
+    last_ = tls_gauge;  // simlint-expect: SL015
+  }
+
+ private:
+  Gauge* last_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Reject fixture: SL015 shared-state-sync — a SIM_SHARD_SHARED note with
+// no `via ... only` clause confines the variable to its declaring file;
+// reaching it from an includer means the note under-documents how the
+// access is synchronised. Not compiled; exercised by `simlint
+// --self-test` only.
+
+#include "sl015_shared_decl.hpp"
+
+namespace fixture {
+
+long poll_epoch() {
+  return g_replay_epoch;  // simlint-expect: SL015
+}
+
+// Going through the declaring file's accessor keeps the contract local
+// to where the synchronisation story is written down.
+long poll_epoch_properly() { return replay_epoch_snapshot(); }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Support header for the SL015 no-clause fixture: a SIM_SHARD_SHARED
+// variable whose note names no `via ... only` set, which confines it to
+// this file. This header itself is clean — the violation lives in the
+// including fixture. Not compiled; exercised by `simlint --self-test`.
+
+namespace fixture {
+
+SIM_SHARD_SHARED("epoch snapshot; refreshed between replays while workers are parked")
+inline long g_replay_epoch = 0;
+
+// Declaring-file references are decl-adjacent and allowed.
+inline long replay_epoch_snapshot() { return g_replay_epoch; }
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Reject fixture: SL015 shared-state-sync — the SIM_SHARD_SHARED note
+// names its sanctioned accessors (`via ... only`); any reference from a
+// function outside that set bypasses whatever discipline the accessors
+// encode. Not compiled; exercised by `simlint --self-test` only.
+
+namespace fixture {
+
+SIM_SHARD_SHARED("thread-local probe depth; via install_probe and probe_depth only")
+inline thread_local int tls_probe_depth = 0;
+
+int probe_depth() { return tls_probe_depth; }
+
+void install_probe() { tls_probe_depth += 1; }
+
+void rogue_reset() {
+  tls_probe_depth = 0;  // simlint-expect: SL015
+}
+
+// Function-local statics are confined by the language itself; the rule
+// never polices them, whatever the note says.
+int bump_local() {
+  SIM_SHARD_SHARED("local counter; monotonic, test-only")
+  static int calls = 0;
+  calls += 1;
+  return calls;
+}
+
+}  // namespace fixture

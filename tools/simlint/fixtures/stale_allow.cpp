@@ -1,0 +1,23 @@
+// Fixture: allowlist hygiene — an inline suppression that no longer
+// suppresses anything is itself a finding (stale allow). The first
+// allow below earns its keep; the second excuses a line that stopped
+// violating long ago. Not compiled; exercised by `simlint --self-test`.
+
+#include <chrono>
+
+namespace fixture {
+
+// A live suppression: the wall-clock read below is sanctioned here.
+long sanctioned_clock() {
+  // simlint: allow(SL001) -- fixture demonstrates a live suppression
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// The code this excused was fixed; the leftover allow would silently
+// swallow the next regression on this line.
+long fixed_site() {
+  long ticks = 1200;  // simlint: allow(SL001) -- stale  // simlint-expect-stale
+  return ticks;
+}
+
+}  // namespace fixture

@@ -103,6 +103,35 @@ Rules
                             package, channel, node, global, owner) or a
                             non-literal argument, and SIM_SHARD_SHARED
                             without a meaningful synchronisation note.
+  SL013 shard-escape        (v4, call-graph) A method of a die/package/
+                            channel-domain class *transitively* reaches a
+                            write to state owned by a different
+                            non-ancestor domain: the checker builds a
+                            cross-TU call graph (over-approximated by
+                            name) and walks it from every ranked-domain
+                            method; calls placed on a line with a
+                            Simulator::at/after or EventQueue::schedule
+                            call are the sanctioned crossing points and
+                            are not traversed.  Direct touches are
+                            SL010's job; SL013 exists for the buried
+                            helper two calls down.
+  SL014 handler-purity      (v4) A lambda passed to Simulator::at/after
+                            or EventQueue::schedule that names (captures
+                            or reaches for) a shard-owned annotated
+                            global of a *foreign* ranked domain.  The
+                            handler runs on the target shard's thread in
+                            parallel mode, so foreign-domain state in its
+                            body is exactly the race the queue exists to
+                            prevent.
+  SL015 shared-state-sync   (v4) Every SIM_SHARD_SHARED variable must be
+                            reached only through its declared access set:
+                            a note carrying `via A and B only` confines
+                            references to the bodies of the named
+                            functions / the methods of the named classes;
+                            a note without a via clause confines the
+                            symbol to its declaring file; function-local
+                            statics are implicitly confined by the
+                            language and never need a clause.
 
 Engines
 -------
@@ -122,12 +151,29 @@ Shard report
   --shard-report FILE  Writes the machine-readable state inventory
                        (domain -> files -> symbols, shared entries with
                        their synchronisation notes, unannotated strays)
-                       aggregated over the scanned roots.  The checked-in
+                       aggregated over the scanned roots.  Since v4 the
+                       schema is nvmooc-shard-report-v2: a `state_access`
+                       section classifies every inventory symbol as
+                       read-mostly or mutated-in-handler (written by a
+                       function the call graph can reach from a
+                       domain-annotated class method).  The checked-in
                        SHARD_REPORT.json is generated over src/ and is
                        the contract the parallel scheduler consumes.
   --shard-check FILE   Regenerates the inventory and fails (exit 1) on
                        any drift against FILE — new shared state is an
-                       explicit reviewed decision, not an accident.
+                       explicit reviewed decision, not an accident.  A
+                       pinned v1 report is still accepted for one
+                       release: the v2-only fields are stripped before
+                       comparing.
+
+Allowlist hygiene
+-----------------
+  Suppressions must stay tethered to real findings.  When a tree scan
+  finds an inline `simlint: allow(...)` that suppressed nothing, or a
+  simlint.conf entry that matched no finding, the scan fails (the stale
+  entry is dead armor — it will silently swallow the next real finding
+  at that site).  --allowlist-audit downgrades staleness to a warning
+  for incremental cleanup.
 
 Parallelism & output
 --------------------
@@ -176,6 +222,9 @@ RULE_NAMES = {
     "SL010": "cross-domain-access",
     "SL011": "non-reentrant-std",
     "SL012": "shard-annotation",
+    "SL013": "shard-escape",
+    "SL014": "handler-purity",
+    "SL015": "shared-state-sync",
 }
 NAME_TO_ID = {v: k for k, v in RULE_NAMES.items()}
 
@@ -446,6 +495,12 @@ DOMAIN_RANK = {"die": 0, "package": 1, "channel": 2, "node": 3, "global": 4}
 # handler reaches the event queue, never a violation by itself.
 QUEUE_PASSAGE_TYPES = {"Simulator", "EventQueue"}
 EVENT_QUEUE_CALL_RE = re.compile(r"(?:\.|->)\s*(?:at|after|schedule)\s*\(")
+# A lambda expression head inside a schedule-call argument region:
+# capture list, optional parameter list / specifiers / trailing return,
+# then the body brace (SL014 scans from the head to the matching '}').
+LAMBDA_RE = re.compile(
+    r"\[(?P<caps>[^\[\]]*)\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
+    r"(?:noexcept\s*)?(?:->\s*[\w:<>&*\s]+?\s*)?\{")
 
 # The value group only matches a string literal; a macro invoked with an
 # identifier (SIM_SHARD_DOMAIN(kDomain)) matches with value=None, which
@@ -575,6 +630,195 @@ def harvest_shard(path: str):
     return result
 
 
+# --------------------------------------------------------------------------
+# Call-graph harvesting (v4).  A deliberately line-based function model:
+# definitions are found by matching `Name(` / `Class::Name(` with a brace
+# body, in-class methods are attributed through class body regions, and
+# call sites link to *every* function of the called name in the TU's
+# include closure — a sound over-approximation for SL013's escape walk
+# (virtual dispatch and function pointers stay out of scope; see
+# docs/STATIC_ANALYSIS.md for the limitation list).  All of it runs on
+# the comment/string-stripped view so braces in literals cannot skew the
+# region math.
+
+# Identifiers that look like calls but are control flow / operators.
+_NOT_A_FUNCTION = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "new", "delete", "operator",
+    "throw", "case", "do", "else", "template", "typename", "typeid",
+    "assert", "defined", "alignas", "co_await", "co_return", "co_yield",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "constexpr", "requires", "concept",
+    "SIM_SHARD_DOMAIN", "SIM_SHARD_SHARED",
+))
+
+FUNC_DEF_RE = re.compile(
+    r"(?:(?P<cls>[A-Za-z_]\w*)\s*::\s*)?(?P<name>~?[A-Za-z_]\w*)\s*\(")
+CLASS_ANY_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:SIM_SHARD_\w+\s*\([^)]*\)\s+)?(?P<name>[A-Za-z_]\w*)")
+CALL_NAME_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+_FUNC_CACHE = {}
+
+
+def _match_paren(joined: str, open_idx: int):
+    """Index just past the ')' matching the '(' at open_idx (len() if
+    unbalanced)."""
+    depth = 0
+    for i in range(open_idx, len(joined)):
+        c = joined[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(joined)
+
+
+def _class_regions(joined: str):
+    """[(start_line, end_line, class_name)] for every class/struct with a
+    body defined in `joined` (stripped view)."""
+    regions = []
+    for m in CLASS_ANY_RE.finditer(joined):
+        body = _find_body_open(joined, m.end())
+        if body < 0:
+            continue
+        end = _brace_regions(joined, body)
+        regions.append((joined.count("\n", 0, body) + 1,
+                        joined.count("\n", 0, end) + 1, m.group("name")))
+    return regions
+
+
+def harvest_functions(path: str):
+    """Function definitions of one file (stripped view): a list of
+    {name, cls, line, body_start, body_end, calls} where calls is
+    [(callee_name, lineno, on_passage_line)].  `cls` comes from the
+    `Class::` prefix or, for in-class bodies, the innermost enclosing
+    class region."""
+    cached = _FUNC_CACHE.get(path)
+    if cached is not None:
+        return cached
+    lines, _, _ = _preprocessed(path)
+    joined = "\n".join(lines)
+    regions = _class_regions(joined)
+    funcs = []
+    for m in FUNC_DEF_RE.finditer(joined):
+        name = m.group("name")
+        if name.lstrip("~") in _NOT_A_FUNCTION or name.lstrip("~") in ("", "_"):
+            continue
+        prev = joined[m.start() - 1] if m.start() > 0 else ""
+        if prev in ".>":  # member call `obj.name(` / `obj->name(`
+            continue
+        if prev == ":" and not m.group("cls"):  # qualified call `ns::name(`
+            continue
+        # Ctor member-initializers (`Foo() : a_(x), b_(y) {`) would be
+        # harvested as functions and shadow the real ctor in the
+        # innermost-enclosing-function map.  They follow a ',' or a ':'
+        # that itself follows the ctor's ')' — an access specifier's ':'
+        # (`public:`) follows an identifier instead, so inline methods
+        # survive this filter.
+        j = m.start() - 1
+        while j >= 0 and joined[j] in " \t\n":
+            j -= 1
+        if j >= 0 and joined[j] == ",":
+            continue
+        if j >= 0 and joined[j] == ":" and (j == 0 or joined[j - 1] != ":"):
+            k = j - 1
+            while k >= 0 and joined[k] in " \t\n":
+                k -= 1
+            if k >= 0 and joined[k] == ")":
+                continue
+        args_open = joined.find("(", m.end() - 1)
+        args_end = _match_paren(joined, args_open)
+        # Between the arg list and the body only cv/ref qualifiers, ctor
+        # init lists, and exception/override specifiers may appear.  A
+        # ';' means declaration; an '=' means default argument splice,
+        # `= default/delete/0`, or an initializer — none are bodies.
+        body = -1
+        for i in range(args_end, len(joined)):
+            c = joined[i]
+            if c == "{":
+                body = i
+                break
+            if c in ";=":
+                break
+        if body < 0:
+            continue
+        end = _brace_regions(joined, body)
+        def_line = joined.count("\n", 0, m.start()) + 1
+        body_start = joined.count("\n", 0, body) + 1
+        body_end = joined.count("\n", 0, end) + 1
+        cls = m.group("cls")
+        if cls is None:
+            for start, rend, rname in regions:
+                if start <= def_line <= rend:
+                    cls = rname  # innermost region wins (later = inner)
+        funcs.append({"name": name, "cls": cls, "line": def_line,
+                      "body_start": body_start, "body_end": body_end})
+    # Call extraction per definition (body lines only, passage lines
+    # marked so SL013 can treat event-queue hops as sanctioned).  A
+    # definition whose header shares its body's first line would count
+    # its own name as a call (`void kick(...) {`), turning every method
+    # into a self-loop that re-attributes its direct writes — skip the
+    # match that sits on a definition line of the same name.
+    def_at = {(f["name"].lstrip("~"), f["line"]) for f in funcs}
+    for f in funcs:
+        calls = []
+        for lineno in range(f["body_start"], min(f["body_end"], len(lines)) + 1):
+            line = lines[lineno - 1]
+            passage = bool(EVENT_QUEUE_CALL_RE.search(line))
+            for cm in CALL_NAME_RE.finditer(line):
+                callee = cm.group(1)
+                if callee in _NOT_A_FUNCTION:
+                    continue
+                if (callee, lineno) in def_at:
+                    continue
+                calls.append((callee, lineno, passage))
+        f["calls"] = calls
+    _FUNC_CACHE[path] = funcs
+    return funcs
+
+
+def closure_function_index(graph: IncludeGraph, path: str):
+    """name -> [(path, func_record)] over the TU's include closure."""
+    index = {}
+    for dep in sorted(graph.closure(path)):
+        for f in harvest_functions(dep):
+            index.setdefault(f["name"].lstrip("~"), []).append((dep, f))
+    return index
+
+
+_WRITE_RE_CACHE = {}
+
+
+def _write_re(name: str):
+    """A line-level mutation pattern for symbol `name`: assignment
+    (plain or compound), increment/decrement, or a member-function call
+    on it (conservatively treated as mutating)."""
+    cached = _WRITE_RE_CACHE.get(name)
+    if cached is None:
+        n = re.escape(name)
+        cached = re.compile(
+            r"(?:\+\+|--)\s*" + n + r"\b|"
+            r"\b" + n + r"\s*(?:\+\+|--|(?:[-+*/%&|^]|<<|>>)?=(?!=)|"
+            r"\.\s*\w+\s*\(|->\s*\w+\s*\()")
+        _WRITE_RE_CACHE[name] = cached
+    return cached
+
+
+def _function_writes(path: str, func, targets):
+    """Names from `targets` that `func`'s body mutates, with the line."""
+    lines, _, _ = _preprocessed(path)
+    hits = []
+    for lineno in range(func["body_start"], min(func["body_end"], len(lines)) + 1):
+        line = lines[lineno - 1]
+        for name in targets:
+            if _write_re(name).search(line):
+                hits.append((name, lineno))
+    return hits
+
+
 def closure_shard_maps(graph: IncludeGraph, path: str):
     """Class-name -> domain and global-name -> domain maps over the TU's
     include closure (shared classes/entries tracked separately)."""
@@ -594,6 +838,46 @@ def closure_shard_maps(graph: IncludeGraph, path: str):
             elif e["annot"] and e["annot"][0] == "SHARED":
                 shared_entries.add(e["name"])
     return class_domains, shared_types, entry_domains, shared_entries
+
+
+# SL015: the `via` grammar inside a SIM_SHARD_SHARED note.  Names are
+# functions or classes (a class name covers all its methods), separated
+# by "and", commas, or slashes, and the clause always ends in "only" so
+# prose mentioning "via the event queue" never parses as a clause.
+VIA_RE = re.compile(
+    r"\bvia\s+([A-Za-z_][\w:]*(?:\s*(?:,|/|\band\b)\s*[A-Za-z_][\w:]*)*)\s+only\b")
+
+
+def _parse_via(note: str):
+    m = VIA_RE.search(note or "")
+    if not m:
+        return None
+    return {n for n in re.split(r"\s*(?:,|/|\band\b)\s*", m.group(1)) if n}
+
+
+def closure_shared_details(graph: IncludeGraph, path: str):
+    """name -> [detail] for every SIM_SHARD_SHARED variable in the TU's
+    include closure, where detail carries the declaring file/line, the
+    parsed via-set (None when the note has no clause), and whether the
+    entry is a function-local static (implicitly confined by the
+    language, so SL015 never needs to police it)."""
+    details = {}
+    for dep in sorted(graph.closure(path)):
+        funcs = None
+        for e in harvest_shard(dep)["entries"]:
+            if not (e["annot"] and e["annot"][0] == "SHARED"):
+                continue
+            if funcs is None:
+                funcs = harvest_functions(dep)
+            local = e["kind"] == "static" and any(
+                f["body_start"] <= e["line"] <= f["body_end"] for f in funcs)
+            details.setdefault(e["name"], []).append({
+                "file": dep, "line": e["line"], "kind": e["kind"],
+                "note": e["annot"][1] or "",
+                "via": _parse_via(e["annot"][1] or ""),
+                "local": local,
+            })
+    return details
 
 
 def _brace_regions(joined: str, open_idx: int):
@@ -691,6 +975,11 @@ def run_shard_rules(path: str, keep_lines, graph: IncludeGraph):
         closure_shard_maps(graph, path)
     joined = "\n".join(keep_lines)
     contexts = shard_contexts(joined, class_domains)
+    # Innermost-context map per line (shared by SL010 and SL014).
+    line_ctx = {}
+    for start, end, domain, kind in contexts:
+        for ln in range(start, end + 1):
+            line_ctx[ln] = (domain, kind)
     if contexts:
         ranked_types = {name: dom for name, dom in class_domains.items()
                         if dom in DOMAIN_RANK and name not in QUEUE_PASSAGE_TYPES}
@@ -699,11 +988,6 @@ def run_shard_rules(path: str, keep_lines, graph: IncludeGraph):
         entry_word_res = {name: re.compile(r"\b" + re.escape(name) + r"\b")
                           for name in entry_domains}
         entry_decl_lines = {e["line"] for e in harvest["entries"]}
-        # Innermost-context map per line.
-        line_ctx = {}
-        for start, end, domain, kind in contexts:
-            for ln in range(start, end + 1):
-                line_ctx[ln] = (domain, kind)
         for lineno, line in enumerate(keep_lines, 1):
             ctx = line_ctx.get(lineno)
             if ctx is None:
@@ -741,6 +1025,156 @@ def run_shard_rules(path: str, keep_lines, graph: IncludeGraph):
                                          f"domain but is touched from {domain}-domain "
                                          "code; route the access through the event "
                                          "queue or annotate it SIM_SHARD_SHARED"))
+
+    stripped_lines, _, _ = _preprocessed(path)
+    stripped_joined = "\n".join(stripped_lines)
+
+    # SL013: call-graph shard escape.  Walk the over-approximated call
+    # graph from every method of a ranked-domain class; a write to a
+    # different non-ancestor domain's annotated global anywhere downstream
+    # (depth >= 1 — direct touches are SL010's job) is an escape, unless
+    # the hop happened on an event-queue passage line.  Coarser domains
+    # are this domain's ancestors on the containment chain and stay
+    # sanctioned, mirroring the dynamic guard's same-lineage rule.
+    ranked_globals = {g: d for g, d in entry_domains.items()
+                      if d in DOMAIN_RANK and g not in shared_entries}
+    local_funcs = harvest_functions(path)
+    if ranked_globals and local_funcs:
+        func_index = None  # built lazily: most TUs have no ranked methods
+        for f in local_funcs:
+            domain = class_domains.get(f["cls"]) if f["cls"] else None
+            if domain not in DOMAIN_RANK or \
+                    DOMAIN_RANK[domain] > DOMAIN_RANK["channel"]:
+                continue
+            targets = {g: d for g, d in ranked_globals.items()
+                       if d != domain and DOMAIN_RANK[d] <= DOMAIN_RANK[domain]}
+            if not targets:
+                continue
+            if func_index is None:
+                func_index = closure_function_index(graph, path)
+            queue = [(callee, 1) for callee, _, passage in f["calls"]
+                     if not passage]
+            visited = set()
+            reported = set()
+            while queue:
+                callee, depth = queue.pop(0)
+                for dpath, rec in func_index.get(callee.lstrip("~"), []):
+                    fid = (dpath, rec["line"])
+                    if fid in visited:
+                        continue
+                    visited.add(fid)
+                    for g, wline in _function_writes(dpath, rec, targets):
+                        if g in reported:
+                            continue
+                        reported.add(g)
+                        wrel = os.path.relpath(dpath, REPO_ROOT)
+                        findings.append((f["line"], "SL013",
+                                         f"`{f['cls']}::{f['name']}` "
+                                         f"({domain}-domain) transitively "
+                                         f"reaches a write to `{g}` "
+                                         f"({targets[g]}-domain) via "
+                                         f"`{rec['name']}` ({wrel}:{wline}); "
+                                         "cross-domain mutation must route "
+                                         "through the event queue "
+                                         "(Simulator::at/after)"))
+                    if depth < 8:
+                        queue.extend((c, depth + 1) for c, _, passage
+                                     in rec["calls"] if not passage)
+
+    # SL014: handler purity.  A lambda handed to at/after/schedule runs
+    # as an event on the target shard; its text naming a shard-owned
+    # global of a foreign ranked domain (captured or reached directly) is
+    # a cross-shard touch the queue was supposed to prevent.
+    if ranked_globals:
+        shard_owned = {g: d for g, d in ranked_globals.items()
+                       if DOMAIN_RANK[d] <= DOMAIN_RANK["channel"]}
+        word_res = {g: re.compile(r"\b" + re.escape(g) + r"\b")
+                    for g in shard_owned}
+        for m in EVENT_QUEUE_CALL_RE.finditer(stripped_joined):
+            args_open = stripped_joined.find("(", m.end() - 1)
+            args_end = _match_paren(stripped_joined, args_open)
+            region = stripped_joined[args_open:args_end]
+            call_line = stripped_joined.count("\n", 0, m.start()) + 1
+            ctx = line_ctx.get(call_line)
+            for lm in LAMBDA_RE.finditer(region):
+                body_open = lm.end() - 1
+                body_end = _brace_regions(region, body_open)
+                lam_text = region[lm.start():body_end]
+                lam_line = (call_line +
+                            region.count("\n", 0, lm.start()))
+                for g, d in shard_owned.items():
+                    if ctx is not None and ctx[0] == d:
+                        continue  # continuation on its own shard
+                    if word_res[g].search(lam_text):
+                        findings.append((lam_line, "SL014",
+                                         f"event handler captures or reaches "
+                                         f"`{g}` ({d}-domain); handlers must "
+                                         "carry only their own shard's state "
+                                         "— pass a value in, or schedule onto "
+                                         f"the {d} domain instead"))
+
+    # SL015: shared-state sync sets.  Function-local statics are confined
+    # by the language; everything else must be reached inside its
+    # declared via-set, or (clause-less notes) inside its declaring file.
+    shared_details = closure_shared_details(graph, path)
+    if shared_details:
+        # Innermost enclosing function per line (smallest region wins).
+        line_func = {}
+        for f in sorted(local_funcs,
+                        key=lambda f: f["body_end"] - f["line"], reverse=True):
+            for ln in range(f["line"], f["body_end"] + 1):
+                line_func[ln] = f
+        for name, details in sorted(shared_details.items()):
+            if all(d["local"] for d in details):
+                continue
+            word = re.compile(r"\b" + re.escape(name) + r"\b")
+            decl_here = {d["line"] for d in details if d["file"] == path}
+            for lineno, line in enumerate(stripped_lines, 1):
+                if lineno in decl_here or line.lstrip().startswith("#"):
+                    continue
+                if not word.search(line):
+                    continue
+                allowed = False
+                via_union = set()
+                for d in details:
+                    if d["local"]:
+                        continue
+                    if d["via"]:
+                        via_union |= d["via"]
+                        f = line_func.get(lineno)
+                        if f is not None and (
+                                f["name"].lstrip("~") in d["via"] or
+                                (f["cls"] and f["cls"] in d["via"])):
+                            allowed = True
+                            break
+                        if f is None and d["file"] == path:
+                            # Namespace-scope text in the declaring file
+                            # (redeclarations, accessor glue) is
+                            # decl-adjacent, not an access.
+                            allowed = True
+                            break
+                    elif d["file"] == path:
+                        allowed = True
+                        break
+                if allowed:
+                    continue
+                if via_union:
+                    allowed_set = "/".join(sorted(via_union))
+                    findings.append((lineno, "SL015",
+                                     f"`{name}` is SIM_SHARD_SHARED with "
+                                     f"access confined via {allowed_set} "
+                                     "only; this reference is outside that "
+                                     "set — route it through the declared "
+                                     "accessors or extend the via clause"))
+                else:
+                    decl_rel = os.path.relpath(details[0]["file"], REPO_ROOT)
+                    findings.append((lineno, "SL015",
+                                     f"`{name}` is SIM_SHARD_SHARED "
+                                     f"(declared in {decl_rel}) but its note "
+                                     "has no `via ... only` clause, so it is "
+                                     "confined to its declaring file; add a "
+                                     "via clause naming the sanctioned "
+                                     "accessor functions/classes"))
     return findings
 
 
@@ -944,13 +1378,20 @@ def load_conf(conf_path: str):
     return allow
 
 
-def conf_allows(allowlist, rule: str, rel_path: str) -> bool:
-    for allowed_rule, glob in allowlist:
+def conf_match(allowlist, rule: str, rel_path: str):
+    """Index of the first allowlist entry exempting (rule, path), or None.
+    The index is what the staleness audit tracks: an entry whose index is
+    never returned over a full tree scan suppressed nothing."""
+    for i, (allowed_rule, glob) in enumerate(allowlist):
         if allowed_rule not in ("*", rule):
             continue
         if fnmatch.fnmatch(rel_path, glob) or fnmatch.fnmatch(rel_path, glob.rstrip("/") + "/*"):
-            return True
-    return False
+            return i
+    return None
+
+
+def conf_allows(allowlist, rule: str, rel_path: str) -> bool:
+    return conf_match(allowlist, rule, rel_path) is not None
 
 
 def discover_files(compile_commands: str, roots):
@@ -976,10 +1417,13 @@ def discover_files(compile_commands: str, roots):
 
 
 def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: str):
+    """Returns (findings, stale_inline, used_conf): the surviving
+    findings, the inline allow() annotations that suppressed nothing
+    (lineno, rules), and the indices of allowlist entries that fired."""
     lines, inline_allows, keep_lines = _preprocessed(path)
     if not lines and not keep_lines:
         print(f"simlint: cannot read {path}", file=sys.stderr)
-        return []
+        return [], [], set()
 
     closure_texts = []
     for dep in graph.closure(path):
@@ -998,6 +1442,8 @@ def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: 
     rel = os.path.relpath(path, REPO_ROOT)
     findings = []
     seen = set()
+    used_inline = set()
+    used_conf = set()
     for lineno, rule, message in raw:
         key = (lineno, rule)
         if key in seen:
@@ -1005,11 +1451,20 @@ def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: 
         seen.add(key)
         suppressed = inline_allows.get(lineno, set()) | inline_allows.get(lineno - 1, set())
         if rule in suppressed or "*" in suppressed:
+            for ln in (lineno, lineno - 1):
+                s = inline_allows.get(ln, set())
+                if rule in s or "*" in s:
+                    used_inline.add(ln)
             continue
-        if conf_allows(allowlist, rule, rel):
+        idx = conf_match(allowlist, rule, rel)
+        if idx is not None:
+            used_conf.add(idx)
             continue
         findings.append(Finding(path, lineno, rule, message))
-    return findings
+    stale_inline = [(ln, tuple(sorted(rules)))
+                    for ln, rules in sorted(inline_allows.items())
+                    if rules and ln not in used_inline]
+    return findings, stale_inline, used_conf
 
 
 # --------------------------------------------------------------------------
@@ -1018,7 +1473,44 @@ def lint_file(path: str, graph: IncludeGraph, engine: str, allowlist, src_root: 
 # Line numbers are deliberately omitted so unrelated edits do not churn
 # the checked-in contract; symbols are keyed by file and kind.
 
-SHARD_REPORT_SCHEMA = "nvmooc-shard-report-v1"
+SHARD_REPORT_SCHEMA = "nvmooc-shard-report-v2"
+SHARD_REPORT_SCHEMA_V1 = "nvmooc-shard-report-v1"
+
+
+def compute_access_kinds(files, inventory):
+    """Classify each inventoried symbol as 'mutated-in-handler' (written by
+    some function reachable from a domain-annotated class method via the
+    by-name call graph) or 'read-mostly' (everything else).  inventory is
+    a set of symbol names; returns {name: kind}."""
+    class_domains = {}
+    index = {}
+    all_funcs = []
+    for path in files:
+        h = harvest_shard(path)
+        for c in h["classes"]:
+            if c["domain"] in SHARD_DOMAINS:
+                class_domains[c["name"]] = c["domain"]
+        for func in harvest_functions(path):
+            index.setdefault(func["name"].lstrip("~"), []).append((path, func))
+            all_funcs.append((path, func))
+    queue = [(p, f) for (p, f) in all_funcs if f["cls"] in class_domains]
+    visited = {(p, f["line"]) for p, f in queue}
+    reachable = list(queue)
+    while queue:
+        path, func = queue.pop()
+        for callee, _lineno, _passage in func["calls"]:
+            for dest_path, rec in index.get(callee.lstrip("~"), []):
+                fid = (dest_path, rec["line"])
+                if fid not in visited:
+                    visited.add(fid)
+                    queue.append((dest_path, rec))
+                    reachable.append((dest_path, rec))
+    kinds = {name: "read-mostly" for name in inventory}
+    targets = set(inventory)
+    for path, func in reachable:
+        for name, _lineno in _function_writes(path, func, targets):
+            kinds[name] = "mutated-in-handler"
+    return kinds
 
 
 def build_shard_report(files):
@@ -1051,13 +1543,33 @@ def build_shard_report(files):
             domains[domain][rel] = sorted(set(domains[domain][rel]))
     shared.sort(key=lambda s: (s["file"], s["symbol"]))
     unannotated.sort(key=lambda s: (s["file"], s["symbol"]))
+    # v2: per-symbol access classification over the cross-TU call graph.
+    # Shared entries are untouched relative to v1, so a v1 consumer can
+    # keep working by dropping this section (see --shard-check compat).
+    inventory = {e["symbol"] for e in shared if e["kind"] != "class"}
+    inventory |= {e["symbol"] for e in unannotated}
+    kinds = compute_access_kinds(files, inventory)
+    state_access = sorted(
+        ({"file": e["file"], "symbol": e["symbol"], "kind": e["kind"],
+          "access_kind": kinds[e["symbol"]]}
+         for e in shared + unannotated if e["kind"] != "class"),
+        key=lambda s: (s["file"], s["symbol"]))
     return {
         "schema": SHARD_REPORT_SCHEMA,
         "domain_vocabulary": list(SHARD_DOMAINS),
         "domains": domains,
         "shared": shared,
         "unannotated": unannotated,
+        "state_access": state_access,
     }
+
+
+def downconvert_shard_report_v1(report):
+    """v2 report -> the exact v1 shape (drop state_access, rename schema).
+    Kept for one release so a pinned v1 SHARD_REPORT.json still gates."""
+    compat = {k: v for k, v in report.items() if k != "state_access"}
+    compat["schema"] = SHARD_REPORT_SCHEMA_V1
+    return compat
 
 
 def shard_report_json(report) -> str:
@@ -1080,6 +1592,9 @@ def diff_shard_reports(old, new):
             flat.add(f"shared {entry['file']} {entry['kind']}:{entry['symbol']}")
         for entry in report.get("unannotated", []):
             flat.add(f"unannotated {entry['file']} {entry['kind']}:{entry['symbol']}")
+        for entry in report.get("state_access", []):
+            flat.add(f"access {entry['file']} {entry['kind']}:{entry['symbol']} "
+                     f"= {entry['access_kind']}")
         return flat
 
     old_flat, new_flat = flatten(old), flatten(new)
@@ -1109,14 +1624,20 @@ def _worker_init(src_root, allowlist, engine):
 
 
 def _lint_one(path):
-    findings = lint_file(path, _WORKER["graph"], _WORKER["engine"],
-                         _WORKER["allowlist"], _WORKER["src_root"])
-    return [(f.path, f.line, f.rule, f.message) for f in findings]
+    findings, stale_inline, used_conf = lint_file(
+        path, _WORKER["graph"], _WORKER["engine"],
+        _WORKER["allowlist"], _WORKER["src_root"])
+    return ([(f.path, f.line, f.rule, f.message) for f in findings],
+            [(path, ln, rules) for ln, rules in stale_inline],
+            sorted(used_conf))
 
 
 def lint_tree(files, graph, engine, allowlist, src_root, jobs):
-    """Lint every file, in parallel when jobs > 1; returns Findings in
-    deterministic (path, line) order regardless of worker count."""
+    """Lint every file, in parallel when jobs > 1.  Returns
+    (findings, stale_inline, used_conf): Findings in deterministic
+    (path, line) order regardless of worker count, the inline allow()
+    annotations that suppressed nothing as (path, line, rules), and the
+    set of allowlist indices that fired anywhere in the scan."""
     per_file = None
     if jobs > 1 and len(files) >= 4:
         try:
@@ -1134,9 +1655,11 @@ def lint_tree(files, graph, engine, allowlist, src_root, jobs):
     if per_file is None:
         _worker_init(src_root, allowlist, engine)
         per_file = [_lint_one(path) for path in files]
-    findings = [Finding(*tup) for tups in per_file for tup in tups]
+    findings = [Finding(*tup) for tups, _, _ in per_file for tup in tups]
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    stale_inline = sorted(rec for _, stale, _ in per_file for rec in stale)
+    used_conf = {i for _, _, used in per_file for i in used}
+    return findings, stale_inline, used_conf
 
 
 # --------------------------------------------------------------------------
@@ -1158,16 +1681,25 @@ def self_test() -> int:
     graph = IncludeGraph(FIXTURE_DIR)
     for path in fixtures:
         expected = set()
+        expected_stale = set()
         with open(path, encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
                 m = EXPECT_RE.search(line)
                 if m:
                     for rule in re.split(r"\s*,\s*", m.group(1)):
                         expected.add((lineno, rule))
-        got = {(f.line, f.rule) for f in lint_file(path, graph, "matcher", [], FIXTURE_DIR)}
+                if "simlint-expect-stale" in line:
+                    expected_stale.add(lineno)
+        file_findings, file_stale, _ = lint_file(path, graph, "matcher", [], FIXTURE_DIR)
+        got = {(f.line, f.rule) for f in file_findings}
+        got_stale = {ln for ln, _ in file_stale}
         name = os.path.basename(path)
         missing = expected - got
         spurious = got - expected
+        if got_stale != expected_stale:
+            failures += 1
+            print(f"FAIL {name} (stale allows: expected lines "
+                  f"{sorted(expected_stale)}, got {sorted(got_stale)})")
         if missing or spurious:
             failures += 1
             print(f"FAIL {name}")
@@ -1212,10 +1744,23 @@ def self_test() -> int:
     # report that carries their domains, shared notes, and unannotated
     # strays — the same code path CI's drift gate runs over src/.
     report = build_shard_report(fixtures)
+    compat = downconvert_shard_report_v1(report)
     report_cases = [
         (bool(report["unannotated"]), "unannotated strays from sl009 fixture"),
         (any(e["note"] for e in report["shared"]), "shared note round-trip"),
         ("channel" in report["domains"], "channel domain from sl010 fixture"),
+        (report["schema"] == SHARD_REPORT_SCHEMA, "schema is v2"),
+        (bool(report["state_access"]) and
+         all(e["access_kind"] in ("read-mostly", "mutated-in-handler")
+             for e in report["state_access"]),
+         "state_access section with classified entries"),
+        (any(e["access_kind"] == "mutated-in-handler"
+             for e in report["state_access"]),
+         "mutated-in-handler reachability from a domain method"),
+        (compat["schema"] == SHARD_REPORT_SCHEMA_V1 and
+         "state_access" not in compat and
+         not diff_shard_reports(compat, downconvert_shard_report_v1(report)),
+         "v1 down-convert round-trip"),
     ]
     for ok, what in report_cases:
         if not ok:
@@ -1251,6 +1796,9 @@ def main(argv=None) -> int:
                         help="fail on inventory drift against a checked-in report")
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule against the checked-in fixtures")
+    parser.add_argument("--allowlist-audit", action="store_true",
+                        help="downgrade stale-allowlist findings from errors "
+                             "to warnings (default: stale suppressions fail)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args(argv)
 
@@ -1288,7 +1836,30 @@ def main(argv=None) -> int:
     files = sorted(set(files) | set(explicit_files))
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    all_findings = lint_tree(files, graph, engine, allowlist, src_root, jobs)
+    all_findings, stale_inline, used_conf = lint_tree(
+        files, graph, engine, allowlist, src_root, jobs)
+
+    # Allowlist hygiene: an inline allow() that suppressed nothing, or a
+    # conf entry that matched nothing, is a stale suppression — the code
+    # it excused has moved or been fixed, and leaving it in place would
+    # silently excuse a future regression at the same site.  Conf entries
+    # are only audited on directory scans: a single-file invocation
+    # legitimately never exercises entries scoped to other paths.
+    stale_msgs = []
+    for path, lineno, rules in stale_inline:
+        rel = os.path.relpath(path, REPO_ROOT)
+        stale_msgs.append(f"{rel}:{lineno}: stale inline allow({', '.join(rules)}) "
+                          "— it suppressed no finding in this scan")
+    if roots:
+        for i, (rule, glob) in enumerate(allowlist):
+            if i not in used_conf:
+                stale_msgs.append(f"{os.path.relpath(args.config, REPO_ROOT)}: "
+                                  f"stale allowlist entry ({rule} {glob}) — "
+                                  "it matched no finding in this scan")
+    stale_failed = bool(stale_msgs) and not args.allowlist_audit
+    for msg in stale_msgs:
+        severity = "warning" if args.allowlist_audit else "error"
+        print(f"simlint: {severity}: {msg}", file=sys.stderr)
 
     if args.format == "json":
         payload = {
@@ -1321,7 +1892,15 @@ def main(argv=None) -> int:
                 print(f"simlint: cannot load shard report {args.shard_check}: {e}",
                       file=sys.stderr)
                 return 2
-            diff_lines = diff_shard_reports(pinned, report)
+            compare = report
+            if pinned.get("schema") == SHARD_REPORT_SCHEMA_V1:
+                # One-release compat: gate the fresh scan against a pinned
+                # v1 report by down-converting before diffing.
+                compare = downconvert_shard_report_v1(report)
+                print(f"simlint: {args.shard_check} is {SHARD_REPORT_SCHEMA_V1}; "
+                      "comparing in v1 compatibility mode (regenerate with "
+                      "--shard-report to adopt v2)", file=sys.stderr)
+            diff_lines = diff_shard_reports(pinned, compare)
             if diff_lines:
                 drift = True
                 print(f"simlint: shard inventory drift vs {args.shard_check} — "
@@ -1337,7 +1916,7 @@ def main(argv=None) -> int:
         print(f"simlint: {len(all_findings)} finding(s) in {len(files)} file(s) "
               f"[engine={engine}]", file=sys.stderr)
         return 1
-    if drift:
+    if drift or stale_failed:
         return 1
     print(f"simlint: clean ({len(files)} files) [engine={engine}]", file=sys.stderr)
     return 0
