@@ -41,6 +41,7 @@ struct BenchOptions {
   bool quick = false;          ///< Smaller workload for CI smoke runs.
   bool audit = false;          ///< Invariant-audit every replay (see src/check).
   bool shard_guard = false;    ///< Shard-domain sanitize every replay.
+  std::size_t exemplars = 0;   ///< --exemplars=K: per-replay tail reservoirs.
   std::string headline_out;    ///< bench_headline JSON path override.
   std::string results_out;     ///< BENCH_<figure>.json path override.
 };
@@ -102,6 +103,34 @@ inline double& heartbeat_sec() {
   return sec;
 }
 
+/// Whether the always-on flight recorder rides along with every replay
+/// (--no-flight-recorder turns it off — what the CI overhead guard
+/// compares against).
+inline bool& flight_enabled() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
+  static bool enabled = true;
+  return enabled;
+}
+
+/// --flight-out directory/prefix for failure dumps; each failing replay
+/// writes "<prefix>flight-<config>-<media>.json".
+inline std::string& flight_out_prefix() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
+  static std::string prefix;
+  return prefix;
+}
+
+/// --exemplars=K: each replay runs under its own obs::LatencySession
+/// keeping the K slowest requests per class (0 = off). The reservoirs
+/// are discarded afterwards — the point of the flag is the CI
+/// determinism gate, which proves exemplar collection over the whole
+/// headline grid never perturbs a makespan.
+inline std::size_t& exemplars_per_class() {
+  SIM_SHARD_SHARED("set once while parsing argv before any worker thread starts; read-only during replays")
+  static std::size_t k = 0;
+  return k;
+}
+
 inline BenchOptions strip_bench_options(int& argc, char** argv) {
   BenchOptions out;
   int kept = 1;
@@ -117,6 +146,9 @@ inline BenchOptions strip_bench_options(int& argc, char** argv) {
     else if (const char* v = value("--headline-out=")) out.headline_out = v;
     else if (const char* v = value("--results-out=")) out.results_out = v;
     else if (const char* v = value("--heartbeat-sec=")) out.obs.heartbeat_sec = std::strtod(v, nullptr);
+    else if (const char* v = value("--flight-out=")) out.obs.flight_out = v;
+    else if (const char* v = value("--exemplars=")) out.exemplars = std::strtoull(v, nullptr, 10);
+    else if (!std::strcmp(arg, "--no-flight-recorder")) out.obs.flight = false;
     else if (!std::strcmp(arg, "--quick")) out.quick = true;
     else if (!std::strcmp(arg, "--audit")) out.audit = true;
     else if (!std::strcmp(arg, "--shard-guard")) out.shard_guard = true;
@@ -133,6 +165,9 @@ inline BenchOptions strip_bench_options(int& argc, char** argv) {
   profile_enabled() = out.obs.profile;
   speed_enabled() = out.obs.speed_report;
   heartbeat_sec() = out.obs.heartbeat_sec;
+  flight_enabled() = out.obs.flight;
+  flight_out_prefix() = out.obs.flight_out;
+  exemplars_per_class() = out.exemplars;
   return out;
 }
 
@@ -215,18 +250,36 @@ inline void run_config_benchmark(benchmark::State& state, const ExperimentConfig
       host_options.heartbeat_sec = heartbeat_sec();
       host = std::make_unique<obs::HostSession>(host_options);
     }
+    // Always-on flight recorder: one per replay (thread-local like the
+    // sessions above); only failing replays pay for a dump.
+    std::unique_ptr<obs::FlightSession> flight;
+    if (flight_enabled()) flight = std::make_unique<obs::FlightSession>();
+    std::unique_ptr<obs::LatencySession> exemplars;
+    if (exemplars_per_class() > 0) {
+      exemplars = std::make_unique<obs::LatencySession>(exemplars_per_class());
+    }
     const ExperimentResult result = run_experiment(config, trace);
+    const auto dump_flight_on_failure = [&](const char* why) {
+      if (flight == nullptr) return;
+      obs::CliOptions dump_options;
+      dump_options.flight_out = flight_out_prefix() + "flight-" + config.name +
+                                "-" + std::string(to_string(config.media)) +
+                                ".json";
+      obs::dump_flight(flight->recorder(), dump_options, why);
+    };
     if (audit != nullptr && !result.audit.passed()) {
       audit_violations() += result.audit.violation_count;
       std::fprintf(stderr, "AUDIT FAIL %s/%s\n%s\n", config.name.c_str(),
                    std::string(to_string(config.media)).c_str(),
                    result.audit.summary().c_str());
+      dump_flight_on_failure("audit violation");
     }
     if (guard != nullptr && !guard->report().passed()) {
       guard_violations() += guard->report().violation_count;
       std::fprintf(stderr, "SHARD-GUARD FAIL %s/%s\n%s\n", config.name.c_str(),
                    std::string(to_string(config.media)).c_str(),
                    guard->report().summary().c_str());
+      dump_flight_on_failure("shard-guard violation");
     }
     board().record(result);
     state.counters["achieved_MBps"] = result.achieved_mbps;

@@ -45,18 +45,23 @@ std::vector<NvmType> latency_media() { return {NvmType::kTlc, NvmType::kPcm}; }
 void print_latency_table(const char* title, const Trace& trace,
                          std::vector<ExperimentConfig> (*configs_for)(NvmType)) {
   std::printf("\n== %s ==\n", title);
-  Table table({"Configuration", "Media", "p50 (us)", "p99 (us)", "mean (us)"});
+  Table table({"Configuration", "Media", "p50 (us)", "p99 (us)", "p999 (us)",
+               "mean (us)"});
   for (NvmType media : latency_media()) {
     for (const ExperimentConfig& config : configs_for(media)) {
       // Per-replay profiler, like run_config_benchmark: the critical-path
-      // state must not accumulate across configurations.
+      // state must not accumulate across configurations. The flight
+      // recorder rides along per replay too (default on).
       std::unique_ptr<obs::ProfileSession> profile;
       if (profile_enabled()) profile = std::make_unique<obs::ProfileSession>();
+      std::unique_ptr<obs::FlightSession> flight;
+      if (flight_enabled()) flight = std::make_unique<obs::FlightSession>();
       const ExperimentResult result = run_experiment(config, trace);
       board().record(result);
       table.add_row({config.name, std::string(to_string(media)),
                      format("%.0f", result.read_latency.p50),
                      format("%.0f", result.read_latency.p99),
+                     format("%.0f", result.read_latency.p999),
                      format("%.0f", result.read_latency.mean)});
     }
   }
@@ -109,10 +114,23 @@ int main(int argc, char** argv) {
                           [](obs::JsonWriter& w, const ExperimentResult& r) {
                             w.field("read_latency_p50_us", r.read_latency.p50);
                             w.field("read_latency_p99_us", r.read_latency.p99);
+                            w.field("read_latency_p999_us", r.read_latency.p999);
                             w.field("read_latency_mean_us", r.read_latency.mean);
                             w.field("makespan_ms",
                                     static_cast<double>(r.makespan) /
                                         static_cast<double>(kMillisecond));
+                            // Per-stage tail decomposition: where the
+                            // p999 of each stage lives (see
+                            // obs/latency.hpp for the stage mapping).
+                            for (int s = 0; s < obs::kLatencyStageCount; ++s) {
+                              const auto stage = static_cast<obs::LatencyStage>(s);
+                              const obs::HistogramSummary& h =
+                                  r.latency.stage[static_cast<std::size_t>(s)];
+                              const std::string key = obs::latency_stage_key(stage);
+                              w.field(key + "_p50_us", h.p50);
+                              w.field(key + "_p99_us", h.p99);
+                              w.field(key + "_p999_us", h.p999);
+                            }
                           })) {
     return 1;
   }

@@ -47,6 +47,17 @@ const char* kUsage =
     "                    [--heartbeat-sec=N] (progress-heartbeat period for\n"
     "                                 --speed-report; 0 logs every request;\n"
     "                                 default 5)\n"
+    "                    [--exemplars-out=FILE] (Perfetto-loadable waterfalls of\n"
+    "                                 the K slowest requests per class — the p999\n"
+    "                                 stragglers, without full --trace-out cost)\n"
+    "                    [--exemplars=K] (exemplars kept per request class;\n"
+    "                                 default 8)\n"
+    "                    [--no-flight-recorder] (disable the always-on ring of\n"
+    "                                 recent events + request ledgers that is\n"
+    "                                 dumped automatically on audit/shard-guard\n"
+    "                                 violations and fault aborts)\n"
+    "                    [--flight-out=FILE] (flight-dump path; default\n"
+    "                                 flight-dump.json)\n"
     "configs: ion-gpfs, cnl-jfs, cnl-btrfs, cnl-xfs, cnl-reiserfs, cnl-ext2,\n"
     "         cnl-ext3, cnl-ext4, cnl-ext4-l, cnl-ufs, cnl-bridge-16,\n"
     "         cnl-native-8, cnl-native-16\n";
@@ -116,9 +127,20 @@ int main(int argc, char** argv) {
   obs_options.speed_report = flag(argc, argv, "speed-report");
   obs_options.heartbeat_sec =
       std::strtod(option(argc, argv, "heartbeat-sec", "5").c_str(), nullptr);
+  obs_options.exemplars_out = option(argc, argv, "exemplars-out", "");
+  obs_options.exemplar_count = static_cast<std::size_t>(
+      std::strtoull(option(argc, argv, "exemplars", "8").c_str(), nullptr, 10));
+  obs_options.flight = !flag(argc, argv, "no-flight-recorder");
+  obs_options.flight_out = option(argc, argv, "flight-out", "");
   const std::string result_out = option(argc, argv, "result-out", "");
   if (!obs::apply_log_level(obs_options.log_level)) {
     std::fputs(kUsage, stderr);
+    return 1;
+  }
+  // Fail on unwritable output destinations *before* the replay runs, not
+  // after: a typo'd directory must not cost a long simulation its output.
+  if (!obs::validate_output_paths(obs_options) ||
+      !obs::validate_output_path(result_out, "--result-out")) {
     return 1;
   }
 
@@ -167,8 +189,27 @@ int main(int argc, char** argv) {
   // the replay and we read its report back directly.
   std::unique_ptr<shard::ShardGuardSession> guard_session;
   if (shard_guard) guard_session = std::make_unique<shard::ShardGuardSession>();
+  // Tail-exemplar observatory (--exemplars-out) and the default-on
+  // flight recorder — both install thread-locally, like audit/guard.
+  std::unique_ptr<obs::LatencySession> latency_session;
+  if (!obs_options.exemplars_out.empty()) {
+    latency_session = std::make_unique<obs::LatencySession>(obs_options.exemplar_count);
+  }
+  std::unique_ptr<obs::FlightSession> flight_session;
+  if (obs_options.flight) flight_session = std::make_unique<obs::FlightSession>();
+  // On any failing exit, the flight recorder's postmortem lands on disk
+  // next to the exit code.
+  const auto dump_flight_now = [&](const std::string& reason) {
+    if (flight_session != nullptr) {
+      obs::dump_flight(flight_session->recorder(), obs_options, reason);
+    }
+  };
   const ExperimentResult result = run_experiment(config, trace);
   if (!obs::write_outputs(session.get(), obs_options)) return 1;
+  if (latency_session != nullptr) {
+    if (!obs::write_exemplars(latency_session->observatory(), obs_options)) return 1;
+    std::printf("%s", latency_session->observatory().summary().c_str());
+  }
   if (!result_out.empty()) {
     std::ofstream out(result_out, std::ios::binary);
     if (!out) {
@@ -216,6 +257,7 @@ int main(int argc, char** argv) {
     if (r.aborted) {
       std::printf("  ABORTED        %s\n", r.abort_reason.c_str());
       if (audit) std::printf("%s\n", result.audit.summary().c_str());
+      dump_flight_now("fault-injection abort: " + r.abort_reason);
       return result.audit.passed() ? 2 : 3;
     }
   }
@@ -227,12 +269,22 @@ int main(int argc, char** argv) {
   }
   if (audit) {
     std::printf("%s\n", result.audit.summary().c_str());
-    if (!result.audit.passed()) return 3;
+    if (!result.audit.passed()) {
+      dump_flight_now("audit violation: " +
+                      std::to_string(result.audit.violation_count) +
+                      " invariant violation(s)");
+      return 3;
+    }
   }
   if (guard_session != nullptr) {
     const shard::ShardGuardReport& guard_report = guard_session->report();
     std::printf("%s\n", guard_report.summary().c_str());
-    if (!guard_report.passed()) return 4;
+    if (!guard_report.passed()) {
+      dump_flight_now("shard-guard violation: " +
+                      std::to_string(guard_report.violation_count) +
+                      " cross-domain access(es)");
+      return 4;
+    }
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/flight_hook.hpp"
+
 namespace nvmooc::check {
 
 namespace {
@@ -46,6 +48,12 @@ Auditor::Auditor() { report_.enabled = true; }
 
 void Auditor::violation(const char* invariant, std::string detail) {
   ++report_.violation_count;
+  // Breadcrumb into the flight recorder (when one is installed), so the
+  // postmortem dump carries the violation next to the recent requests.
+  // Routed through the common/flight_hook.hpp slot: this layer cannot
+  // link obs.
+  flight::note(Time{}, "audit", invariant, report_.violation_count, 0,
+               detail.c_str());
   if (report_.violations.size() < kMaxRecordedViolations) {
     report_.violations.push_back(AuditViolation{invariant, std::move(detail)});
   }

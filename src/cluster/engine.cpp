@@ -9,6 +9,8 @@
 
 #include "check/audit.hpp"
 #include "cluster/window.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/latency.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc {
@@ -139,6 +141,12 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   // sections, which the self-time accounting subtracts back out.
   obs::HostProfiler* host = obs::host_profiler();
   if (host) host->begin_run(trace.requests().size());
+  // Tail-latency observers: the exemplar observatory (--exemplars-out)
+  // and the flight recorder (on by default on the CLI surfaces). Both
+  // follow the same null-test contract — pure derived accounting, never
+  // part of the simulation arithmetic.
+  obs::LatencyObservatory* observatory = obs::latency_observatory();
+  obs::FlightRecorder* flight = obs::flight_recorder();
   std::uint32_t prof_window = 0;
   std::uint32_t prof_cpu = 0;
   std::uint32_t prof_software = 0;
@@ -165,11 +173,29 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     lanes = std::make_unique<LaneAllocator>(*recorder);
     window_track = recorder->track("engine.window");
   }
+  // Pre-registered per-stage latency histograms ("latency.<stage>_us"),
+  // so the hot loop records without re-hashing names; references stay
+  // valid for the registry's lifetime (node-stable map storage).
+  std::array<obs::LogHistogram*, obs::kLatencyStageCount> latency_hist{};
+  if (registry) {
+    for (int s = 0; s < obs::kLatencyStageCount; ++s) {
+      latency_hist[static_cast<std::size_t>(s)] = &registry->histogram(
+          std::string("latency.") +
+          obs::latency_stage_key(static_cast<obs::LatencyStage>(s)) + "_us");
+    }
+  }
   // Per-request phase-wait distributions (µs) and the outstanding-bytes
   // outline ride in every result (they are derived accounting, like the
   // latency histogram above, not optional instrumentation).
   std::array<obs::LogHistogram, kPhaseCount> phase_wait;
   obs::TimeSeries queue_depth_series;
+  // Always-on stage decomposition of every request's phase ledger
+  // (ExperimentResult::latency) and the ledger ordinal. The ordinal
+  // counts non-empty device requests in issue order — the same 0-based
+  // id scheme check::Auditor uses, so exemplars, flight dumps and audit
+  // violations all name the same request.
+  obs::LatencyAccumulator latency_acc;
+  std::uint64_t request_ordinal = 0;
 
   // Degraded-mode accounting (only moves under fault injection).
   std::uint64_t degraded_requests = 0;
@@ -278,6 +304,10 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             aborted = true;
             abort_reason = "device hard failure: capacity lost past the spare "
                            "pool exceeded the failure threshold";
+            if (flight) {
+              flight->note(media.media_end, "engine", "abort", request_ordinal,
+                           0, abort_reason.c_str());
+            }
           } else if (degraded_dma_) {
             // Compute-local degraded mode: the device already remapped
             // the lost pages onto good media; their content is re-fetched
@@ -294,6 +324,11 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             }
             ++degraded_requests;
             degraded_bytes += media.uncorrectable_bytes;
+            if (flight) {
+              flight->note(media.media_end, "engine", "degraded_refetch",
+                           request_ordinal, (media.uncorrectable_bytes).value(),
+                           nullptr);
+            }
             if (recorder) {
               recorder->span(
                   recorder->track("engine.degraded"), "reliability",
@@ -308,6 +343,10 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
             aborted = true;
             abort_reason = "uncorrectable read on ION-local storage (no "
                            "replica to recover from)";
+            if (flight) {
+              flight->note(media.media_end, "engine", "abort", request_ordinal,
+                           0, abort_reason.c_str());
+            }
           }
         }
       } else {
@@ -368,6 +407,47 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
         phase_wait[p].record(static_cast<double>(media.phase_time[p]) / static_cast<double>(kMicrosecond));
       }
 
+      // This request's phase ledger: absolute lifecycle timestamps plus
+      // the stage decomposition (mapping documented in obs/latency.hpp).
+      // Folded into the always-on breakdown, then offered to the
+      // optional tail observers.
+      obs::PhaseLedger ledger;
+      ledger.id = request_ordinal++;
+      ledger.read = is_read;
+      ledger.internal = device_request.internal;
+      ledger.bytes = (device_request.size).value();
+      ledger.retries = media.retries;
+      ledger.ready = ready;
+      ledger.admit = admit;
+      ledger.issue = issue;
+      ledger.media_begin = media.media_begin;
+      ledger.media_end = media.media_end;
+      ledger.completion = completion;
+      auto& stage = ledger.stage;
+      stage[static_cast<int>(obs::LatencyStage::kQueueWait)] = admit - ready;
+      stage[static_cast<int>(obs::LatencyStage::kCpu)] = cpu_free - admit;
+      stage[static_cast<int>(obs::LatencyStage::kDispatch)] = issue - cpu_free;
+      stage[static_cast<int>(obs::LatencyStage::kBus)] =
+          media.phase_time[static_cast<int>(Phase::kChannelActivation)] +
+          media.phase_time[static_cast<int>(Phase::kFlashBusActivation)];
+      stage[static_cast<int>(obs::LatencyStage::kMediaWait)] =
+          media.phase_time[static_cast<int>(Phase::kCellContention)] +
+          media.phase_time[static_cast<int>(Phase::kChannelContention)];
+      stage[static_cast<int>(obs::LatencyStage::kMedia)] =
+          media.phase_time[static_cast<int>(Phase::kCellActivation)];
+      stage[static_cast<int>(obs::LatencyStage::kEccRetry)] = media.retry_time;
+      stage[static_cast<int>(obs::LatencyStage::kCompletionTail)] = request_nod;
+      stage[static_cast<int>(obs::LatencyStage::kTotal)] = completion - ready;
+      latency_acc.record(ledger);
+      if (observatory) observatory->observe(ledger);
+      if (flight) flight->record(ledger);
+      if (registry) {
+        for (int s = 0; s < obs::kLatencyStageCount; ++s) {
+          latency_hist[static_cast<std::size_t>(s)]->record(
+              ledger.stage_us(static_cast<obs::LatencyStage>(s)));
+        }
+      }
+
       if (recorder) {
         obs::HostSection obs_section(obs::HostSubsystem::kObs);
         const std::uint32_t lane = lanes->acquire(ready, completion);
@@ -423,7 +503,13 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
       device_window.launch(completion, device_request.size);
       queue_depth_series.sample(admit, static_cast<double>(device_window.outstanding()));
       all_done = std::max(all_done, completion);
-      if (device_request.barrier) barrier_gate = completion;
+      if (device_request.barrier) {
+        barrier_gate = completion;
+        if (flight) {
+          flight->note(completion, "engine", "barrier", ledger.id,
+                       (device_request.size).value(), nullptr);
+        }
+      }
       if (aborted) break;  // Replay stops; diagnostics ride in the result.
     }
     if (!aborted) completed_payload += posix.size;
@@ -470,6 +556,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
     result.read_latency.p90 = read_latency_us.quantile(0.9);
     result.read_latency.p95 = read_latency_us.quantile(0.95);
     result.read_latency.p99 = read_latency_us.quantile(0.99);
+    result.read_latency.p999 = read_latency_us.quantile(0.999);
   }
 
   std::array<double, kPhaseCount> phase_times{};
@@ -518,6 +605,7 @@ ExperimentResult ReplayEngine::run(const Trace& trace) {
   }
 
   for (int p = 0; p < kPhaseCount; ++p) result.phase_wait[p] = phase_wait[p].summary();
+  result.latency = latency_acc.breakdown();
   result.queue_depth = queue_depth_series.points();
   if (registry) {
     registry->gauge("engine.makespan_ms").set(static_cast<double>(result.makespan) / static_cast<double>(kMillisecond));

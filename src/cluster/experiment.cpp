@@ -15,6 +15,7 @@ void write_histogram_summary(obs::JsonWriter& w, const obs::HistogramSummary& s)
   w.field("p90", s.p90);
   w.field("p95", s.p95);
   w.field("p99", s.p99);
+  w.field("p999", s.p999);
   w.field("max", s.max);
   w.end_object();
 }
@@ -54,6 +55,21 @@ std::string ExperimentResult::to_json() const {
 
   w.key("read_latency_us");
   write_histogram_summary(w, read_latency);
+
+  w.key("latency");
+  w.begin_object();
+  w.key("stages_us");
+  w.begin_object();
+  for (int s = 0; s < obs::kLatencyStageCount; ++s) {
+    w.key(obs::latency_stage_key(static_cast<obs::LatencyStage>(s)));
+    write_histogram_summary(w, latency.stage[static_cast<std::size_t>(s)]);
+  }
+  w.end_object();
+  w.key("read_total_us");
+  write_histogram_summary(w, latency.read_total);
+  w.key("write_total_us");
+  write_histogram_summary(w, latency.write_total);
+  w.end_object();
 
   w.key("phase_fraction");
   w.begin_object();

@@ -13,6 +13,7 @@
 #include "interconnect/pcie.hpp"
 #include "nvm/bus.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "ssd/ssd.hpp"
@@ -79,6 +80,13 @@ struct ExperimentResult {
   /// controller, bad-block totals from the FTL, degraded-mode recovery
   /// from the engine. All zero when fault injection is off.
   ReliabilityStats reliability;
+
+  /// Always-on tail-latency decomposition: per-stage quantile digests of
+  /// the issue -> queue-wait -> grant -> dispatch -> bus -> media ->
+  /// ECC-retry -> completion chain (stage mapping documented in
+  /// obs/latency.hpp), plus read/write totals. Serialised by to_json()
+  /// under "latency".
+  obs::LatencyBreakdown latency;
 
   /// Per-request distribution of each Figure-10 phase's critical-path
   /// time, in µs (e.g. phase_wait[kChannelContention] answers "how long

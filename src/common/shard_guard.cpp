@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/flight_hook.hpp"
 #include "common/string_util.hpp"
 
 namespace nvmooc::shard {
@@ -51,6 +52,10 @@ void ShardGuard::check(const ShardRef& owner, const char* symbol) {
   violation.owner = owner.label();
   violation.symbol = symbol;
   violation.frame = active.what == nullptr ? "?" : active.what;
+  // Same postmortem breadcrumb contract as the auditor: reach the flight
+  // recorder through the common hook slot (this layer cannot link obs).
+  flight::note(Time{}, "shard_guard", symbol, report_.violation_count, 0,
+               violation.describe().c_str());
 #if defined(NVMOOC_SHARD_GUARD_FATAL) && NVMOOC_SHARD_GUARD_FATAL
   std::fprintf(stderr, "%s\n", violation.describe().c_str());
   std::abort();

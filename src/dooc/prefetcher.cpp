@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
+
 namespace nvmooc {
 
 TilePrefetcher::TilePrefetcher(Storage& storage, std::vector<TileRef> tiles,
@@ -123,6 +125,11 @@ std::shared_ptr<const std::vector<std::uint8_t>> TilePrefetcher::get(std::size_t
                    obs::TraceClock::kWall);
   }
   if (obs::MetricsRegistry* m = obs::metrics()) m->counter("dooc.stalls").add();
+  // Consumer-thread breadcrumb only: the recorder is thread-local and
+  // lock-free, so the fetch worker never touches it.
+  if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+    fr->note(Time{}, "dooc", "tile_stall", index, stats_.stalls, nullptr);
+  }
   if (stopping_) throw std::runtime_error("TilePrefetcher: stopped while waiting");
   auto buffer = buffered_.at(index);
   if (failed(buffer)) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc {
@@ -107,6 +108,12 @@ void FileSystemModel::maybe_emit_metadata(Bytes processed, std::vector<BlockRequ
     metadata.barrier = behavior_.metadata_barrier;
     metadata.internal = true;
     out.push_back(metadata);
+    // Internal traffic is a classic tail suspect: a flight dump shows
+    // whether a straggler was preceded by a metadata chase.
+    if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+      fr->note(Time{}, "fs", "metadata_read", (metadata.offset).value(),
+               (metadata.size).value(), nullptr);
+    }
   }
 }
 
@@ -170,6 +177,10 @@ std::vector<BlockRequest> FileSystemModel::submit(const PosixRequest& request) {
       commit.barrier = false;
       commit.internal = true;
       out.push_back(commit);
+      if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+        fr->note(Time{}, "fs", "journal_commit", (commit.offset).value(),
+                 (commit.size).value(), nullptr);
+      }
       journal_cursor_ = (journal_cursor_ + behavior_.journal_size) % journal_span_;
     }
   }

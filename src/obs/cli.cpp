@@ -1,5 +1,6 @@
 #include "obs/cli.hpp"
 
+#include <filesystem>
 #include <fstream>
 
 #include "common/logging.hpp"
@@ -65,6 +66,58 @@ bool write_outputs(ObsSession* session, const CliOptions& options) {
     ok &= write_file(options.metrics_out, "metrics", session->metrics()->json());
   }
   return ok;
+}
+
+bool validate_output_path(const std::string& path, const char* flag) {
+  if (path.empty()) return true;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return true;  // Bare filename: cwd always exists.
+  std::error_code ec;
+  if (!std::filesystem::exists(parent, ec) || ec) {
+    NVMOOC_LOG_ERROR(
+        "%s: parent directory '%s' of output path '%s' does not exist",
+        flag, parent.string().c_str(), path.c_str());
+    return false;
+  }
+  if (!std::filesystem::is_directory(parent, ec) || ec) {
+    NVMOOC_LOG_ERROR("%s: parent path '%s' of output path '%s' is not a directory",
+                     flag, parent.string().c_str(), path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool validate_output_paths(const CliOptions& options) {
+  bool ok = validate_output_path(options.trace_out, "--trace-out");
+  ok = validate_output_path(options.metrics_out, "--metrics-out") && ok;
+  ok = validate_output_path(options.exemplars_out, "--exemplars-out") && ok;
+  ok = validate_output_path(options.flight_out, "--flight-out") && ok;
+  return ok;
+}
+
+bool write_exemplars(const LatencyObservatory& observatory,
+                     const CliOptions& options) {
+  if (options.exemplars_out.empty()) return true;
+  if (!write_file(options.exemplars_out, "exemplar", observatory.waterfall_json())) {
+    return false;
+  }
+  NVMOOC_LOG_INFO("wrote %zu tail exemplar(s) (of %llu requests observed) to %s",
+                  observatory.exemplars().size(),
+                  static_cast<unsigned long long>(observatory.observed()),
+                  options.exemplars_out.c_str());
+  return true;
+}
+
+bool dump_flight(const FlightRecorder& recorder, const CliOptions& options,
+                 const std::string& reason) {
+  const std::string path =
+      options.flight_out.empty() ? "flight-dump.json" : options.flight_out;
+  if (!write_file(path, "flight-recorder", recorder.dump_json(reason))) {
+    return false;
+  }
+  NVMOOC_LOG_ERROR("flight recorder dumped to %s (%s): %s", path.c_str(),
+                   reason.c_str(), recorder.summary().c_str());
+  return true;
 }
 
 }  // namespace nvmooc::obs

@@ -3,9 +3,12 @@
 // these helpers so the flags behave identically everywhere.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/latency.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc::obs {
@@ -17,6 +20,14 @@ struct CliOptions {
   bool profile = false;     ///< Causal critical-path profiler (--profile).
   bool speed_report = false;  ///< Host telemetry (--speed-report).
   double heartbeat_sec = 5.0;  ///< Heartbeat period (--heartbeat-sec=N).
+  /// Tail-exemplar waterfall JSON path (--exemplars-out; "" = off).
+  std::string exemplars_out;
+  /// K slowest requests kept per class (--exemplars=K).
+  std::size_t exemplar_count = 8;
+  /// Always-on flight recorder; --no-flight-recorder turns it off.
+  bool flight = true;
+  /// Flight-dump path (--flight-out; "" = "flight-dump.json" next to cwd).
+  std::string flight_out;
 };
 
 /// Applies `--log-level`; returns false (and logs) on an unknown name.
@@ -32,5 +43,26 @@ std::unique_ptr<ObsSession> make_session(const CliOptions& options);
 /// Returns false (and logs) if any file could not be written. Safe to
 /// call with a null session (no-op, returns true).
 bool write_outputs(ObsSession* session, const CliOptions& options);
+
+/// Up-front check that `path`'s parent directory exists (and is a
+/// directory), so a long replay cannot run to completion and then lose
+/// its output to a typo'd path. Empty paths pass (the flag is off);
+/// failures log an error naming both the flag and the offending path.
+bool validate_output_path(const std::string& path, const char* flag);
+
+/// validate_output_path over every output path the options carry
+/// (--trace-out, --metrics-out, --exemplars-out, --flight-out).
+bool validate_output_paths(const CliOptions& options);
+
+/// Writes the exemplar waterfalls to options.exemplars_out. Returns
+/// false (and logs) on I/O failure; no-op when the flag is off.
+bool write_exemplars(const LatencyObservatory& observatory,
+                     const CliOptions& options);
+
+/// Serialises the flight recorder's postmortem to options.flight_out
+/// (default "flight-dump.json") with the given reason, and logs the
+/// path plus the ring-occupancy summary. Returns false on I/O failure.
+bool dump_flight(const FlightRecorder& recorder, const CliOptions& options,
+                 const std::string& reason);
 
 }  // namespace nvmooc::obs

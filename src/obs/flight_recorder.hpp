@@ -1,0 +1,125 @@
+// Always-on flight recorder: a fixed-size ring of recent events and
+// completed request ledgers, cheap enough to leave on for every replay,
+// dumped automatically when something goes wrong — an audit violation
+// (trace_replay exit 3), a shard-guard violation (exit 4), or a
+// fault-injection abort. Every future parallel-DES divergence and
+// crash-recovery test then comes with a postmortem instead of an exit
+// code.
+//
+// Cost model, because "always on" must stay honest (CI guards <=1%
+// wall-clock on the quick headline bench, and makespans bit-identical):
+//  - note(): two pointer-size stores and two u64 stores into a
+//    preallocated ring slot; the category/what strings are required to
+//    be literals, so nothing is copied. `detail` text is only carried by
+//    exceptional events (violations, aborts) and is copied then.
+//  - record(): one PhaseLedger copy (~128 bytes) into a preallocated
+//    ring slot per completed device request.
+//  - No allocation after construction, no locking (the recorder is
+//    thread-local, like every observer in this repo), no simulation
+//    state touched.
+//
+// Layering: the recorder lives in src/obs, but the auditor (src/check)
+// and shard guard (src/common) cannot link obs — they reach it through
+// the flight::Sink slot in common/flight_hook.hpp, which FlightSession
+// also installs. Obs-linking layers (engine, FS, SSD, DOoC) use
+// obs::flight_recorder() directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flight_hook.hpp"
+#include "common/shard_domain.hpp"
+#include "common/units.hpp"
+#include "obs/latency.hpp"
+
+namespace nvmooc::obs {
+
+/// One ring entry. `category`/`what` are static literals (never owned);
+/// `detail` is empty except on violation/abort events.
+struct FlightEvent {
+  Time t;
+  const char* category = nullptr;
+  const char* what = nullptr;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+  /// Global sequence number (0-based over the whole replay), so a dump
+  /// shows how much history the ring held on to.
+  std::uint64_t seq = 0;
+};
+
+/// Ring capacities. Namespace-scope (not nested) so it can be a default
+/// argument below without tripping over incomplete-class NSDMI rules.
+struct FlightOptions {
+  std::size_t event_capacity = 4096;
+  std::size_t ledger_capacity = 256;
+};
+
+class FlightRecorder final : public flight::Sink {
+ public:
+  using Options = FlightOptions;
+
+  explicit FlightRecorder(Options options = {});
+
+  /// flight::Sink — also the direct API for obs-linking hook sites.
+  void note(Time t, const char* category, const char* what, std::uint64_t a,
+            std::uint64_t b, const char* detail_text) override;
+
+  /// A device request completed; its ledger joins the request ring.
+  void record(const PhaseLedger& ledger);
+
+  [[nodiscard]] std::uint64_t events_seen() const { return events_seen_; }
+  [[nodiscard]] std::uint64_t ledgers_seen() const { return ledgers_seen_; }
+
+  /// Oldest-first snapshots of the rings.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  [[nodiscard]] std::vector<PhaseLedger> ledgers() const;
+
+  /// The postmortem document: reason, ring occupancy, events, and the
+  /// recent request ledgers with their full stage decomposition.
+  [[nodiscard]] std::string dump_json(const std::string& reason) const;
+
+  /// One-line occupancy summary for stderr next to the dump path.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  Options options_;
+  std::vector<FlightEvent> event_ring_;
+  std::vector<PhaseLedger> ledger_ring_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t ledgers_seen_ = 0;
+};
+
+namespace detail {
+SIM_SHARD_SHARED("thread-local install slot; FlightSession swaps it on its own thread and hook sites only dereference their own thread's pointer; via flight_recorder and FlightSession only")
+inline thread_local FlightRecorder* tls_flight = nullptr;
+}  // namespace detail
+
+/// The calling thread's active recorder; null when the flight recorder
+/// is off (--no-flight-recorder). The null test *is* the enable check.
+inline FlightRecorder* flight_recorder() { return detail::tls_flight; }
+
+/// Owns a FlightRecorder and installs it on the constructing thread —
+/// both as obs::flight_recorder() and as the flight::Sink the non-obs
+/// layers (audit, shard guard) note into. Build one per replay; the CLI
+/// surfaces leave it on by default.
+class FlightSession {
+ public:
+  explicit FlightSession(FlightRecorder::Options options = {});
+  ~FlightSession();
+
+  FlightSession(const FlightSession&) = delete;
+  FlightSession& operator=(const FlightSession&) = delete;
+
+  [[nodiscard]] FlightRecorder& recorder() { return *recorder_; }
+
+ private:
+  std::unique_ptr<FlightRecorder> recorder_;
+  FlightRecorder* previous_ = nullptr;
+  flight::Sink* previous_sink_ = nullptr;
+};
+
+}  // namespace nvmooc::obs

@@ -81,6 +81,7 @@ HistogramSummary LogHistogram::summary() const {
   s.p90 = quantile(0.90);
   s.p95 = quantile(0.95);
   s.p99 = quantile(0.99);
+  s.p999 = quantile(0.999);
   return s;
 }
 
@@ -195,6 +196,7 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     w.field("p90", s.p90);
     w.field("p95", s.p95);
     w.field("p99", s.p99);
+    w.field("p999", s.p999);
     w.field("max", s.max);
     w.key("buckets");
     w.begin_array();

@@ -53,6 +53,7 @@ struct HistogramSummary {
   double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
 };
 

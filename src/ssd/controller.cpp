@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/audit.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc {
@@ -505,13 +506,29 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
       }
       result.retries += txn.retries;
       result.retry_time += txn.retry_time;
+      obs::FlightRecorder* fr = obs::flight_recorder();
+      if (fr != nullptr && txn.retries > 0) {
+        fr->note(txn.complete, "ssd", "ecc_retry", txn.retries,
+                 (txn.retry_time).ps(), nullptr);
+      }
       if (txn.uncorrectable) {
         ++result.uncorrectable_units;
         result.uncorrectable_bytes +=
             std::max<Bytes>(spec.bytes, hardware_.timing().page_size);
+        if (fr != nullptr) {
+          fr->note(txn.complete, "ssd", "uncorrectable", spec.first_unit,
+                   (spec.bytes).value(), nullptr);
+        }
         if (!ftl_.retire_block(spec.first_unit, remap_runs)) {
           result.hard_failure = true;
           stats_.reliability.hard_failure = true;
+          if (fr != nullptr) {
+            fr->note(txn.complete, "ssd", "hard_failure", spec.first_unit, 0,
+                     nullptr);
+          }
+        } else if (fr != nullptr) {
+          fr->note(txn.complete, "ssd", "bad_block_retire", spec.first_unit,
+                   remap_runs.size(), nullptr);
         }
       }
     }
@@ -628,8 +645,16 @@ RequestResult Controller::submit(const BlockRequest& request, Time arrival) {
     stats_.payload_bytes += request.size;
   }
   if (any_gc) {
+    Bytes gc_bytes;
     for (const UnitRun& run : runs) {
-      if (run.gc) stats_.internal_bytes += run.bytes;
+      if (run.gc) {
+        stats_.internal_bytes += run.bytes;
+        gc_bytes += run.bytes;
+      }
+    }
+    if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+      fr->note(result.media_end, "ssd", "gc", (request.offset).value(),
+               gc_bytes.value(), nullptr);
     }
   }
   stats_.pal_bytes[static_cast<int>(result.pal)] += request.size;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace nvmooc {
@@ -45,6 +46,14 @@ std::vector<BlockRequest> UnifiedFileSystem::submit_object(ObjectId id,
     m->counter("ufs.requests_in").add();
     m->counter("ufs.requests_out").add(out.size());
     if (out.size() > 1) m->counter("ufs.extent_splits").add(out.size() - 1);
+  }
+  // An extent split multiplies one application request into several
+  // device requests — worth a breadcrumb when chasing a straggler.
+  if (out.size() > 1) {
+    if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+      fr->note(Time{}, "ufs", "extent_split", (request.offset).value(),
+               out.size(), nullptr);
+    }
   }
   if (obs::Profiler* p = obs::profiler()) {
     p->io_path_expansion(out.size(), 0);

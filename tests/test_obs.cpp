@@ -18,9 +18,12 @@
 #include <utility>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "cluster/configs.hpp"
 #include "cluster/engine.hpp"
 #include "obs/cli.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/latency.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -227,6 +230,7 @@ ExperimentResult golden_fixture() {
   r.read_latency.p90 = 2600.0;
   r.read_latency.p95 = 2650.25;
   r.read_latency.p99 = 2700.75;
+  r.read_latency.p999 = 2750.5;
   r.read_latency.max = 2800.0;
   r.read_latency.mean = 2205.125;
   r.phase_fraction = {0.0, 0.04, 0.36, 0.12, 0.36, 0.12};
@@ -234,7 +238,13 @@ ExperimentResult golden_fixture() {
   r.phase_wait[static_cast<int>(Phase::kChannelContention)] = {8, 120.0, 10.0,
                                                               100.0, 200.0,
                                                               220.0, 240.0,
-                                                              250.0};
+                                                              245.0, 250.0};
+  r.latency.stage[static_cast<int>(obs::LatencyStage::kMedia)] = {
+      8, 1500.0, 1400.0, 1500.0, 1600.0, 1610.0, 1620.0, 1625.0, 1630.0};
+  r.latency.stage[static_cast<int>(obs::LatencyStage::kTotal)] = {
+      8, 2205.125, 2000.0, 2100.5, 2600.0, 2650.25, 2700.75, 2750.5, 2800.0};
+  r.latency.read_total =
+      r.latency.stage[static_cast<int>(obs::LatencyStage::kTotal)];
   r.queue_depth = {{Time{}, 0.0}, {kMillisecond, 16.0 * static_cast<double>(MiB)}, {2 * kMillisecond, 8.0 * static_cast<double>(MiB)}};
   r.wear.total_erases = 10;
   r.wear.total_writes = 100;
@@ -253,7 +263,8 @@ ExperimentResult golden_fixture() {
   obs::MetricSnapshot hist;
   hist.name = "engine.read_latency_us";
   hist.kind = "histogram";
-  hist.histogram = {8, 2205.125, 2000.0, 2100.5, 2600.0, 2650.25, 2700.75, 2800.0};
+  hist.histogram = {8, 2205.125, 2000.0, 2100.5, 2600.0, 2650.25, 2700.75,
+                    2750.5, 2800.0};
   r.metrics.push_back(hist);
   return r;
 }
@@ -292,6 +303,15 @@ TEST(ExperimentResultJson, RoundTripsThroughParser) {
   EXPECT_EQ(v.find("media")->string, "TLC");
   EXPECT_DOUBLE_EQ(v.find("makespan_ps")->number, 21.36e9);
   EXPECT_DOUBLE_EQ(v.find("read_latency_us")->find("p95")->number, 2650.25);
+  EXPECT_DOUBLE_EQ(v.find("read_latency_us")->find("p999")->number, 2750.5);
+  EXPECT_DOUBLE_EQ(v.find("latency")
+                       ->find("stages_us")
+                       ->find("total")
+                       ->find("p999")
+                       ->number,
+                   2750.5);
+  EXPECT_DOUBLE_EQ(v.find("latency")->find("read_total_us")->find("p50")->number,
+                   2100.5);
   EXPECT_DOUBLE_EQ(v.find("phase_fraction")->find("channel_activation")->number, 0.36);
   EXPECT_DOUBLE_EQ(
       v.find("phase_wait_us")->find("channel_contention")->find("p95")->number,
@@ -574,6 +594,277 @@ TEST(HostTelemetry, QueueStatsFlowThroughTheSimulator) {
     }
   }
   EXPECT_TRUE(saw_arrival);
+}
+
+// ---------- metrics quantile edge cases ----------------------------------
+
+TEST(Metrics, SingleSampleHistogramQuantilesAreTheSample) {
+  obs::LogHistogram h;
+  h.record(123.0);
+  const obs::HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 123.0);
+  EXPECT_DOUBLE_EQ(s.max, 123.0);
+  EXPECT_DOUBLE_EQ(s.mean, 123.0);
+  // With one sample every quantile must land in the sample's bucket —
+  // within one log sub-bucket of the value, and identical to each other.
+  EXPECT_NEAR(s.p50, 123.0, 123.0 * 0.07);
+  EXPECT_DOUBLE_EQ(s.p50, s.p90);
+  EXPECT_DOUBLE_EQ(s.p90, s.p99);
+  EXPECT_DOUBLE_EQ(s.p99, s.p999);
+}
+
+TEST(Metrics, AllSamplesInOneBucketInterpolate) {
+  obs::LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(500.0);
+  // One occupied bucket: quantiles interpolate within its bounds, so
+  // every rank (including deep-tail p999) stays near the common value
+  // and the quantile function stays monotone.
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(h.quantile(0.999), 500.0, 500.0 * 0.07);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.999));
+  EXPECT_DOUBLE_EQ(h.min(), 500.0);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+}
+
+TEST(Metrics, TimeSeriesKeepsEverySampleBelowTheWindow) {
+  obs::TimeSeries series(64);
+  for (int i = 0; i < 10; ++i) {
+    series.sample(Time{i} * 1000000, static_cast<double>(i * i));
+  }
+  // Fewer samples than the decimation window: no decimation at all —
+  // every point survives with its exact timestamp and value.
+  EXPECT_EQ(series.total_samples(), 10u);
+  const auto& points = series.points();
+  ASSERT_EQ(points.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(points[static_cast<std::size_t>(i)].first, Time{i} * 1000000);
+    EXPECT_DOUBLE_EQ(points[static_cast<std::size_t>(i)].second,
+                     static_cast<double>(i * i));
+  }
+}
+
+// ---------- tail-latency observatory -------------------------------------
+
+/// A synthetic ledger with the given id/total; stages are filled so the
+/// waterfall has something to draw.
+obs::PhaseLedger make_ledger(std::uint64_t id, double total_us,
+                             bool read = true, bool internal = false) {
+  obs::PhaseLedger ledger;
+  ledger.id = id;
+  ledger.read = read;
+  ledger.internal = internal;
+  ledger.bytes = (8 * MiB).value();
+  ledger.ready = Time{0};
+  const Time total{static_cast<std::int64_t>(total_us) * kMicrosecond};
+  ledger.admit = total / 10;
+  ledger.issue = total / 5;
+  ledger.media_begin = total / 4;
+  ledger.media_end = (total * 3) / 4;
+  ledger.completion = total;
+  using S = obs::LatencyStage;
+  ledger.stage[static_cast<int>(S::kQueueWait)] = ledger.admit;
+  ledger.stage[static_cast<int>(S::kCpu)] = ledger.issue - ledger.admit;
+  ledger.stage[static_cast<int>(S::kDispatch)] = ledger.media_begin - ledger.issue;
+  ledger.stage[static_cast<int>(S::kMedia)] = ledger.media_end - ledger.media_begin;
+  ledger.stage[static_cast<int>(S::kCompletionTail)] =
+      ledger.completion - ledger.media_end;
+  ledger.stage[static_cast<int>(S::kTotal)] = total;
+  return ledger;
+}
+
+TEST(TailLatency, ReservoirKeepsSlowestWithDeterministicTies) {
+  obs::ExemplarReservoir reservoir(3);
+  // Offer out of order, with a tie on total latency between ids 7 and 2.
+  for (const auto& [id, total] :
+       std::vector<std::pair<std::uint64_t, double>>{
+           {5, 100.0}, {7, 900.0}, {1, 50.0}, {2, 900.0}, {9, 400.0},
+           {3, 10.0}}) {
+    reservoir.offer(make_ledger(id, total));
+  }
+  const std::vector<obs::PhaseLedger>& kept = reservoir.ledgers();
+  ASSERT_EQ(kept.size(), 3u);
+  // Slowest first; the 900us tie breaks toward the lower id.
+  EXPECT_EQ(kept[0].id, 2u);
+  EXPECT_EQ(kept[1].id, 7u);
+  EXPECT_EQ(kept[2].id, 9u);
+}
+
+TEST(TailLatency, ObservatoryWaterfallIsParseableChromeTrace) {
+  obs::LatencyObservatory observatory(/*per_class=*/2);
+  observatory.observe(make_ledger(0, 100.0, /*read=*/true));
+  observatory.observe(make_ledger(1, 300.0, /*read=*/true));
+  observatory.observe(make_ledger(2, 200.0, /*read=*/true));
+  observatory.observe(make_ledger(3, 50.0, /*read=*/false));
+  observatory.observe(make_ledger(4, 75.0, /*read=*/true, /*internal=*/true));
+  EXPECT_EQ(observatory.observed(), 5u);
+
+  // Per-class reservoirs: reads keep the 2 slowest; the read id 0
+  // (fastest of three) is evicted, other classes keep everything.
+  const std::vector<obs::PhaseLedger> exemplars = observatory.exemplars();
+  ASSERT_EQ(exemplars.size(), 4u);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(exemplars.size());
+  for (const obs::PhaseLedger& e : exemplars) ids.push_back(e.id);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 0u), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 1u), 1);
+
+  const obs::JsonValue v = obs::parse_json(observatory.waterfall_json());
+  const obs::JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int metadata = 0;
+  int spans = 0;
+  bool saw_total_stage = false;
+  for (const obs::JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M") ++metadata;
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.find("dur")->number, 0.0);
+      saw_total_stage |= e.find("name")->string == "media";
+    }
+  }
+  EXPECT_GT(metadata, 0);
+  EXPECT_GT(spans, 0);
+  EXPECT_TRUE(saw_total_stage);
+  EXPECT_NE(observatory.summary().find("read"), std::string::npos);
+}
+
+TEST(TailLatency, ReplayPopulatesTheLatencyDecomposition) {
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  const ExperimentResult result =
+      run_experiment(cnl_ufs_config(NvmType::kTlc), trace);
+
+  // Always-on: every device request folded into the total-stage
+  // histogram, and the per-stage quantiles are coherent.
+  const obs::HistogramSummary& total =
+      result.latency.stage[static_cast<int>(obs::LatencyStage::kTotal)];
+  EXPECT_EQ(total.count, result.device_requests);
+  EXPECT_GT(total.p50, 0.0);
+  EXPECT_LE(total.p50, total.p99);
+  EXPECT_LE(total.p99, total.p999);
+  EXPECT_LE(total.p999, total.max);
+  EXPECT_EQ(result.latency.read_total.count, result.device_requests);
+  EXPECT_EQ(result.latency.write_total.count, 0u);
+
+  // The decomposition is serialised under "latency" with every stage key.
+  const obs::JsonValue v = obs::parse_json(result.to_json());
+  const obs::JsonValue* stages = v.find("latency")->find("stages_us");
+  ASSERT_NE(stages, nullptr);
+  for (int s = 0; s < obs::kLatencyStageCount; ++s) {
+    const char* key = obs::latency_stage_key(static_cast<obs::LatencyStage>(s));
+    ASSERT_NE(stages->find(key), nullptr) << "missing stage " << key;
+    EXPECT_NE(stages->find(key)->find("p999"), nullptr);
+  }
+  EXPECT_DOUBLE_EQ(v.find("latency")->find("read_total_us")->find("count")->number,
+                   static_cast<double>(result.device_requests));
+}
+
+TEST(TailLatency, SessionsDoNotPerturbTheSimulation) {
+  ExperimentConfig config = cnl_ufs_config(NvmType::kTlc);
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  const ExperimentResult baseline = run_experiment(config, trace);
+  Time observed_makespan;
+  std::uint64_t observed_requests = 0;
+  {
+    obs::FlightSession flight;
+    obs::LatencySession latency(/*per_class=*/4);
+    const ExperimentResult run = run_experiment(config, trace);
+    observed_makespan = run.makespan;
+    observed_requests = latency.observatory().observed();
+    EXPECT_GT(flight.recorder().ledgers_seen(), 0u);
+  }
+  EXPECT_EQ(baseline.makespan, observed_makespan)
+      << "exemplar/flight collection changed the simulated timeline";
+  EXPECT_EQ(observed_requests, baseline.device_requests);
+}
+
+// ---------- flight recorder ----------------------------------------------
+
+TEST(FlightRecorder, RingKeepsTheMostRecentEvents) {
+  obs::FlightRecorder::Options options;
+  options.event_capacity = 16;  // Constructor-enforced minimum.
+  options.ledger_capacity = 4;
+  obs::FlightRecorder recorder(options);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    recorder.note(static_cast<std::int64_t>(i) * kMicrosecond, "test", "event",
+                  i, 0, nullptr);
+  }
+  for (std::uint64_t i = 0; i < 9; ++i) recorder.record(make_ledger(i, 100.0));
+
+  EXPECT_EQ(recorder.events_seen(), 40u);
+  const std::vector<obs::FlightEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest-first, and exactly the newest window survives.
+  EXPECT_EQ(events.front().seq, 24u);
+  EXPECT_EQ(events.back().seq, 39u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  const std::vector<obs::PhaseLedger> ledgers = recorder.ledgers();
+  ASSERT_EQ(ledgers.size(), 4u);
+  EXPECT_EQ(ledgers.front().id, 5u);
+  EXPECT_EQ(ledgers.back().id, 8u);
+
+  const obs::JsonValue v = obs::parse_json(recorder.dump_json("unit test"));
+  EXPECT_EQ(v.find("reason")->string, "unit test");
+  EXPECT_DOUBLE_EQ(v.find("events_seen")->number, 40.0);
+  EXPECT_DOUBLE_EQ(v.find("events_kept")->number, 16.0);
+  EXPECT_DOUBLE_EQ(v.find("requests_seen")->number, 9.0);
+  EXPECT_EQ(v.find("events")->array.size(), 16u);
+  EXPECT_EQ(v.find("requests")->array.size(), 4u);
+  EXPECT_NE(recorder.summary().find("40 event(s)"), std::string::npos);
+}
+
+TEST(FlightRecorder, AuditViolationDumpCarriesTheRequestLedger) {
+  // The ISSUE's regression criterion: an injected audit violation must
+  // provably emit a flight dump containing the violating request's phase
+  // ledger. The auditor and the engine share the request-id scheme
+  // (0-based device-request issue order), so the ledger ring and the
+  // violation detail talk about the same request.
+  const Trace trace = sequential_read_trace(16 * MiB, 8 * MiB);
+  obs::FlightSession flight;
+  check::AuditSession audit;
+  const ExperimentResult result =
+      run_experiment(cnl_ufs_config(NvmType::kTlc), trace);
+  ASSERT_GT(result.device_requests, 0u);
+  const std::uint64_t victim = result.device_requests - 1;
+
+  // Inject: the auditor routes every violation through flight::note,
+  // which the FlightSession wired into this recorder.
+  audit.auditor().violation(
+      "test_injected", "request " + std::to_string(victim) + " check failed");
+  EXPECT_EQ(audit.auditor().violation_count(), 1u);
+
+  const std::string dump = flight.recorder().dump_json("audit violation");
+  const obs::JsonValue v = obs::parse_json(dump);
+
+  bool saw_violation_event = false;
+  for (const obs::JsonValue& e : v.find("events")->array) {
+    if (e.find("category")->string == "audit" &&
+        e.find("what")->string == "test_injected") {
+      saw_violation_event = true;
+      EXPECT_NE(e.find("detail")->string.find("request " +
+                                              std::to_string(victim)),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_violation_event)
+      << "the injected audit violation never reached the flight ring";
+
+  bool saw_victim_ledger = false;
+  for (const obs::JsonValue& r : v.find("requests")->array) {
+    if (static_cast<std::uint64_t>(r.find("id")->number) != victim) continue;
+    saw_victim_ledger = true;
+    // The ledger arrives with its full stage decomposition.
+    const obs::JsonValue* stages = r.find("stages_us");
+    ASSERT_NE(stages, nullptr);
+    EXPECT_GT(stages->find("total")->number, 0.0);
+    EXPECT_NE(stages->find("queue_wait"), nullptr);
+    EXPECT_NE(stages->find("media"), nullptr);
+  }
+  EXPECT_TRUE(saw_victim_ledger)
+      << "the violating request's phase ledger is missing from the dump";
 }
 
 }  // namespace

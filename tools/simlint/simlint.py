@@ -1843,16 +1843,25 @@ def main(argv=None) -> int:
     # conf entry that matched nothing, is a stale suppression — the code
     # it excused has moved or been fixed, and leaving it in place would
     # silently excuse a future regression at the same site.  Conf entries
-    # are only audited on directory scans: a single-file invocation
-    # legitimately never exercises entries scoped to other paths.
+    # are only audited on directory scans, and only when the scan actually
+    # covered the entry's path: a single-file invocation (or a scan rooted
+    # elsewhere, e.g. a src-only pass with an entry scoped to bench/) never
+    # exercises entries outside its scope, which proves nothing about them.
     stale_msgs = []
     for path, lineno, rules in stale_inline:
         rel = os.path.relpath(path, REPO_ROOT)
         stale_msgs.append(f"{rel}:{lineno}: stale inline allow({', '.join(rules)}) "
                           "— it suppressed no finding in this scan")
     if roots:
+        scanned_rel = [os.path.relpath(f, REPO_ROOT) for f in files]
         for i, (rule, glob) in enumerate(allowlist):
-            if i not in used_conf:
+            if i in used_conf:
+                continue
+            in_scope = any(
+                fnmatch.fnmatch(rel, glob)
+                or fnmatch.fnmatch(rel, glob.rstrip("/") + "/*")
+                for rel in scanned_rel)
+            if in_scope:
                 stale_msgs.append(f"{os.path.relpath(args.config, REPO_ROOT)}: "
                                   f"stale allowlist entry ({rule} {glob}) — "
                                   "it matched no finding in this scan")

@@ -188,14 +188,39 @@ std::string show_experiment(const JsonValue& v, bool markdown) {
 
   if (const JsonValue* latency = v.find("read_latency_us")) {
     out += "\n## read latency (us)\n\n";
-    Rows rows({"p50", "p90", "p95", "p99", "max", "mean"});
+    Rows rows({"p50", "p90", "p95", "p99", "p999", "max", "mean"});
     rows.add({fmt("%.1f", number_at(*latency, "p50")),
               fmt("%.1f", number_at(*latency, "p90")),
               fmt("%.1f", number_at(*latency, "p95")),
               fmt("%.1f", number_at(*latency, "p99")),
+              fmt("%.1f", number_at(*latency, "p999")),
               fmt("%.1f", number_at(*latency, "max")),
               fmt("%.1f", number_at(*latency, "mean"))});
     out += rows.render(markdown);
+  }
+
+  // Tail-latency decomposition: per-stage quantiles of the request phase
+  // ledger (obs/latency.hpp), plus the read/write totals.
+  if (const JsonValue* decomposition = v.find("latency")) {
+    if (const JsonValue* stages = decomposition->find("stages_us")) {
+      out += "\n## latency decomposition (us)\n\n";
+      Rows rows({"stage", "p50", "p99", "p999", "max"});
+      for (const auto& [name, stage] : stages->object) {
+        rows.add({name, fmt("%.1f", number_at(stage, "p50")),
+                  fmt("%.1f", number_at(stage, "p99")),
+                  fmt("%.1f", number_at(stage, "p999")),
+                  fmt("%.1f", number_at(stage, "max"))});
+      }
+      for (const char* total : {"read_total_us", "write_total_us"}) {
+        if (const JsonValue* t = decomposition->find(total)) {
+          rows.add({total, fmt("%.1f", number_at(*t, "p50")),
+                    fmt("%.1f", number_at(*t, "p99")),
+                    fmt("%.1f", number_at(*t, "p999")),
+                    fmt("%.1f", number_at(*t, "max"))});
+        }
+      }
+      out += rows.render(markdown);
+    }
   }
 
   if (const JsonValue* phases = v.find("phase_fraction")) {
